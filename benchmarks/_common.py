@@ -1,0 +1,29 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper
+(the experiment index lives in DESIGN.md §4).  The pattern:
+
+* a module-scoped fixture runs the experiment once at paper scale,
+* a ``test_table_*`` prints the paper-style rows **and writes them to**
+  ``benchmarks/results/<name>.txt`` so the harness leaves artefacts even
+  when pytest captures stdout,
+* ``test_perf_*`` benchmarks the experiment's hot kernel with
+  pytest-benchmark (small, representative, repeatable).
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

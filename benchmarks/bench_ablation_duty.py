@@ -1,0 +1,70 @@
+"""E7 — ablation: the idle-policy / activity-duty mechanism study.
+
+Two sweeps that explain *why* the ARO-PUF works:
+
+* flips vs evaluation duty — aging follows ``(duty * t)**n``, so parking
+  the oscillators in recovery (duty -> ~0) is worth orders of magnitude;
+* flips per idle policy — the same cells under parked-static,
+  free-running, and recovery idling, isolating the design decision from
+  the cell circuit.
+
+The benchmarked kernel is the structural idle-state stress extraction
+(netlist settle + pattern readout), the analysis that feeds every aging
+run.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, duty_ablation
+from repro.analysis.render import render_e7
+from repro.circuit import conventional_cell
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = duty_ablation(ExperimentConfig(n_chips=25))
+    emit("e7_ablation_duty", render_e7(res))
+    return res
+
+
+class TestTable:
+    def test_duty_leverage_is_monotone(self, result):
+        assert result.duty_series.y == sorted(result.duty_series.y)
+
+    def test_low_duty_approaches_zero_aging(self, result):
+        assert result.duty_series.y[0] < 6.0
+
+    def test_high_duty_approaches_conventional(self, result):
+        """At percent-level duty the ARO loses most of its advantage."""
+        rows = dict(result.policy_rows)
+        assert result.duty_series.y[-1] > 0.5 * rows["ro-puf / parked static"]
+
+    def test_recovery_beats_every_alternative(self, result):
+        rows = dict(result.policy_rows)
+        recovery = rows["aro-puf / recovery"]
+        for label, value in rows.items():
+            if label != "aro-puf / recovery":
+                assert recovery < value, label
+
+    def test_free_running_is_worst_case(self, result):
+        """Free-running adds 50 % AC NBTI duty plus ten years of HCI."""
+        rows = dict(result.policy_rows)
+        assert rows["ro-puf / free running"] > rows["ro-puf / parked static"]
+
+    def test_pattern_toggling_is_no_mitigation(self, result):
+        """The firmware alternative to the ARO: periodically invert the
+        parked pattern.  The t**(1/6) law discounts the halved duty by a
+        mere 11 %, while the stress now scatters over every PMOS instead
+        of two per ring — net effect: *more* differential aging, not
+        less.  This is the ablation that justifies a circuit solution."""
+        rows = dict(result.policy_rows)
+        assert rows["ro-puf / parked toggling"] >= rows["ro-puf / parked static"] - 2.0
+        assert rows["ro-puf / parked toggling"] > 3 * rows["aro-puf / recovery"]
+
+
+class TestPerf:
+    def test_perf_idle_stress_extraction(self, benchmark, result):
+        cell = conventional_cell(5)
+        pattern = benchmark(cell.idle_stress_pattern)
+        assert pattern.shape == (5, 2)

@@ -1,0 +1,56 @@
+"""E8 — ablation: layout systematics and pairing distance vs uniqueness.
+
+Sweeps the systematic-variation magnitude for both layout disciplines
+(the conventional compact layout soaks up the full systematic field; the
+ARO's common-centroid interleaving cancels it) and contrasts neighbour
+against maximally-distant pairing.  Together these isolate *where* the
+conventional RO-PUF's ~45 % uniqueness deficit comes from.
+
+The benchmarked kernel is one full chip fabrication (hierarchical
+variation sampling), the Monte-Carlo engine under every experiment.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, layout_ablation
+from repro.analysis.render import render_e8
+from repro.core import conventional_design
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = layout_ablation(ExperimentConfig(n_chips=25))
+    emit("e8_ablation_layout", render_e8(res))
+    return res
+
+
+class TestTable:
+    def test_no_systematics_means_ideal_uniqueness(self, result):
+        """With the systematic field switched off both layouts sit at 50 %."""
+        for series in result.systematic_series.values():
+            assert series.y_at(0.0) == pytest.approx(50.0, abs=1.5)
+
+    def test_conventional_uniqueness_collapses_with_systematics(self, result):
+        conv = result.systematic_series["ro-puf"]
+        assert conv.y_at(3.0) < conv.y_at(0.0) - 5.0
+
+    def test_aro_layout_immunises(self, result):
+        conv = result.systematic_series["ro-puf"]
+        aro = result.systematic_series["aro-puf"]
+        conv_drop = conv.y_at(0.0) - conv.y_at(3.0)
+        aro_drop = aro.y_at(0.0) - aro.y_at(3.0)
+        assert aro_drop < 0.25 * conv_drop
+
+    def test_distant_pairing_hurts_conventional_most(self, result):
+        rows = dict(result.pairing_rows)
+        conv_penalty = rows["ro-puf / neighbour"] - rows["ro-puf / distant"]
+        aro_penalty = rows["aro-puf / neighbour"] - rows["aro-puf / distant"]
+        assert conv_penalty > aro_penalty - 1.0
+
+
+class TestPerf:
+    def test_perf_chip_fabrication(self, benchmark, result):
+        model = conventional_design().variation_model()
+        chip = benchmark(model.sample_chip, 0)
+        assert chip.vth.shape == (256, 5, 2)

@@ -1,0 +1,73 @@
+"""E9 (extension) — 1-out-of-k masking vs the ARO circuit fix.
+
+The strongest prior reliability technique for RO-PUFs picks, at enrolment,
+the widest-margin pair out of each group of k oscillators (Suh & Devadas).
+This bench quantifies what masking buys against *noise* (everything) and
+against *aging* (only what k pays for), next to the ARO reference:
+matching the ARO's 10-year flip rate takes roughly 1-of-8 masking — four
+times the oscillators per bit, plus per-chip helper data.
+
+The benchmarked kernel is the enrolment-time selection itself.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, masking_ablation
+from repro.analysis.render import render_e9
+from repro.core import select_stable_pairs
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = masking_ablation(ExperimentConfig(n_chips=25))
+    emit("e9_ablation_masking", render_e9(res))
+    return res
+
+
+class TestTable:
+    def _by_label(self, result):
+        return {row.label: row for row in result.rows}
+
+    def test_masking_margin_grows_with_k(self, result):
+        margins = [
+            row.mean_margin_percent
+            for row in result.rows
+            if row.label.startswith("ro-puf")
+        ]
+        assert margins == sorted(margins)
+
+    def test_masking_kills_noise_flips(self, result):
+        rows = self._by_label(result)
+        assert rows["ro-puf / 1-of-8 masking"].noise_flips_percent < 0.2
+
+    def test_masking_reduces_aging_flips_monotonically(self, result):
+        aging = [
+            row.aging_flips_percent
+            for row in result.rows
+            if row.label.startswith("ro-puf")
+        ]
+        assert aging == sorted(aging, reverse=True)
+
+    def test_matching_aro_costs_about_four_x_oscillators(self, result):
+        """1-of-4 is not enough; ~1-of-8 (8 ROs/bit vs the ARO's 2) is
+        needed to reach the ARO's aging flip rate."""
+        rows = self._by_label(result)
+        aro = rows["aro-puf / neighbour (reference)"].aging_flips_percent
+        assert rows["ro-puf / 1-of-4 masking"].aging_flips_percent > 1.5 * aro
+        assert rows["ro-puf / 1-of-8 masking"].aging_flips_percent < 2.0 * aro
+
+    def test_masking_sacrifices_bits(self, result):
+        rows = self._by_label(result)
+        assert rows["ro-puf / 1-of-16 masking"].n_bits < rows[
+            "aro-puf / neighbour (reference)"
+        ].n_bits / 4
+
+
+class TestPerf:
+    def test_perf_enrolment_selection(self, benchmark, result):
+        rng = np.random.default_rng(0)
+        freqs = 1e9 * (1 + 0.01 * rng.standard_normal(256))
+        pairing = benchmark(select_stable_pairs, freqs, 8)
+        assert pairing.n_bits(256) == 32

@@ -1,0 +1,87 @@
+"""E12 (extension) — ring-length (stage-count) design-choice study.
+
+Two findings worth the table:
+
+* the **flip-rate gap is ring-length invariant** — mismatch margin and
+  aging differential both shrink as 1/sqrt(stages), so the ratio that
+  sets the flip probability cancels: the ARO advantage is the stress
+  policy, not the 5-stage choice;
+* the conventional design's **uniqueness degrades with ring length** —
+  the systematic per-RO offset does not average over stages while the
+  mismatch margin does, so q = sigma_sys/sigma_rand grows as
+  sqrt(stages) and HD collapses; the ARO's symmetric layout is immune.
+
+The benchmarked kernel is a population evaluation at the longest ring.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, stage_ablation
+from repro.analysis.render import render_e12
+from repro.core import conventional_design, make_study
+
+STAGES = (3, 5, 7, 9, 13)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return_value = stage_ablation(ExperimentConfig(n_chips=25), stage_counts=STAGES)
+    emit("e12_ablation_stages", render_e12(return_value))
+    return return_value
+
+
+def by_key(result):
+    return {(row.design, row.n_stages): row for row in result.rows}
+
+
+class TestTable:
+    def test_frequency_falls_with_ring_length(self, result):
+        rows = by_key(result)
+        freqs = [rows[("ro-puf", n)].frequency_ghz for n in STAGES]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_cell_area_grows_linearly(self, result):
+        rows = by_key(result)
+        a5 = rows[("aro-puf", 5)].cell_area_um2
+        a13 = rows[("aro-puf", 13)].cell_area_um2
+        assert a13 / a5 == pytest.approx(13 / 5, rel=0.01)
+
+    def test_flip_gap_is_ring_length_invariant(self, result):
+        """At every length the ARO keeps a >= 3x flip advantage."""
+        rows = by_key(result)
+        for n in STAGES:
+            conv = rows[("ro-puf", n)].flips_percent
+            aro = rows[("aro-puf", n)].flips_percent
+            assert conv > 3 * aro, f"N={n}"
+
+    def test_aro_flips_stay_in_band(self, result):
+        rows = by_key(result)
+        for n in STAGES:
+            assert 4.0 < rows[("aro-puf", n)].flips_percent < 12.0
+
+    def test_conventional_uniqueness_degrades_with_length(self, result):
+        rows = by_key(result)
+        assert (
+            rows[("ro-puf", 13)].uniqueness_percent
+            < rows[("ro-puf", 3)].uniqueness_percent - 5.0
+        )
+
+    def test_aro_uniqueness_immune_to_length(self, result):
+        rows = by_key(result)
+        for n in STAGES:
+            assert rows[("aro-puf", n)].uniqueness_percent == pytest.approx(
+                50.0, abs=1.5
+            )
+
+
+class TestPerf:
+    def test_perf_long_ring_population(self, benchmark, result):
+        design = conventional_design(n_ros=64, n_stages=13)
+
+        def fabricate_and_respond():
+            study = make_study(design, n_chips=2, rng=0)
+            return study.responses()
+
+        responses = benchmark(fabricate_and_respond)
+        assert len(responses) == 2

@@ -1,0 +1,71 @@
+"""E11 (extension) — sorting modeling attack on disclosed CRPs.
+
+Every disclosed RO-PUF response bit is a ground-truth frequency comparison
+with public pair indices; comparisons compose transitively, so a few dozen
+CRPs suffice to predict the rest of the challenge space.  The curve is the
+quantitative argument for the paper's key-generation deployment (responses
+never leave the chip) and for the E10 verifier's never-reuse-challenges
+rule.  Aging resistance is orthogonal: both designs fall at the same rate.
+
+The benchmarked kernel is model construction + one batch of predictions.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, attack_experiment
+from repro.analysis.render import render_e11
+from repro.core import conventional_design
+from repro.protocol import build_attack_model, harvest_crps, sorting_attack
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = attack_experiment(ExperimentConfig(n_chips=1, n_ros=128))
+    emit("e11_attack", render_e11(res))
+    return res
+
+
+class TestTable:
+    def test_accuracy_grows_with_disclosure(self, result):
+        """Coverage is strictly monotone; accuracy rides on it with a
+        little coin-flip noise at low disclosure, so allow 3 pp slack."""
+        for rows in result.rows.values():
+            coverages = [cov for _, _, cov in rows]
+            assert coverages == sorted(coverages)
+            accs = [acc for _, acc, _ in rows]
+            for earlier, later in zip(accs, accs[1:]):
+                assert later >= earlier - 0.03
+            assert accs[-1] > accs[0] + 0.2
+
+    def test_single_crp_is_chance(self, result):
+        for rows in result.rows.values():
+            _, acc, _ = rows[0]
+            assert acc < 0.65
+
+    def test_attack_succeeds_with_modest_disclosure(self, result):
+        """A few dozen CRPs predict >90 % of unseen bits."""
+        for rows in result.rows.values():
+            n, acc, coverage = rows[-1]
+            assert n <= 64
+            assert acc > 0.9
+            assert coverage > 0.85
+
+    def test_aro_is_equally_vulnerable(self, result):
+        """Aging resistance does not buy modeling resistance."""
+        final_conv = result.rows["ro-puf"][-1][1]
+        final_aro = result.rows["aro-puf"][-1][1]
+        assert abs(final_conv - final_aro) < 0.08
+
+
+class TestPerf:
+    def test_perf_model_build_and_predict(self, benchmark, result):
+        inst = conventional_design(n_ros=64).sample_instances(1, rng=0)[0]
+        table = harvest_crps(inst, 48, rng=1)
+        train, test = table.split(32)
+
+        def attack():
+            return sorting_attack(train, test, 64, rng=2)
+
+        accuracy = benchmark(attack)
+        assert accuracy > 0.8

@@ -1,0 +1,78 @@
+"""E6 — PUF + ECC area for a 128-bit key (the paper's ~24x table).
+
+For each error-margin policy, search the (repetition, BCH) design space
+for the minimum-area key generator meeting a 1e-6 key-failure target and
+compare the two PUFs.  The paper quotes a single ~24x reduction; the
+ratio depends on how much margin the ECC is sized for, so the harness
+prints the whole policy sweep — the paper's figure sits inside the
+worst-case band (the mean-sized policy gives ~5x, worst-chip ~14x,
+worst-chip-plus-corner ~35x).
+
+The benchmarked kernel is one BCH(255,131,t=18) decode of a corrupted
+word — the decoder whose silicon the area model costs out.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.analysis import ecc_area_experiment
+from repro.analysis.render import render_e6
+from repro.ecc import BchCode, standard_codes
+
+PAPER_RATIO = 24.0
+
+
+@pytest.fixture(scope="module")
+def palette():
+    from repro.ecc import GolayCode
+
+    # m <= 9 covers every BCH winner; the Golay code competes alongside
+    return standard_codes(max_m=9, max_t=26) + [GolayCode()]
+
+
+@pytest.fixture(scope="module")
+def result(palette):
+    res = ecc_area_experiment(bch_palette=palette)
+    emit("e6_ecc_area", render_e6(res))
+    return res
+
+
+class TestTable:
+    def test_every_policy_feasible_for_both(self, result):
+        for row in result.rows:
+            assert row.conv is not None, row.policy
+            assert row.aro is not None, row.policy
+
+    def test_ratio_grows_with_margin(self, result):
+        ratios = [row.ratio for row in result.rows]
+        assert ratios == sorted(ratios)
+
+    def test_paper_ratio_inside_policy_band(self, result):
+        """The abstract's ~24x must fall between the mean-sized and the
+        worst-case-sized policies."""
+        ratios = [row.ratio for row in result.rows]
+        assert min(ratios) < PAPER_RATIO < max(ratios)
+
+    def test_conventional_needs_order_of_magnitude_more_raw_bits(self, result):
+        worst = result.rows[-1]
+        assert worst.conv.raw_bits > 20 * worst.aro.raw_bits
+
+    def test_aro_ecc_stays_light(self, result):
+        """The ARO never needs a heavier decoder than the conventional."""
+        for row in result.rows:
+            assert row.aro.codec.code.inner.r <= row.conv.codec.code.inner.r
+
+
+class TestPerf:
+    def test_perf_bch_decode(self, benchmark, result):
+        code = BchCode.design(8, 18)
+        rng = np.random.default_rng(0)
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        cw = code.encode(msg)
+        rx = cw.copy()
+        rx[rng.choice(code.n, size=18, replace=False)] ^= 1
+
+        corrected, n = benchmark(code.decode, rx)
+        assert n == 18
+        assert np.array_equal(corrected, cw)

@@ -1,0 +1,56 @@
+"""E5 — intra-chip HD under temperature and supply corners (paper's
+environmental-reliability figure).
+
+Regenerates the flips-vs-corner series: golden responses enrolled with
+majority voting at the nominal corner, single noisy regenerations at each
+environmental corner.  The benchmarked kernel is one majority-voted noisy
+evaluation (the readout datapath with counters and jitter).
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import ExperimentConfig, environmental_reliability
+from repro.analysis.render import render_e5
+from repro.core import conventional_design, make_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = environmental_reliability(ExperimentConfig(n_chips=20))
+    emit("e5_env_reliability", render_e5(res))
+    return res
+
+
+class TestTable:
+    def test_nominal_corner_is_quiet(self, result):
+        """Re-reading at the enrolment corner only sees jitter flips."""
+        for series in result.temperature_series.values():
+            assert series.y_at(25.0) < 3.0
+
+    def test_extremes_flip_more_than_nominal(self, result):
+        for series in result.temperature_series.values():
+            assert series.y_at(85.0) >= series.y_at(25.0)
+            assert series.y_at(-20.0) >= series.y_at(25.0)
+
+    def test_corner_flips_stay_below_aging_flips(self, result):
+        """Shape check: environmental flips (a few %) are the secondary
+        effect; aging (E2) is the dominant one the paper addresses."""
+        worst = max(
+            max(s.y) for s in result.temperature_series.values()
+        )
+        assert worst < 15.0
+
+    def test_voltage_sag_flips_bits(self, result):
+        conv = result.voltage_series["ro-puf"]
+        assert conv.y_at(0.9) >= conv.y_at(1.0)
+
+
+class TestPerf:
+    def test_perf_voted_noisy_evaluation(self, benchmark, result):
+        study = make_study(conventional_design(), n_chips=1, rng=0)
+        inst = study.instances[0]
+        bits = benchmark(
+            lambda: inst.evaluate(noisy=True, votes=5, rng=3)
+        )
+        assert bits.shape == (128,)

@@ -1,0 +1,55 @@
+"""E1 — RO frequency degradation vs years in the field (paper Fig.,
+degradation curves).
+
+Regenerates the mean fractional frequency-loss series for the
+conventional RO-PUF and the ARO-PUF over a 10-year mission, the curve
+behind the paper's aging discussion.  The benchmarked kernel is the
+per-chip aging evaluation (threshold-shift computation + re-timing of
+every oscillator), the inner loop of every aging experiment.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis import DEFAULT_YEARS, ExperimentConfig, frequency_degradation
+from repro.analysis.render import render_e1
+from repro.circuit import chip_frequencies
+from repro.core import conventional_design, make_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = frequency_degradation(ExperimentConfig(), years=DEFAULT_YEARS)
+    emit("e1_freq_degradation", render_e1(res))
+    return res
+
+
+class TestTable:
+    def test_both_designs_degrade_monotonically(self, result):
+        for series in result.series.values():
+            assert series.y == sorted(series.y)
+
+    def test_conventional_degrades_percent_scale(self, result):
+        assert 1.0 < result.series["ro-puf"].y_at(10.0) < 6.0
+
+    def test_aro_degrades_far_less(self, result):
+        assert (
+            result.series["aro-puf"].y_at(10.0)
+            < 0.35 * result.series["ro-puf"].y_at(10.0)
+        )
+
+
+class TestPerf:
+    def test_perf_aged_chip_retiming(self, benchmark, result):
+        """Hot kernel: age one 256-RO chip 10 years and recompute every
+        oscillator frequency."""
+        study = make_study(conventional_design(), n_chips=1, rng=0)
+        aging = study.agings[0]
+        design = study.design
+
+        def kernel():
+            aged = aging.aged(10.0)
+            return chip_frequencies(aged, design.tech)
+
+        freqs = benchmark(kernel)
+        assert freqs.shape == (256,)

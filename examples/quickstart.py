@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: fabricate both PUFs, measure quality, age them ten years.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the public API end to end in under a minute: Monte-Carlo
+fabrication, golden responses, the paper's quality metrics, and the
+aging comparison that motivates the ARO-PUF.
+"""
+
+from repro import aro_design, conventional_design, make_study
+from repro.analysis import format_table
+from repro.metrics import reliability, uniqueness, uniformity
+
+N_CHIPS = 20
+N_ROS = 256  # 128 response bits via neighbour pairing
+YEARS = 10.0
+
+
+def main() -> None:
+    rows = []
+    for factory in (conventional_design, aro_design):
+        design = factory(n_ros=N_ROS)
+
+        # fabricate a seeded Monte-Carlo population with aging trajectories
+        study = make_study(design, n_chips=N_CHIPS, rng=42)
+
+        # enrolment-time golden responses, one 128-bit response per chip
+        fresh = study.responses()
+
+        # the same chips after ten years in the field
+        aged = study.responses(t_years=YEARS)
+
+        uniq = uniqueness(fresh)
+        unif = uniformity(fresh)
+        flips = reliability(fresh, aged)
+        freq = study.instances[0].frequencies()
+
+        rows.append(
+            [
+                design.name,
+                f"{freq.mean() / 1e9:.2f} GHz",
+                f"{uniq.percent():.2f} %",
+                f"{unif.percent():.1f} %",
+                f"{flips.percent():.2f} %",
+                f"{100 * flips.worst_flip_fraction:.2f} %",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "design",
+                "mean RO freq",
+                "inter-chip HD",
+                "uniformity",
+                f"bit flips @ {YEARS:.0f}y",
+                "worst chip",
+            ],
+            rows,
+            title=f"RO-PUF vs ARO-PUF, {N_CHIPS} chips x {N_ROS} ROs (seeded)",
+        )
+    )
+    print(
+        "\nPaper anchors: conventional ~32 % flips / ~45 % HD, "
+        "ARO 7.7 % flips / 49.67 % HD."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Technology-scaling outlook: does the ARO advantage survive 45 nm?
+
+The paper evaluates at 90 nm.  Scaled nodes have *more* device mismatch
+(good for PUF entropy) but also lower supply headroom and, historically,
+worse BTI variability — so it is worth asking whether the ARO-PUF's
+margins move.  This study reruns the headline metrics on the 45 nm-like
+card (`repro.transistor.ptm45`) next to the 90 nm baseline.
+
+Run with::
+
+    python examples/technology_scaling.py
+"""
+
+from repro import aro_design, conventional_design, make_study
+from repro.analysis import format_table
+from repro.metrics import reliability, uniqueness
+from repro.transistor import ptm45, ptm90
+
+N_CHIPS = 20
+N_ROS = 256
+YEARS = 10.0
+
+
+def evaluate(tech) -> list:
+    rows = []
+    for factory in (conventional_design, aro_design):
+        design = factory(n_ros=N_ROS, tech=tech)
+        study = make_study(design, n_chips=N_CHIPS, rng=31)
+        fresh = study.responses()
+        aged = study.responses(t_years=YEARS)
+        freq = study.instances[0].frequencies()
+        rows.append(
+            [
+                tech.name,
+                design.name,
+                f"{freq.mean() / 1e9:.2f} GHz",
+                f"{uniqueness(fresh).percent():.2f} %",
+                f"{reliability(fresh, aged).percent():.2f} %",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    rows = evaluate(ptm90()) + evaluate(ptm45())
+    print(
+        format_table(
+            ["node", "design", "mean freq", "inter-chip HD", "flips @10y"],
+            rows,
+            title=f"Technology scaling, {N_CHIPS} chips x {N_ROS} ROs",
+        )
+    )
+    print(
+        "\nReading: the 45 nm card's larger mismatch widens the process "
+        "margin between paired oscillators, so the *same* aging hurts "
+        "slightly less — but the conventional design stays unusable and "
+        "the ARO's recovery gating transfers unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Aging layer: NBTI/PBTI, HCI, stress bookkeeping and the simulator."""
+
+from .hci import PMOS_HCI_FACTOR, hci_shift
+from .nbti import bti_shift, relaxed_shift, sample_prefactors, temperature_acceleration
+from .schedule import (
+    SECONDS_PER_YEAR,
+    IdlePolicy,
+    MissionProfile,
+    burn_in_mission,
+    typical_mission,
+)
+from .simulator import AgingSimulator, ChipAging
+from .stress import StressProfile, compute_stress, default_idle_policy
+
+__all__ = [
+    "AgingSimulator",
+    "ChipAging",
+    "IdlePolicy",
+    "MissionProfile",
+    "PMOS_HCI_FACTOR",
+    "SECONDS_PER_YEAR",
+    "StressProfile",
+    "bti_shift",
+    "burn_in_mission",
+    "compute_stress",
+    "default_idle_policy",
+    "hci_shift",
+    "relaxed_shift",
+    "sample_prefactors",
+    "temperature_acceleration",
+    "typical_mission",
+]

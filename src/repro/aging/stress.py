@@ -1,0 +1,126 @@
+"""Per-device stress bookkeeping: from cell + mission to duty factors.
+
+The NBTI/HCI laws in :mod:`repro.aging.nbti` and :mod:`repro.aging.hci`
+consume three numbers per device:
+
+* ``nbti_duty`` — the fraction of lifetime the PMOS gate is at logic low,
+* ``pbti_duty`` — the fraction the NMOS gate is at logic high, and
+* ``transitions_per_year`` — switching events for HCI.
+
+This module derives those from the *structure* of the oscillator cell (its
+parked logic state, extracted by settling the real netlist — see
+:meth:`repro.circuit.CellDescriptor.idle_stress_pattern`) combined with the
+:class:`~repro.aging.schedule.MissionProfile` and
+:class:`~repro.aging.schedule.IdlePolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.cells import CellDescriptor, CellKind
+from ..variation.chip import NMOS, PMOS
+from .schedule import SECONDS_PER_YEAR, IdlePolicy, MissionProfile
+
+
+@dataclass(frozen=True)
+class StressProfile:
+    """Lifetime stress figures for every device of one oscillator cell.
+
+    Arrays have shape ``(n_stages, 2)`` (stage, polarity); the same cell
+    design is instantiated for every RO on a die, so one profile serves a
+    whole chip (per-device *response* to stress varies chip-to-chip via the
+    aging prefactors, not the stress itself).
+    """
+
+    nbti_duty: np.ndarray
+    pbti_duty: np.ndarray
+    transitions_per_year: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("nbti_duty", "pbti_duty", "transitions_per_year"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ValueError(f"{name} must have shape (n_stages, 2)")
+            if np.any(arr < 0):
+                raise ValueError(f"{name} must be non-negative")
+            object.__setattr__(self, name, arr)
+        if np.any(self.nbti_duty > 1.0) or np.any(self.pbti_duty > 1.0):
+            raise ValueError("duty factors cannot exceed 1")
+
+    @property
+    def n_stages(self) -> int:
+        return self.nbti_duty.shape[0]
+
+
+def default_idle_policy(cell: CellDescriptor) -> IdlePolicy:
+    """The idle policy each cell was designed for."""
+    if cell.kind is CellKind.ARO:
+        return IdlePolicy.RECOVERY
+    return IdlePolicy.PARKED_STATIC
+
+
+def compute_stress(
+    cell: CellDescriptor,
+    mission: MissionProfile,
+    idle_policy: "IdlePolicy | None" = None,
+) -> StressProfile:
+    """Derive the lifetime stress profile of one oscillator cell.
+
+    The active (oscillating) share of life contributes 50 % AC duty to
+    every device plus the HCI transition count; the idle share contributes
+    according to the policy:
+
+    * ``PARKED_STATIC`` — the cell's settled parked state determines which
+      PMOS (input low) and NMOS (input high) devices sit at DC stress;
+    * ``PARKED_TOGGLING`` — the parked pattern is periodically inverted,
+      so every device sees half the idle time under stress;
+    * ``RECOVERY`` — every inverter input is held high: zero NBTI duty,
+      full PBTI duty (weak) on the NMOS;
+    * ``FREE_RUNNING`` — the idle share looks exactly like activity.
+    """
+    policy = default_idle_policy(cell) if idle_policy is None else idle_policy
+    if policy is IdlePolicy.RECOVERY and cell.kind is not CellKind.ARO:
+        raise ValueError(
+            "the conventional cell has no recovery mux; RECOVERY idle policy "
+            "requires the ARO cell"
+        )
+
+    n = cell.n_stages
+    active = mission.eval_duty
+    idle = 1.0 - active
+
+    nbti = np.zeros((n, 2))
+    pbti = np.zeros((n, 2))
+    transitions = np.zeros((n, 2))
+
+    # -- active share: symmetric AC stress and switching on every device
+    nbti[:, PMOS] += 0.5 * active
+    pbti[:, NMOS] += 0.5 * active
+    transitions[:, :] += mission.osc_frequency_hz * active * SECONDS_PER_YEAR
+
+    # -- idle share
+    if policy is IdlePolicy.FREE_RUNNING:
+        nbti[:, PMOS] += 0.5 * idle
+        pbti[:, NMOS] += 0.5 * idle
+        transitions[:, :] += mission.osc_frequency_hz * idle * SECONDS_PER_YEAR
+    elif policy is IdlePolicy.RECOVERY:
+        # all inverter inputs parked high: PMOS off (recovers), NMOS on
+        pbti[:, NMOS] += idle
+    elif policy is IdlePolicy.PARKED_TOGGLING:
+        # the pattern and its inverse alternate: every inverting stage
+        # spends half the idle life with its input low
+        nbti[:, PMOS] += 0.5 * idle
+        pbti[:, NMOS] += 0.5 * idle
+    elif policy is IdlePolicy.PARKED_STATIC:
+        pattern = cell.idle_stress_pattern()
+        nbti[:, PMOS] += idle * pattern[:, PMOS]
+        pbti[:, NMOS] += idle * pattern[:, NMOS]
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unhandled idle policy {policy!r}")
+
+    return StressProfile(
+        nbti_duty=nbti, pbti_duty=pbti, transitions_per_year=transitions
+    )

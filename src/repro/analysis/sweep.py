@@ -1,0 +1,57 @@
+"""Small sweep/aggregation utilities shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+#: the time axis used by the paper-style aging studies (years in field)
+DEFAULT_YEARS = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+
+
+@dataclass
+class Series:
+    """One named (x, y) series with optional spread, ready for tabulation."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    spread: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float, spread: float = 0.0) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+        self.spread.append(float(spread))
+
+    def as_rows(self) -> List[tuple]:
+        return list(zip(self.x, self.y, self.spread))
+
+    def y_at(self, x: float) -> float:
+        """The y value at a given x (exact match required)."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x:
+                return yi
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+
+def sweep(
+    values: Sequence,
+    fn: Callable[[object], float],
+    name: str = "sweep",
+) -> Series:
+    """Evaluate ``fn`` over ``values`` into a :class:`Series`."""
+    series = Series(name=name)
+    for v in values:
+        series.add(float(v), float(fn(v)))
+    return series
+
+
+def geometric_spacing(lo: float, hi: float, steps: int) -> np.ndarray:
+    """Log-spaced sweep values (duty factors, error targets, ...)."""
+    if lo <= 0 or hi <= 0:
+        raise ValueError("geometric spacing needs positive endpoints")
+    if steps < 2:
+        raise ValueError("need at least two steps")
+    return np.geomspace(lo, hi, steps)

@@ -1,0 +1,50 @@
+"""Circuit layer: analytic RO timing plus a structural logic simulator."""
+
+from .cells import (
+    CellDescriptor,
+    CellKind,
+    aro_cell,
+    cell_for,
+    conventional_cell,
+    measured_period,
+)
+from .delay import chip_frequencies, ring_frequency, ring_period
+from .eventsim import EventSimulator, SimulationError, SimulationResult, Waveform
+from .gates import GATE_LIBRARY, Gate
+from .netlist import Netlist, NetlistError
+from .vcd import dump_vcd
+from .ring import (
+    ENABLE,
+    OSC_OUT,
+    RECOVERY,
+    build_aro_cell,
+    build_conventional_ro,
+    stage_input_nodes,
+)
+
+__all__ = [
+    "CellDescriptor",
+    "CellKind",
+    "ENABLE",
+    "EventSimulator",
+    "GATE_LIBRARY",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "OSC_OUT",
+    "RECOVERY",
+    "SimulationError",
+    "SimulationResult",
+    "Waveform",
+    "aro_cell",
+    "build_aro_cell",
+    "build_conventional_ro",
+    "cell_for",
+    "measured_period",
+    "chip_frequencies",
+    "conventional_cell",
+    "ring_frequency",
+    "ring_period",
+    "dump_vcd",
+    "stage_input_nodes",
+]

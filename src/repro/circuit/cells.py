@@ -1,0 +1,159 @@
+"""Oscillator cell descriptors and structural stress analysis.
+
+A :class:`CellDescriptor` bundles everything the rest of the framework
+needs to know about one oscillator cell design: how to build its netlist,
+how to park it, its analytic timing fudge factors, its standard-cell area,
+and — crucially — which devices sit under DC BTI stress while parked.
+
+The parked stress pattern is not hard-coded: it is *derived* by settling
+the actual netlist with the event simulator and reading the logic level at
+every stage's inverting-gate input.  A PMOS whose gate input parks at logic
+low conducts for the whole idle life of the part and accumulates NBTI
+stress at ~100 % duty; an input parked high stresses the NMOS instead
+(PBTI, far weaker in the technologies the paper targets, tracked anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..transistor.technology import TechnologyCard
+from ..variation.chip import NMOS, PMOS
+from .eventsim import EventSimulator
+from .netlist import Netlist
+from .ring import (
+    ENABLE,
+    LAUNCH,
+    RECOVERY,
+    build_aro_cell,
+    build_conventional_ro,
+    stage_input_nodes,
+)
+
+
+class CellKind(enum.Enum):
+    """The two oscillator cell designs compared by the paper."""
+
+    CONVENTIONAL = "conventional"
+    ARO = "aro"
+
+
+@dataclass(frozen=True)
+class CellDescriptor:
+    """Static description of one oscillator cell design."""
+
+    kind: CellKind
+    n_stages: int
+    #: analytic delay penalty of the enable stage (NAND vs plain inverter)
+    stage0_penalty: float
+    #: uniform per-stage load factor (the ARO recovery mux loads each stage)
+    c_load_factor: float
+    #: inputs that park the cell
+    idle_inputs: Dict[str, bool]
+    #: inputs that let the cell oscillate
+    active_inputs: Dict[str, bool]
+    _builder: Callable[..., Netlist]
+    #: intermediate input phase applied between idle and active (the ARO
+    #: raises the stage muxes first and the launch mux last); ``None``
+    #: means the cell starts in one step
+    prelaunch_inputs: Optional[Dict[str, bool]] = None
+
+    def build(self, stage_delays: Optional[Sequence[float]] = None) -> Netlist:
+        """Instantiate the cell netlist (optionally with per-stage delays)."""
+        return self._builder(self.n_stages, stage_delays=stage_delays)
+
+    def idle_stress_pattern(self) -> np.ndarray:
+        """Per-device DC stress indicator while parked.
+
+        Returns an array of shape ``(n_stages, 2)``: entry ``[i, PMOS]`` is
+        1.0 when stage ``i``'s PMOS gate parks at logic low (NBTI stress)
+        and ``[i, NMOS]`` is 1.0 when it parks high (PBTI stress).
+        """
+        net = self.build()
+        sim = EventSimulator(net)
+        state = sim.settle(self.idle_inputs)
+        pattern = np.zeros((self.n_stages, 2))
+        for stage, node in enumerate(stage_input_nodes(net)):
+            if state[node]:
+                pattern[stage, NMOS] = 1.0
+            else:
+                pattern[stage, PMOS] = 1.0
+        return pattern
+
+    def cell_area(self, tech: TechnologyCard) -> float:
+        """Standard-cell area of one oscillator cell, square micrometres."""
+        area = tech.area
+        if self.kind is CellKind.CONVENTIONAL:
+            return area.nand2 + (self.n_stages - 1) * area.inverter
+        # ARO: an inverter plus a transmission-gate recovery steer per
+        # stage (a t-gate into the ring and a half-sized pull-up to the
+        # recovery level — 1.5 t-gate equivalents, not a full static mux)
+        return self.n_stages * (area.inverter + 1.5 * area.tgate)
+
+
+def measured_period(
+    cell: "CellDescriptor",
+    stage_delays: Optional[Sequence[float]] = None,
+    *,
+    n_cycles: int = 8,
+) -> float:
+    """Oscillation period of the cell measured with the event simulator.
+
+    Mirrors the hardware bring-up protocol: park the cell (settle with the
+    idle inputs), step through the cell's pre-launch phase if it has one
+    (the ARO raises the ring muxes before the launch mux), then complete
+    the enable sequence and let a *single* wavefront circulate.  Starting
+    from an arbitrary (all-low) state instead would inject one wavefront
+    per inconsistent stage and report a fraction of the physical period.
+    """
+    from .ring import OSC_OUT
+
+    net = cell.build(stage_delays)
+    sim = EventSimulator(net)
+    state = sim.settle(cell.idle_inputs)
+    if cell.prelaunch_inputs is not None:
+        state = sim.settle(cell.prelaunch_inputs, initial=state)
+    total_delay = sum(g.delay for g in net.gates)
+    t_end = 2.0 * total_delay * (n_cycles + 8)
+    result = sim.run(cell.active_inputs, t_end=t_end, initial=state)
+    return result.period(OSC_OUT, n_cycles=n_cycles)
+
+
+def conventional_cell(n_stages: int = 5) -> CellDescriptor:
+    """Descriptor for the conventional NAND-gated RO cell."""
+    return CellDescriptor(
+        kind=CellKind.CONVENTIONAL,
+        n_stages=n_stages,
+        stage0_penalty=1.3,
+        c_load_factor=1.0,
+        idle_inputs={ENABLE: False},
+        active_inputs={ENABLE: True},
+        _builder=build_conventional_ro,
+    )
+
+
+def aro_cell(n_stages: int = 5) -> CellDescriptor:
+    """Descriptor for the aging-resistant (recovery-gated) ARO cell."""
+    return CellDescriptor(
+        kind=CellKind.ARO,
+        n_stages=n_stages,
+        stage0_penalty=1.0,
+        c_load_factor=1.15,
+        idle_inputs={ENABLE: False, LAUNCH: False, RECOVERY: True},
+        active_inputs={ENABLE: True, LAUNCH: True, RECOVERY: True},
+        _builder=build_aro_cell,
+        prelaunch_inputs={ENABLE: True, LAUNCH: False, RECOVERY: True},
+    )
+
+
+def cell_for(kind: CellKind, n_stages: int = 5) -> CellDescriptor:
+    """Descriptor factory keyed by :class:`CellKind`."""
+    if kind is CellKind.CONVENTIONAL:
+        return conventional_cell(n_stages)
+    if kind is CellKind.ARO:
+        return aro_cell(n_stages)
+    raise ValueError(f"unknown cell kind {kind!r}")

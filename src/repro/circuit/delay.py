@@ -1,0 +1,128 @@
+"""Vectorised ring-oscillator timing from per-device thresholds.
+
+This is the hot path of every Monte-Carlo experiment: given a chip's
+threshold arrays it returns the oscillation period/frequency of every RO on
+the die under given supply/temperature conditions.
+
+Model
+-----
+A ring of ``N`` (odd) inverting stages completes one oscillation period
+after every stage has made one rising and one falling output transition:
+
+    period = sum_i t_rise(i) + t_fall(i)
+
+where the rising transition of stage ``i`` is driven by its PMOS (threshold
+``vth_p[i]``) and the falling one by its NMOS (``vth_n[i]``), each with the
+alpha-power-law transition delay from :mod:`repro.transistor.mosfet`.
+
+The first stage of every ring is the enable gate (a NAND for the
+conventional RO, the mux-gated inverter for the ARO); its oscillation-path
+devices are modelled like any inverter stage with its own thresholds, with
+a structural delay penalty (stacked devices / extra mux load) captured by a
+per-design ``stage0_penalty`` factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..transistor.mosfet import transition_delay
+from ..transistor.technology import T_REF_K, TechnologyCard
+from ..variation.chip import NMOS, PMOS, Chip
+
+
+def ring_period(
+    vth: np.ndarray,
+    tech: TechnologyCard,
+    *,
+    vdd: Optional[float] = None,
+    temperature_k: float = T_REF_K,
+    tc_scale: Optional[np.ndarray] = None,
+    stage0_penalty: float = 1.0,
+) -> np.ndarray:
+    """Oscillation period of each ring (seconds).
+
+    Parameters
+    ----------
+    vth:
+        Threshold array of shape ``(..., n_stages, 2)``; the leading axes
+        are arbitrary batch axes (typically ``n_ros`` or
+        ``(n_chips, n_ros)``).
+    stage0_penalty:
+        Multiplicative delay factor applied to stage 0 (the enable gate).
+
+    Returns
+    -------
+    numpy.ndarray with the batch shape of ``vth`` (stage/polarity axes
+    reduced away).
+    """
+    vth = np.asarray(vth, dtype=float)
+    if vth.ndim < 2 or vth.shape[-1] != 2:
+        raise ValueError(f"vth must have shape (..., n_stages, 2), got {vth.shape}")
+    if vth.shape[-2] % 2 == 0:
+        raise ValueError("a ring needs an odd number of inverting stages")
+    if stage0_penalty <= 0:
+        raise ValueError("stage0_penalty must be positive")
+
+    t_fall = transition_delay(
+        vth[..., NMOS],
+        tech,
+        vdd=vdd,
+        temperature_k=temperature_k,
+        tc_scale=None if tc_scale is None else np.asarray(tc_scale)[..., NMOS],
+    )
+    t_rise = transition_delay(
+        vth[..., PMOS],
+        tech,
+        vdd=vdd,
+        temperature_k=temperature_k,
+        tc_scale=None if tc_scale is None else np.asarray(tc_scale)[..., PMOS],
+    )
+    stage = t_rise + t_fall
+    # weight the enable stage by its structural penalty
+    weights = np.ones(vth.shape[-2])
+    weights[0] = stage0_penalty
+    return np.tensordot(stage, weights, axes=([-1], [0]))
+
+
+def ring_frequency(
+    vth: np.ndarray,
+    tech: TechnologyCard,
+    *,
+    vdd: Optional[float] = None,
+    temperature_k: float = T_REF_K,
+    tc_scale: Optional[np.ndarray] = None,
+    stage0_penalty: float = 1.0,
+) -> np.ndarray:
+    """Oscillation frequency of each ring (hertz); see :func:`ring_period`."""
+    period = ring_period(
+        vth,
+        tech,
+        vdd=vdd,
+        temperature_k=temperature_k,
+        tc_scale=tc_scale,
+        stage0_penalty=stage0_penalty,
+    )
+    return 1.0 / period
+
+
+def chip_frequencies(
+    chip: Chip,
+    tech: TechnologyCard,
+    *,
+    vdd: Optional[float] = None,
+    temperature_k: float = T_REF_K,
+    stage0_penalty: float = 1.0,
+    use_tc_mismatch: bool = True,
+) -> np.ndarray:
+    """Frequencies of every RO on ``chip`` (hertz), shape ``(n_ros,)``."""
+    return ring_frequency(
+        chip.vth,
+        tech,
+        vdd=vdd,
+        temperature_k=temperature_k,
+        tc_scale=chip.tc_scale if use_tc_mismatch else None,
+        stage0_penalty=stage0_penalty,
+    )

@@ -1,0 +1,248 @@
+"""Event-driven gate-level logic simulator.
+
+A deliberately small discrete-event simulator sufficient for the two
+structural jobs of this project:
+
+* drive an RO netlist with its enable waveform and *measure the oscillation
+  period* from the recorded waveform of the feedback node (used to
+  cross-validate the analytic period model), and
+* *settle* a disabled netlist to its parked static state, from which the
+  NBTI stress analysis reads which PMOS gates sit at logic low.
+
+Semantics: two-valued logic with *inertial* gate delays — when a gate
+re-evaluates while an output change is still in flight, the in-flight event
+is superseded, so pulses narrower than a gate's propagation delay are
+swallowed exactly as a real CMOS stage filters them.  Primary-input events
+are transport-scheduled (a stimulus is never cancelled by a later one).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .netlist import Netlist
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation cannot produce the requested answer."""
+
+
+@dataclass
+class Waveform:
+    """The recorded history of one node: change times and new values."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[bool] = field(default_factory=list)
+
+    def record(self, time: float, value: bool) -> None:
+        if self.values and self.values[-1] == value:
+            return  # not a change
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float) -> bool:
+        """Node value at ``time`` (initial transition applies at its time)."""
+        if not self.times:
+            raise SimulationError("node never took a value")
+        idx = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        if idx < 0:
+            raise SimulationError(f"no value recorded at or before t={time}")
+        return self.values[idx]
+
+    def edges(self, rising: bool = True, after: float = 0.0) -> List[float]:
+        """Times of rising (or falling) edges strictly after ``after``."""
+        out = []
+        for prev, cur, t in zip(self.values, self.values[1:], self.times[1:]):
+            if t <= after:
+                continue
+            if rising and (not prev) and cur:
+                out.append(t)
+            elif (not rising) and prev and (not cur):
+                out.append(t)
+        return out
+
+    @property
+    def n_toggles(self) -> int:
+        """Number of value changes after the initial assignment."""
+        return max(0, len(self.times) - 1)
+
+
+@dataclass
+class SimulationResult:
+    """Waveforms of every node plus bookkeeping from one simulation run."""
+
+    waveforms: Dict[str, Waveform]
+    end_time: float
+    settled: bool
+    events_processed: int
+
+    def final_values(self) -> Dict[str, bool]:
+        """Value of every node at the end of the run."""
+        return {n: w.values[-1] for n, w in self.waveforms.items() if w.values}
+
+    def period(self, node: str, n_cycles: int = 4) -> float:
+        """Oscillation period measured from the last ``n_cycles`` rising edges.
+
+        Discards the first half of the run as start-up transient.
+        """
+        wave = self.waveforms[node]
+        edges = wave.edges(rising=True, after=self.end_time * 0.25)
+        if len(edges) < n_cycles + 1:
+            raise SimulationError(
+                f"node {node!r} shows {len(edges)} rising edges after warm-up; "
+                f"need {n_cycles + 1} to measure a period"
+            )
+        window = edges[-(n_cycles + 1):]
+        return (window[-1] - window[0]) / n_cycles
+
+
+class EventSimulator:
+    """Discrete-event simulator bound to one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._fanout: Dict[str, list] = {}
+        for g in netlist.gates:
+            for node in g.inputs:
+                self._fanout.setdefault(node, []).append(g)
+        self._drivers_outputs = [g.output for g in netlist.gates]
+
+    def run(
+        self,
+        inputs: Mapping[str, bool],
+        t_end: float,
+        *,
+        initial: Optional[Mapping[str, bool]] = None,
+        input_events: Iterable[Tuple[float, str, bool]] = (),
+        max_events: int = 2_000_000,
+    ) -> SimulationResult:
+        """Simulate until ``t_end`` (or quiescence, whichever comes first).
+
+        Parameters
+        ----------
+        inputs:
+            Values applied to the primary inputs at t=0.  Every primary
+            input must be covered.
+        initial:
+            Optional initial values for internal nodes (default: all low).
+        input_events:
+            Additional scheduled input changes ``(time, node, value)``.
+        max_events:
+            Safety valve: a run that exceeds this count raises, which
+            catches accidentally unstable settle() calls.
+        """
+        missing = [n for n in self.netlist.primary_inputs if n not in inputs]
+        if missing:
+            raise SimulationError(f"unbound primary inputs: {missing}")
+
+        values: Dict[str, bool] = {n: False for n in self.netlist.nodes}
+        if initial:
+            for node, val in initial.items():
+                if node not in values:
+                    raise SimulationError(f"unknown initial node {node!r}")
+                values[node] = bool(val)
+        waveforms = {n: Waveform() for n in self.netlist.nodes}
+        for node, val in values.items():
+            waveforms[node].times.append(0.0)
+            waveforms[node].values.append(val)
+
+        counter = itertools.count()
+        queue: List[Tuple[float, int, str, bool]] = []
+        # last value scheduled (or committed) per gate output; a gate whose
+        # evaluation matches its projection schedules nothing
+        projected: Dict[str, bool] = dict(values)
+        # sequence number of the live (non-superseded) event per gate
+        # output — inertial delay: rescheduling invalidates the old event
+        live_seq: Dict[str, int] = {}
+        gate_outputs = set(self._drivers_outputs)
+
+        def schedule(time: float, node: str, value: bool) -> None:
+            if projected[node] == value:
+                return
+            projected[node] = value
+            seq = next(counter)
+            live_seq[node] = seq
+            heapq.heappush(queue, (time, seq, node, bool(value)))
+
+        def push_input(time: float, node: str, value: bool) -> None:
+            # transport semantics: stimuli are never superseded
+            heapq.heappush(queue, (time, next(counter), node, bool(value)))
+
+        for node in self.netlist.primary_inputs:
+            push_input(0.0, node, bool(inputs[node]))
+        # evaluate every gate once against the initial state so that
+        # inconsistent initial assignments resolve themselves
+        for g in self.netlist.gates:
+            out = g.evaluate([values[n] for n in g.inputs])
+            schedule(g.delay, g.output, out)
+        for time, node, val in sorted(input_events):
+            if node not in self.netlist.primary_inputs:
+                raise SimulationError(f"{node!r} is not a primary input")
+            push_input(time, node, val)
+
+        processed = 0
+        now = 0.0
+        while queue:
+            time, seq, node, value = heapq.heappop(queue)
+            if time > t_end:
+                # leave the event unconsumed conceptually; simulation ends
+                now = t_end
+                break
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t_end; "
+                    "circuit appears unstable"
+                )
+            now = time
+            if node in gate_outputs and live_seq.get(node) != seq:
+                continue  # superseded in flight (inertial filtering)
+            if values[node] == value:
+                continue
+            values[node] = value
+            waveforms[node].record(time, value)
+            for g in self._fanout.get(node, ()):
+                out = g.evaluate([values[n] for n in g.inputs])
+                schedule(time + g.delay, g.output, out)
+        else:
+            # queue drained: circuit is quiescent
+            return SimulationResult(
+                waveforms=waveforms,
+                end_time=now,
+                settled=True,
+                events_processed=processed,
+            )
+        return SimulationResult(
+            waveforms=waveforms,
+            end_time=t_end,
+            settled=False,
+            events_processed=processed,
+        )
+
+    def settle(
+        self,
+        inputs: Mapping[str, bool],
+        *,
+        initial: Optional[Mapping[str, bool]] = None,
+        max_events: int = 100_000,
+    ) -> Dict[str, bool]:
+        """Run until quiescence and return the final node values.
+
+        Raises :class:`SimulationError` if the circuit keeps toggling (an
+        enabled oscillator, for example, never settles).
+        """
+        result = self.run(
+            inputs,
+            t_end=float("inf"),
+            initial=initial,
+            max_events=max_events,
+        )
+        if not result.settled:
+            raise SimulationError("circuit did not settle")
+        return result.final_values()

@@ -1,0 +1,118 @@
+"""Logic-gate primitives for the structural (event-driven) simulator.
+
+The event simulator exists for two jobs the vectorised analytic path cannot
+do: (1) verify that the RO netlists actually oscillate with the expected
+period, and (2) find the *static parked state* of a disabled oscillator,
+which determines which PMOS devices sit under DC NBTI stress for the
+product's lifetime (the crux of the conventional-vs-ARO comparison).
+
+Gates evaluate plain boolean logic; each instance carries a propagation
+delay assigned by the caller (typically from the device model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+GateFn = Callable[[Tuple[bool, ...]], bool]
+
+
+def _inv(inputs: Tuple[bool, ...]) -> bool:
+    return not inputs[0]
+
+
+def _buf(inputs: Tuple[bool, ...]) -> bool:
+    return inputs[0]
+
+
+def _nand2(inputs: Tuple[bool, ...]) -> bool:
+    return not (inputs[0] and inputs[1])
+
+
+def _nor2(inputs: Tuple[bool, ...]) -> bool:
+    return not (inputs[0] or inputs[1])
+
+
+def _and2(inputs: Tuple[bool, ...]) -> bool:
+    return inputs[0] and inputs[1]
+
+
+def _or2(inputs: Tuple[bool, ...]) -> bool:
+    return inputs[0] or inputs[1]
+
+
+def _xor2(inputs: Tuple[bool, ...]) -> bool:
+    return inputs[0] != inputs[1]
+
+
+def _mux2(inputs: Tuple[bool, ...]) -> bool:
+    """2:1 multiplexer: inputs are ``(d0, d1, sel)``; ``sel`` picks d1."""
+    d0, d1, sel = inputs
+    return d1 if sel else d0
+
+
+#: gate type name -> (function, arity)
+GATE_LIBRARY: Dict[str, Tuple[GateFn, int]] = {
+    "INV": (_inv, 1),
+    "BUF": (_buf, 1),
+    "NAND2": (_nand2, 2),
+    "NOR2": (_nor2, 2),
+    "AND2": (_and2, 2),
+    "OR2": (_or2, 2),
+    "XOR2": (_xor2, 2),
+    "MUX2": (_mux2, 3),
+}
+
+#: gate types whose single data input drives a complementary CMOS pair
+#: whose PMOS is NBTI-stressed whenever that input is low.
+INVERTING_TYPES = frozenset({"INV", "NAND2", "NOR2"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance in a netlist.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name within its netlist.
+    gate_type:
+        Key into :data:`GATE_LIBRARY`.
+    inputs:
+        Names of the driving nodes, in library order.
+    output:
+        Name of the driven node (exactly one driver per node).
+    delay:
+        Propagation delay in seconds.
+    tags:
+        Free-form metadata; the RO builders use it to link a gate back to
+        its ``(stage, role)`` so stress analysis can map node states onto
+        the chip's per-device threshold arrays.
+    """
+
+    name: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    output: str
+    delay: float = 1.0e-11
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.gate_type not in GATE_LIBRARY:
+            known = ", ".join(sorted(GATE_LIBRARY))
+            raise ValueError(
+                f"unknown gate type {self.gate_type!r}; known: {known}"
+            )
+        fn, arity = GATE_LIBRARY[self.gate_type]
+        if len(self.inputs) != arity:
+            raise ValueError(
+                f"{self.gate_type} takes {arity} inputs, got {len(self.inputs)}"
+            )
+        if self.delay <= 0:
+            raise ValueError("gate delay must be positive")
+
+    def evaluate(self, values: Sequence[bool]) -> bool:
+        """Evaluate the gate function on the given input values."""
+        fn, _ = GATE_LIBRARY[self.gate_type]
+        return fn(tuple(bool(v) for v in values))

@@ -1,0 +1,108 @@
+"""Gate-level netlist container with structural validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .gates import Gate
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists (multiple drivers, ...)."""
+
+
+@dataclass
+class Netlist:
+    """A flat gate-level netlist.
+
+    Nodes are referenced by name; every node has at most one driver (a gate
+    output or a primary input).  The netlist may contain combinational
+    loops — ring oscillators are nothing but such loops — so no acyclicity
+    is enforced.
+    """
+
+    name: str = "netlist"
+    gates: List[Gate] = field(default_factory=list)
+    primary_inputs: List[str] = field(default_factory=list)
+    _drivers: Dict[str, Gate] = field(default_factory=dict, repr=False)
+
+    def add_input(self, node: str) -> str:
+        """Declare ``node`` as a primary input and return its name."""
+        if node in self._drivers:
+            raise NetlistError(f"node {node!r} already driven by a gate")
+        if node in self.primary_inputs:
+            raise NetlistError(f"primary input {node!r} declared twice")
+        self.primary_inputs.append(node)
+        return node
+
+    def add_gate(self, gate: Gate) -> Gate:
+        """Add a gate, enforcing single-driver and unique-name rules."""
+        if any(g.name == gate.name for g in self.gates):
+            raise NetlistError(f"duplicate gate name {gate.name!r}")
+        if gate.output in self._drivers:
+            raise NetlistError(f"node {gate.output!r} already has a driver")
+        if gate.output in self.primary_inputs:
+            raise NetlistError(f"node {gate.output!r} is a primary input")
+        self.gates.append(gate)
+        self._drivers[gate.output] = gate
+        return gate
+
+    def gate(
+        self,
+        gate_type: str,
+        inputs: Sequence[str],
+        output: str,
+        *,
+        name: Optional[str] = None,
+        delay: float = 1.0e-11,
+        **tags,
+    ) -> Gate:
+        """Convenience constructor-and-add for a gate."""
+        gate = Gate(
+            name=name or f"{gate_type.lower()}_{len(self.gates)}",
+            gate_type=gate_type,
+            inputs=tuple(inputs),
+            output=output,
+            delay=delay,
+            tags=dict(tags),
+        )
+        return self.add_gate(gate)
+
+    @property
+    def nodes(self) -> Set[str]:
+        """All node names referenced anywhere in the netlist."""
+        names: Set[str] = set(self.primary_inputs)
+        for g in self.gates:
+            names.add(g.output)
+            names.update(g.inputs)
+        return names
+
+    def driver_of(self, node: str) -> Optional[Gate]:
+        """The gate driving ``node``, or ``None`` for primary inputs."""
+        return self._drivers.get(node)
+
+    def fanout_of(self, node: str) -> List[Gate]:
+        """Gates with ``node`` among their inputs."""
+        return [g for g in self.gates if node in g.inputs]
+
+    def gates_tagged(self, **query) -> List[Gate]:
+        """Gates whose tags contain every ``key=value`` pair in ``query``."""
+        out = []
+        for g in self.gates:
+            if all(g.tags.get(k) == v for k, v in query.items()):
+                out.append(g)
+        return out
+
+    def validate(self) -> None:
+        """Check that every gate input is driven by something.
+
+        Raises :class:`NetlistError` on floating inputs.
+        """
+        driven = set(self.primary_inputs) | set(self._drivers)
+        for g in self.gates:
+            for node in g.inputs:
+                if node not in driven:
+                    raise NetlistError(
+                        f"gate {g.name!r} input node {node!r} is floating"
+                    )

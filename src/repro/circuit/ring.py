@@ -1,0 +1,171 @@
+"""Netlist builders for the two oscillator cells under study.
+
+``build_conventional_ro``
+    The textbook RO-PUF oscillator: a NAND enable gate closing a ring of
+    inverters.  When parked (``en = 0``) the NAND output is forced high and
+    the chain latches a static alternating pattern — every other inverter
+    then holds its PMOS under DC NBTI stress for the lifetime of the part.
+
+``build_aro_cell``
+    The aging-resistant cell.  Each inverter input goes through a 2:1 mux:
+    in active mode (``en = 1``) the muxes close the ring and the cell
+    oscillates like a plain inverter ring; in idle mode every inverter
+    input is steered to the recovery level (logic high), turning every
+    PMOS off so no device accumulates DC NBTI stress while the PUF is not
+    being interrogated.
+
+Both builders tag each oscillation-path inverting gate with its ``stage``
+index so the stress analyser and the device model can map netlist nodes
+onto the chip's ``(stage, polarity)`` threshold arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .netlist import Netlist
+
+#: name of the enable primary input in both cells
+ENABLE = "en"
+#: name of the ARO launch input (stage-0 mux select, sequenced after ENABLE)
+LAUNCH = "en0"
+#: name of the recovery-level primary input of the ARO cell (tie high)
+RECOVERY = "vrec"
+#: name of the oscillation output node (the feedback node)
+OSC_OUT = "osc"
+
+
+def _stage_delays(
+    n_stages: int, delays: Optional[Sequence[float]], default: float
+) -> list:
+    if delays is None:
+        return [default] * n_stages
+    if len(delays) != n_stages:
+        raise ValueError(
+            f"need {n_stages} stage delays, got {len(delays)}"
+        )
+    if any(d <= 0 for d in delays):
+        raise ValueError("stage delays must be positive")
+    return list(delays)
+
+
+def build_conventional_ro(
+    n_stages: int = 5,
+    *,
+    stage_delays: Optional[Sequence[float]] = None,
+    nand_penalty: float = 1.3,
+    default_delay: float = 2.0e-11,
+) -> Netlist:
+    """Conventional enable-gated ring oscillator.
+
+    Stage 0 is the NAND enable gate (its delay is ``nand_penalty`` times
+    its nominal stage delay, reflecting the stacked-device structure);
+    stages ``1 .. n_stages-1`` are inverters.  The feedback node is exposed
+    as :data:`OSC_OUT`.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError("n_stages must be an odd integer >= 3")
+    delays = _stage_delays(n_stages, stage_delays, default_delay)
+
+    net = Netlist(name=f"ro{n_stages}")
+    net.add_input(ENABLE)
+    nodes = [f"n{i}" for i in range(n_stages - 1)] + [OSC_OUT]
+    net.gate(
+        "NAND2",
+        [ENABLE, OSC_OUT],
+        nodes[0],
+        name="stage0",
+        delay=delays[0] * nand_penalty,
+        stage=0,
+        role="stage",
+    )
+    for i in range(1, n_stages):
+        net.gate(
+            "INV",
+            [nodes[i - 1]],
+            nodes[i],
+            name=f"stage{i}",
+            delay=delays[i],
+            stage=i,
+            role="stage",
+        )
+    net.validate()
+    return net
+
+
+def build_aro_cell(
+    n_stages: int = 5,
+    *,
+    stage_delays: Optional[Sequence[float]] = None,
+    mux_delay_fraction: float = 0.35,
+    default_delay: float = 2.0e-11,
+) -> Netlist:
+    """Aging-resistant oscillator cell (per-stage recovery muxes).
+
+    Every stage is ``MUX2 -> INV``; the mux selects are the enables.  With
+    the enables low each mux steers the recovery level (:data:`RECOVERY`,
+    tie high) onto the inverter input.  The mux adds
+    ``mux_delay_fraction`` of a stage delay to every stage, which is the
+    cell's (small) speed cost.
+
+    Stage 0's mux has its own select (:data:`LAUNCH`), sequenced *after*
+    :data:`ENABLE` by the evaluation controller.  Raising every mux select
+    in the same instant would start the ring in the degenerate
+    all-stages-in-phase mode (every inverter input flips simultaneously);
+    closing the loop last through one dedicated mux launches a single clean
+    wavefront, exactly as a careful enable sequencer does in silicon.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError("n_stages must be an odd integer >= 3")
+    if not 0 < mux_delay_fraction < 1:
+        raise ValueError("mux_delay_fraction must be in (0, 1)")
+    delays = _stage_delays(n_stages, stage_delays, default_delay)
+
+    net = Netlist(name=f"aro{n_stages}")
+    net.add_input(ENABLE)
+    net.add_input(LAUNCH)
+    net.add_input(RECOVERY)
+    inv_out = [f"n{i}" for i in range(n_stages - 1)] + [OSC_OUT]
+    for i in range(n_stages):
+        prev = inv_out[i - 1] if i > 0 else OSC_OUT
+        mux_out = f"m{i}"
+        net.gate(
+            "MUX2",
+            [RECOVERY, prev, LAUNCH if i == 0 else ENABLE],
+            mux_out,
+            name=f"mux{i}",
+            delay=delays[i] * mux_delay_fraction,
+            stage=i,
+            role="mux",
+        )
+        net.gate(
+            "INV",
+            [mux_out],
+            inv_out[i],
+            name=f"stage{i}",
+            delay=delays[i],
+            stage=i,
+            role="stage",
+        )
+    net.validate()
+    return net
+
+
+def stage_input_nodes(net: Netlist) -> list:
+    """Input node of each stage's inverting gate, ordered by stage index.
+
+    For the conventional cell stage 0 (the NAND) this is the feedback
+    input — the device in the oscillation path; the enable input's devices
+    are off the oscillation path and excluded from the timing/stress model.
+    """
+    stages = sorted(net.gates_tagged(role="stage"), key=lambda g: g.tags["stage"])
+    if not stages:
+        raise ValueError(f"netlist {net.name!r} has no gates tagged role='stage'")
+    nodes = []
+    for g in stages:
+        if g.gate_type == "NAND2":
+            # inputs are (enable, feedback): the feedback device matters
+            nodes.append(g.inputs[1])
+        else:
+            nodes.append(g.inputs[0])
+    return nodes

@@ -1,0 +1,176 @@
+"""PUF design and instance abstractions.
+
+A :class:`PufDesign` is everything that goes to the fab: the technology,
+the oscillator cell, the array geometry, the layout discipline, the pairing
+scheme and the readout datapath.  Instantiating a design against one
+Monte-Carlo :class:`~repro.variation.chip.Chip` yields a
+:class:`RoPufInstance` — the object experiments interrogate.
+
+Aging composes naturally: age the chip (producing a new chip) and rebind it
+with :meth:`RoPufInstance.with_chip`; the instance itself stays stateless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from .._rng import RngLike
+from ..circuit.cells import CellDescriptor
+from ..circuit.delay import ring_frequency
+from ..environment.conditions import OperatingConditions
+from ..transistor.technology import TechnologyCard
+from ..variation.chip import Chip
+from ..variation.process import VariationModel
+from ..variation.spatial import LayoutStyle
+from .pairing import NeighborPairing, PairingScheme
+from .readout import ReadoutConfig, compare_pairs, voted_response
+
+
+@dataclass(frozen=True)
+class PufDesign:
+    """One complete PUF design point (what the fab would receive)."""
+
+    name: str
+    tech: TechnologyCard
+    cell: CellDescriptor
+    n_ros: int
+    layout: LayoutStyle
+    pairing: PairingScheme = field(default_factory=NeighborPairing)
+    readout: ReadoutConfig = field(default_factory=ReadoutConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_ros < 2:
+            raise ValueError("a design needs at least two oscillators")
+
+    @property
+    def n_stages(self) -> int:
+        """Inverting stages per oscillator (from the cell descriptor)."""
+        return self.cell.n_stages
+
+    @property
+    def n_bits(self) -> int:
+        """Response width of one evaluation."""
+        return self.pairing.n_bits(self.n_ros)
+
+    def variation_model(self) -> VariationModel:
+        """The Monte-Carlo sampler matching this design's geometry/layout."""
+        return VariationModel(
+            tech=self.tech,
+            n_ros=self.n_ros,
+            n_stages=self.n_stages,
+            layout=self.layout,
+        )
+
+    def with_n_ros(self, n_ros: int) -> "PufDesign":
+        """Resize the array (used by the key-generation design search)."""
+        return replace(self, n_ros=n_ros)
+
+    def instantiate(self, chip: Chip) -> "RoPufInstance":
+        """Bind the design to one manufactured chip."""
+        return RoPufInstance(design=self, chip=chip)
+
+    def sample_instances(
+        self, n_chips: int, rng: RngLike = None
+    ) -> List["RoPufInstance"]:
+        """Fabricate ``n_chips`` Monte-Carlo instances of this design."""
+        population = self.variation_model().sample_population(n_chips, rng)
+        return [self.instantiate(chip) for chip in population]
+
+    def puf_area(self) -> float:
+        """PUF-block silicon area in square micrometres.
+
+        Oscillator array plus readout: two counters, the pair-selection
+        muxing (a 2x ``n_ros``:1 mux tree costs about one 2:1 mux per RO
+        per side), and the comparator.
+        """
+        area = self.tech.area
+        cells = self.n_ros * self.cell.cell_area(self.tech)
+        counters = 2 * self.readout.counter_bits * area.counter_bit
+        mux_tree = 2 * max(self.n_ros - 1, 1) * area.mux2
+        comparator = self.readout.counter_bits * (area.xor2 + area.and2)
+        return cells + counters + mux_tree + comparator
+
+
+@dataclass(frozen=True)
+class RoPufInstance:
+    """One physical PUF: a design bound to a manufactured (or aged) chip."""
+
+    design: PufDesign
+    chip: Chip
+
+    def __post_init__(self) -> None:
+        if self.chip.n_stages != self.design.n_stages:
+            raise ValueError(
+                f"chip has {self.chip.n_stages} stages per RO, design wants "
+                f"{self.design.n_stages}"
+            )
+        if self.chip.n_ros != self.design.n_ros:
+            raise ValueError(
+                f"chip has {self.chip.n_ros} ROs, design wants {self.design.n_ros}"
+            )
+
+    @property
+    def chip_id(self) -> int:
+        return self.chip.chip_id
+
+    @property
+    def n_bits(self) -> int:
+        return self.design.n_bits
+
+    def with_chip(self, chip: Chip) -> "RoPufInstance":
+        """Rebind to another chip view (typically an aged one)."""
+        return RoPufInstance(design=self.design, chip=chip)
+
+    def frequencies(
+        self, conditions: Optional[OperatingConditions] = None
+    ) -> np.ndarray:
+        """True mean frequency of every oscillator at the given corner (Hz)."""
+        cond = conditions or OperatingConditions.nominal()
+        return ring_frequency(
+            self.chip.vth,
+            self.design.tech,
+            vdd=cond.effective_vdd(self.design.tech),
+            temperature_k=cond.temperature_k,
+            tc_scale=self.chip.tc_scale,
+            stage0_penalty=self.design.cell.stage0_penalty,
+        ) / self.design.cell.c_load_factor
+
+    def evaluate(
+        self,
+        challenge: Optional[int] = None,
+        *,
+        conditions: Optional[OperatingConditions] = None,
+        noisy: bool = False,
+        votes: int = 1,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Produce the response bits for ``challenge`` at a corner.
+
+        Noiseless evaluation compares true frequencies (the idealised
+        infinite-window measurement used as the aging-study reference);
+        noisy evaluation runs the jittered counter datapath, optionally
+        majority-voting over ``votes`` windows.
+        """
+        pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
+        freqs = self.frequencies(conditions)
+        if not noisy:
+            if votes != 1:
+                raise ValueError("votes only applies to noisy evaluation")
+            return compare_pairs(
+                freqs, pairs, self.design.tech, self.design.readout
+            )
+        return voted_response(
+            freqs,
+            pairs,
+            self.design.tech,
+            self.design.readout,
+            votes=votes,
+            rng=rng,
+        )
+
+    def golden_response(self, challenge: Optional[int] = None) -> np.ndarray:
+        """The enrolment-time reference response (noiseless, nominal)."""
+        return self.evaluate(challenge, conditions=OperatingConditions.nominal())

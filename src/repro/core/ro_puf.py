@@ -1,0 +1,46 @@
+"""The conventional RO-PUF baseline design.
+
+This is the design the ARO-PUF is measured against: NAND-gated inverter
+rings, compact per-slot layout (full systematic variation exposure), parked
+static when idle (DC NBTI stress on every other PMOS).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..aging.schedule import IdlePolicy
+from ..circuit.cells import conventional_cell
+from ..transistor.technology import TechnologyCard, ptm90
+from ..variation.spatial import LayoutStyle
+from .base import PufDesign
+from .pairing import NeighborPairing, PairingScheme
+from .readout import ReadoutConfig
+
+
+def conventional_design(
+    n_ros: int = 256,
+    n_stages: int = 5,
+    *,
+    tech: Optional[TechnologyCard] = None,
+    pairing: Optional[PairingScheme] = None,
+    readout: Optional[ReadoutConfig] = None,
+) -> PufDesign:
+    """Build the conventional RO-PUF design point.
+
+    Defaults follow the paper's evaluation setup: 256 five-stage ROs in
+    90 nm, neighbour pairing (128 response bits per chip).
+    """
+    return PufDesign(
+        name="ro-puf",
+        tech=tech or ptm90(),
+        cell=conventional_cell(n_stages),
+        n_ros=n_ros,
+        layout=LayoutStyle.CONVENTIONAL,
+        pairing=pairing or NeighborPairing(),
+        readout=readout or ReadoutConfig(),
+    )
+
+
+#: idle behaviour the conventional design exhibits in the field
+CONVENTIONAL_IDLE_POLICY = IdlePolicy.PARKED_STATIC

@@ -1,0 +1,258 @@
+"""Binary BCH codes: construction, systematic encoding, and decoding.
+
+Everything is built from first principles on :mod:`repro.ecc.galois`:
+
+* **construction** — the generator polynomial of a t-error-correcting BCH
+  code of length ``2^m - 1`` is the LCM of the minimal polynomials of
+  ``alpha, alpha^2, ..., alpha^{2t}``;
+* **encoding** — systematic cyclic encoding (message in the high-order
+  positions, parity = remainder of ``msg * x^{n-k}`` modulo the
+  generator);
+* **decoding** — syndrome computation, Berlekamp–Massey to find the error
+  locator polynomial, and a Chien search for its roots.  Binary BCH needs
+  no error-magnitude (Forney) step: located bits are simply flipped.
+
+Shortened codes (``BchCode.shortened``) are supported because key
+generators rarely need the full natural length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .galois import GF2m, poly_degree, poly_lcm_gf2, poly_mod_gf2
+
+
+class BchDecodingError(ValueError):
+    """Raised when the received word is beyond the code's correction power
+    (more roots missing than the locator degree, or locations outside the
+    shortened length)."""
+
+
+def _as_bits(x, length: int, what: str) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.shape != (length,):
+        raise ValueError(f"{what} must have shape ({length},), got {arr.shape}")
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError(f"{what} must be a 0/1 bit vector")
+    return arr.astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class BchCode:
+    """A (possibly shortened) binary BCH code.
+
+    Use :meth:`design` to build one; the constructor is not meant to be
+    called with hand-rolled parameters.
+    """
+
+    field: GF2m
+    n: int
+    k: int
+    t: int
+    generator: np.ndarray
+    #: natural (unshortened) code length ``2^m - 1``
+    n_full: int
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def design(cls, m: int, t: int) -> "BchCode":
+        """The t-error-correcting BCH code of length ``2^m - 1``."""
+        if t < 1:
+            raise ValueError("t must be at least 1")
+        field = GF2m(m)
+        n = field.order
+        if 2 * t >= n:
+            raise ValueError(f"t={t} too large for length {n}")
+        minimals = [field.minimal_polynomial(j) for j in range(1, 2 * t + 1)]
+        gen = poly_lcm_gf2(minimals)
+        k = n - poly_degree(gen)
+        if k <= 0:
+            raise ValueError(f"BCH(m={m}, t={t}) has no message bits")
+        return cls(field=field, n=n, k=k, t=t, generator=gen, n_full=n)
+
+    def shortened(self, n_short: int) -> "BchCode":
+        """Shorten to length ``n_short`` (drops high-order message bits)."""
+        drop = self.n - n_short
+        if drop < 0:
+            raise ValueError("a shortened code cannot be longer")
+        if drop >= self.k:
+            raise ValueError(
+                f"cannot shorten by {drop}: only {self.k} message bits"
+            )
+        return BchCode(
+            field=self.field,
+            n=n_short,
+            k=self.k - drop,
+            t=self.t,
+            generator=self.generator,
+            n_full=self.n_full,
+        )
+
+    @property
+    def n_parity(self) -> int:
+        """Number of parity bits (degree of the generator polynomial)."""
+        return self.n - self.k
+
+    @property
+    def rate(self) -> float:
+        """Code rate ``k / n``."""
+        return self.k / self.n
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BCH({self.n},{self.k},t={self.t})"
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, message) -> np.ndarray:
+        """Systematic encoding: ``[parity | message]`` (lowest index first).
+
+        Positions ``0 .. n-k-1`` carry parity, ``n-k .. n-1`` the message.
+        """
+        msg = _as_bits(message, self.k, "message")
+        shifted = np.zeros(self.n_parity + self.k, dtype=np.uint8)
+        shifted[self.n_parity :] = msg
+        parity = poly_mod_gf2(shifted, self.generator)
+        codeword = np.empty(self.n, dtype=np.uint8)
+        codeword[: self.n_parity] = parity[: self.n_parity]
+        codeword[self.n_parity :] = msg
+        return codeword
+
+    def extract_message(self, codeword) -> np.ndarray:
+        """Message bits of a (corrected) systematic codeword."""
+        cw = _as_bits(codeword, self.n, "codeword")
+        return cw[self.n_parity :].copy()
+
+    def is_codeword(self, word) -> bool:
+        """True when ``word`` is divisible by the generator polynomial."""
+        w = _as_bits(word, self.n, "word")
+        rem = poly_mod_gf2(w, self.generator)
+        return not np.any(rem)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def _syndromes(self, received: np.ndarray) -> List[int]:
+        """``S_j = r(alpha^j)`` for ``j = 1 .. 2t``."""
+        field = self.field
+        ones = np.nonzero(received)[0]
+        syndromes = []
+        for j in range(1, 2 * self.t + 1):
+            s = 0
+            for i in ones:
+                s ^= field.alpha_pow(int(i) * j)
+            syndromes.append(s)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial (coefficients lowest-first)."""
+        field = self.field
+        sigma = [1]
+        prev = [1]
+        l = 0
+        shift = 1
+        b = 1
+        for step, s_n in enumerate(syndromes):
+            d = s_n
+            for i in range(1, l + 1):
+                if i < len(sigma) and step - i >= 0:
+                    d ^= field.mul(sigma[i], syndromes[step - i])
+            if d == 0:
+                shift += 1
+                continue
+            coef = field.div(d, b)
+            update = sigma.copy()
+            # sigma -= coef * x^shift * prev
+            needed = shift + len(prev)
+            if len(update) < needed:
+                update.extend([0] * (needed - len(update)))
+            for i, c in enumerate(prev):
+                update[shift + i] ^= field.mul(coef, c)
+            if 2 * l <= step:
+                prev = sigma
+                b = d
+                l = step + 1 - l
+                shift = 1
+            else:
+                shift += 1
+            sigma = update
+        # trim trailing zeros
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> np.ndarray:
+        """Error positions: ``i`` such that ``sigma(alpha^{-i}) = 0``."""
+        field = self.field
+        order = field.order
+        positions = np.arange(self.n_full)
+        acc = np.zeros(self.n_full, dtype=np.int64)
+        for j, coef in enumerate(sigma):
+            if coef == 0:
+                continue
+            exps = (int(field.log[coef]) + (order - positions * j) % order) % order
+            acc ^= field.exp[exps]
+        return np.nonzero(acc == 0)[0]
+
+    def decode(self, received) -> Tuple[np.ndarray, int]:
+        """Correct up to ``t`` errors.
+
+        Returns ``(corrected codeword, number of corrected bits)``; raises
+        :class:`BchDecodingError` when the word is uncorrectable *and* the
+        decoder can tell (locator degree does not match its root count, or
+        an error lands in the shortened prefix).  Words with more than
+        ``t`` errors may also silently decode to a wrong codeword — an
+        inherent property of bounded-distance decoding that the key-failure
+        model accounts for.
+        """
+        rec = _as_bits(received, self.n, "received")
+        full = np.zeros(self.n_full, dtype=np.uint8)
+        full[: self.n] = rec  # shortened positions beyond n are known zeros
+        syndromes = self._syndromes(full)
+        if not any(syndromes):
+            return rec.copy(), 0
+        sigma = self._berlekamp_massey(syndromes)
+        n_errors = len(sigma) - 1
+        if n_errors > self.t:
+            raise BchDecodingError(
+                f"locator degree {n_errors} exceeds correction power t={self.t}"
+            )
+        roots = self._chien_search(sigma)
+        if roots.size != n_errors:
+            raise BchDecodingError(
+                f"found {roots.size} error locations for a degree-{n_errors} "
+                "locator; received word is uncorrectable"
+            )
+        if np.any(roots >= self.n):
+            raise BchDecodingError(
+                "error located in the shortened (always-zero) prefix"
+            )
+        corrected = rec.copy()
+        corrected[roots] ^= 1
+        if not self.is_codeword(corrected):
+            raise BchDecodingError("correction did not land on a codeword")
+        return corrected, int(n_errors)
+
+
+def standard_codes(max_m: int = 10, max_t: int = 32) -> List[BchCode]:
+    """A palette of practical BCH codes for the design-space search."""
+    codes = []
+    for m in range(5, max_m + 1):
+        for t in range(1, max_t + 1):
+            try:
+                code = BchCode.design(m, t)
+            except ValueError:
+                break
+            if code.k < 8:
+                break
+            codes.append(code)
+    return codes

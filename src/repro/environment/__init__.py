@@ -1,0 +1,19 @@
+"""Environmental layer: operating corners and evaluation noise."""
+
+from .conditions import (
+    OperatingConditions,
+    celsius,
+    temperature_sweep,
+    voltage_sweep,
+)
+from .noise import majority_vote, noisy_counts, noisy_frequencies
+
+__all__ = [
+    "OperatingConditions",
+    "celsius",
+    "majority_vote",
+    "noisy_counts",
+    "noisy_frequencies",
+    "temperature_sweep",
+    "voltage_sweep",
+]

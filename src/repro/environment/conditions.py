@@ -1,0 +1,63 @@
+"""Operating conditions: the (temperature, supply) point of an evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..transistor.technology import T_REF_K, TechnologyCard
+
+
+def celsius(temp_c: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return temp_c + 273.15
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """One environmental corner at which the PUF is evaluated.
+
+    ``vdd = None`` means "nominal for the technology"; temperatures are in
+    kelvin (use :func:`celsius` for readable construction).
+    """
+
+    temperature_k: float = T_REF_K
+    vdd: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0:
+            raise ValueError("temperature_k must be positive kelvin")
+        if self.vdd is not None and self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+    def effective_vdd(self, tech: TechnologyCard) -> float:
+        """Supply voltage to use with ``tech`` at this corner."""
+        return tech.vdd if self.vdd is None else self.vdd
+
+    @classmethod
+    def nominal(cls) -> "OperatingConditions":
+        """Room temperature, nominal supply — the enrolment corner."""
+        return cls()
+
+    def describe(self) -> str:
+        """Human-readable corner label, e.g. ``'85.0C/1.08V'``."""
+        v = "nom" if self.vdd is None else f"{self.vdd:.2f}V"
+        return f"{self.temperature_k - 273.15:.1f}C/{v}"
+
+
+def temperature_sweep(low_c: float = -20.0, high_c: float = 85.0, steps: int = 8):
+    """Evenly spaced temperature corners at nominal supply."""
+    if steps < 2:
+        raise ValueError("need at least two steps for a sweep")
+    span = (high_c - low_c) / (steps - 1)
+    return [OperatingConditions(temperature_k=celsius(low_c + i * span)) for i in range(steps)]
+
+
+def voltage_sweep(tech: TechnologyCard, rel_low: float = 0.9, rel_high: float = 1.1, steps: int = 5):
+    """Evenly spaced supply corners at room temperature."""
+    if steps < 2:
+        raise ValueError("need at least two steps for a sweep")
+    span = (rel_high - rel_low) / (steps - 1)
+    return [
+        OperatingConditions(vdd=tech.vdd * (rel_low + i * span)) for i in range(steps)
+    ]

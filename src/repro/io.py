@@ -1,0 +1,81 @@
+"""Persistence: save and load fabricated chip populations.
+
+Large Monte-Carlo populations (the worst-case key-generation design point
+fabricates hundreds of thousands of oscillators) are worth caching between
+analysis sessions.  Chips serialise losslessly to ``.npz`` — threshold
+arrays, positions, temperature-coefficient mismatch and identity — so a
+reloaded population continues any experiment bit-for-bit (aging
+prefactors are drawn by the :class:`~repro.aging.AgingSimulator` from the
+caller's seed, exactly as for a freshly sampled population).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from .variation.chip import Chip, ChipPopulation
+
+PathLike = Union[str, pathlib.Path]
+
+#: format marker stored in every archive (bump on layout changes)
+FORMAT_VERSION = 1
+
+
+def save_population(population: ChipPopulation, path: PathLike) -> None:
+    """Serialise a population to a compressed ``.npz`` archive."""
+    if len(population) == 0:
+        raise ValueError("refusing to save an empty population")
+    arrays = {
+        "format_version": np.array([FORMAT_VERSION]),
+        "n_chips": np.array([len(population)]),
+    }
+    for i, chip in enumerate(population):
+        arrays[f"vth_{i}"] = chip.vth
+        arrays[f"positions_{i}"] = chip.positions
+        arrays[f"tc_scale_{i}"] = chip.tc_scale
+        arrays[f"chip_id_{i}"] = np.array([chip.chip_id])
+    np.savez_compressed(path, **arrays)
+
+
+def load_population(path: PathLike) -> ChipPopulation:
+    """Load a population previously stored with :func:`save_population`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"archive format {version} not supported "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        n_chips = int(data["n_chips"][0])
+        chips: List[Chip] = []
+        for i in range(n_chips):
+            chips.append(
+                Chip(
+                    vth=data[f"vth_{i}"],
+                    positions=data[f"positions_{i}"],
+                    tc_scale=data[f"tc_scale_{i}"],
+                    chip_id=int(data[f"chip_id_{i}"][0]),
+                )
+            )
+    return ChipPopulation(chips=chips)
+
+
+def save_chip(chip: Chip, path: PathLike) -> None:
+    """Serialise a single chip (thin wrapper over the population format)."""
+    save_population(ChipPopulation(chips=[chip]), path)
+
+
+def load_chip(path: PathLike) -> Chip:
+    """Load a single chip stored with :func:`save_chip`."""
+    population = load_population(path)
+    if len(population) != 1:
+        raise ValueError(
+            f"archive holds {len(population)} chips; use load_population"
+        )
+    return population[0]

@@ -1,0 +1,30 @@
+"""Key generation: fuzzy extractor, failure analysis, design-space search."""
+
+from .design import (
+    DEFAULT_REPETITIONS,
+    KeygenDesignPoint,
+    best_design,
+    search_design_space,
+)
+from .failure import (
+    FailureEstimate,
+    analytic_key_failure,
+    empirical_key_failure,
+    required_correction,
+)
+from .fuzzy_extractor import FuzzyExtractor, KeyRecoveryError
+from .helper import HelperData
+
+__all__ = [
+    "DEFAULT_REPETITIONS",
+    "FailureEstimate",
+    "FuzzyExtractor",
+    "HelperData",
+    "KeyRecoveryError",
+    "KeygenDesignPoint",
+    "analytic_key_failure",
+    "best_design",
+    "empirical_key_failure",
+    "required_correction",
+    "search_design_space",
+]

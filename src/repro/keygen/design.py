@@ -1,0 +1,137 @@
+"""Key-generator design-space search: the machinery behind the 24x claim.
+
+Given a raw response bit-error probability ``p`` (the 10-year aged figure
+from experiment E2), a key width, and a key-failure target, search the
+(repetition factor, BCH code) plane for the *minimum-total-area*
+configuration, where total area is
+
+    PUF array sized to source the raw bits  +  ECC decoder datapath.
+
+The aged conventional RO-PUF (p ~ 0.32) forces a heavy repetition inner
+code (raw-bit blow-up) *and* a strong outer BCH (big decoder); the ARO-PUF
+(p ~ 0.077) gets away with a light configuration.  The area ratio between
+the two optima is the paper's ~24x result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.base import PufDesign
+from ..ecc.area import keygen_area
+from ..ecc.bch import BchCode, standard_codes
+from ..ecc.concatenated import ConcatenatedCode, KeyCodec
+from ..ecc.repetition import RepetitionCode
+
+#: repetition factors explored by default (odd, 1 = no inner code)
+DEFAULT_REPETITIONS = (1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 25, 29, 33)
+
+
+@dataclass(frozen=True)
+class KeygenDesignPoint:
+    """One feasible key-generator configuration with its cost breakdown."""
+
+    codec: KeyCodec
+    key_failure: float
+    raw_bits: int
+    n_ros: int
+    puf_area: float
+    ecc_area: float
+
+    @property
+    def total_area(self) -> float:
+        return self.puf_area + self.ecc_area
+
+    def describe(self) -> str:
+        return (
+            f"{self.codec}: raw_bits={self.raw_bits} n_ros={self.n_ros} "
+            f"P_fail={self.key_failure:.2e} "
+            f"area={self.total_area / 1e3:.1f}e3 um^2 "
+            f"(PUF {self.puf_area / 1e3:.1f}, ECC {self.ecc_area / 1e3:.1f})"
+        )
+
+
+def _ros_for_bits(design: PufDesign, raw_bits: int) -> int:
+    """Oscillators needed to source ``raw_bits`` response bits."""
+    # invert the pairing's bit yield; all schemes here are ~linear, so walk
+    # up from the information-theoretic minimum
+    n_ros = max(2, raw_bits)
+    low, high = 2, 4 * raw_bits + 4
+    while low < high:
+        mid = (low + high) // 2
+        if design.pairing.n_bits(mid) >= raw_bits:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def search_design_space(
+    p: float,
+    design: PufDesign,
+    *,
+    key_bits: int = 128,
+    failure_target: float = 1.0e-6,
+    repetitions: Sequence[int] = DEFAULT_REPETITIONS,
+    bch_palette: Optional[List[BchCode]] = None,
+    max_raw_bits: int = 200_000,
+) -> List[KeygenDesignPoint]:
+    """All feasible design points, sorted by total area (best first).
+
+    ``design`` supplies the oscillator cell, readout and technology used to
+    cost the PUF array (it is resized per candidate via
+    :meth:`PufDesign.with_n_ros`).
+    """
+    if not 0.0 <= p < 0.5:
+        raise ValueError("raw bit-error probability must be in [0, 0.5)")
+    if failure_target <= 0:
+        raise ValueError("failure_target must be positive")
+    palette = bch_palette if bch_palette is not None else standard_codes()
+    points: List[KeygenDesignPoint] = []
+    for r in repetitions:
+        inner = RepetitionCode(r)
+        for outer in palette:
+            codec = KeyCodec(
+                code=ConcatenatedCode(outer=outer, inner=inner),
+                key_bits=key_bits,
+            )
+            if codec.raw_bits > max_raw_bits:
+                continue
+            pf = codec.key_failure_probability(p)
+            if pf > failure_target:
+                continue
+            n_ros = _ros_for_bits(design, codec.raw_bits)
+            sized = design.with_n_ros(n_ros)
+            points.append(
+                KeygenDesignPoint(
+                    codec=codec,
+                    key_failure=pf,
+                    raw_bits=codec.raw_bits,
+                    n_ros=n_ros,
+                    puf_area=sized.puf_area(),
+                    ecc_area=keygen_area(codec, design.tech).total,
+                )
+            )
+    points.sort(key=lambda pt: pt.total_area)
+    return points
+
+
+def best_design(
+    p: float,
+    design: PufDesign,
+    *,
+    key_bits: int = 128,
+    failure_target: float = 1.0e-6,
+    **kwargs,
+) -> KeygenDesignPoint:
+    """The minimum-area feasible configuration (raises if none exists)."""
+    points = search_design_space(
+        p, design, key_bits=key_bits, failure_target=failure_target, **kwargs
+    )
+    if not points:
+        raise ValueError(
+            f"no feasible key generator at p={p} within the searched space; "
+            "widen the repetition/BCH palette or relax the target"
+        )
+    return points[0]

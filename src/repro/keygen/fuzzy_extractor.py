@@ -1,0 +1,107 @@
+"""Code-offset fuzzy extractor: stable keys from noisy PUF responses.
+
+The classic secure-sketch + strong-extractor construction (Dodis et al.),
+as PUF key generators deploy it.  Enrolment (in the secure facility)::
+
+    message  <- uniform random bits              (masking randomness)
+    codeword  = codec.encode(message)
+    helper    = codeword XOR response            (public)
+    key       = SHA-256(response)[:key_bits]     (secret, never stored)
+
+Reproduction (in the field, with an aged/noisy response)::
+
+    codeword' = helper XOR response'             (= codeword XOR error)
+    codeword  = codec.correct(codeword')         (bounded-distance decode)
+    response  = helper XOR codeword              (exact enrolled response)
+    key'      = SHA-256(response)[:key_bits]
+
+``key' == key`` whenever the error pattern stays within the codec's
+correction power — the link between the bit-flip experiments (E2/E5) and
+the ECC design space (E6).  Because the key is extracted from the
+*response*, each chip's key is unique by construction; the random message
+only serves to mask the response inside the public helper string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .._rng import RngLike, as_generator
+from ..ecc.bch import BchDecodingError
+from ..ecc.concatenated import KeyCodec
+from .helper import HelperData
+
+
+class KeyRecoveryError(RuntimeError):
+    """Raised when the noisy response is beyond the codec's correction
+    power and the decoder detects it."""
+
+
+def _key_from_bits(bits: np.ndarray, key_bits: int) -> bytes:
+    digest = hashlib.sha256(np.packbits(bits).tobytes()).digest()
+    n_bytes = -(-key_bits // 8)
+    if n_bytes > len(digest):
+        raise ValueError("key_bits exceeds one SHA-256 output; use <= 256")
+    return digest[:n_bytes]
+
+
+@dataclass(frozen=True)
+class FuzzyExtractor:
+    """A code-offset fuzzy extractor bound to one key codec."""
+
+    codec: KeyCodec
+
+    @property
+    def response_bits(self) -> int:
+        """PUF response bits consumed per key."""
+        return self.codec.raw_bits
+
+    @property
+    def key_bits(self) -> int:
+        return self.codec.key_bits
+
+    def enroll(self, response, rng: RngLike = None) -> Tuple[HelperData, bytes]:
+        """One-time enrolment: returns (public helper data, secret key)."""
+        resp = self._check_response(response)
+        gen = as_generator(rng)
+        message = gen.integers(0, 2, self.codec.message_bits).astype(np.uint8)
+        codeword = self.codec.encode(message)
+        helper = HelperData(
+            offset=codeword ^ resp, codec_spec=str(self.codec)
+        )
+        return helper, _key_from_bits(resp, self.key_bits)
+
+    def reproduce(self, response, helper: HelperData) -> bytes:
+        """Field-side key regeneration from a noisy/aged response."""
+        resp = self._check_response(response)
+        if helper.codec_spec != str(self.codec):
+            raise ValueError(
+                f"helper data was enrolled with codec {helper.codec_spec!r}, "
+                f"not {self.codec!s}"
+            )
+        if helper.n_bits != self.response_bits:
+            raise ValueError("helper data length does not match the codec")
+        shifted = helper.offset ^ resp
+        try:
+            codeword = self.codec.correct(shifted)
+        except BchDecodingError as exc:
+            raise KeyRecoveryError(
+                f"response drifted beyond the correction power: {exc}"
+            ) from exc
+        recovered = helper.offset ^ codeword
+        return _key_from_bits(recovered, self.key_bits)
+
+    def _check_response(self, response) -> np.ndarray:
+        resp = np.asarray(response)
+        if resp.shape != (self.response_bits,):
+            raise ValueError(
+                f"this extractor consumes {self.response_bits} response "
+                f"bits, got shape {resp.shape}"
+            )
+        if not np.all((resp == 0) | (resp == 1)):
+            raise ValueError("response must be a 0/1 bit vector")
+        return resp.astype(np.uint8)

@@ -1,0 +1,53 @@
+"""Helper data: the public side-information of the fuzzy extractor.
+
+The code-offset construction stores ``offset = codeword XOR response``.
+The offset is public: because the code is linear and the codeword is a
+uniformly random message's encoding, the offset leaks (in the
+information-theoretic sense) at most ``n - k`` bits about the response,
+leaving the message bits as extractable secret material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public helper string produced at enrolment.
+
+    Attributes
+    ----------
+    offset:
+        ``codeword XOR response`` bit vector (``raw_bits`` long).
+    codec_spec:
+        Human-readable description of the codec used (sanity-checked at
+        reproduction time so helper data is never fed to the wrong codec).
+    """
+
+    offset: np.ndarray
+    codec_spec: str
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.offset)
+        if arr.ndim != 1 or not np.all((arr == 0) | (arr == 1)):
+            raise ValueError("offset must be a 1-D 0/1 bit vector")
+        object.__setattr__(self, "offset", arr.astype(np.uint8))
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.offset.size)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the offset (for storage in NVM)."""
+        return np.packbits(self.offset).tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, n_bits: int, codec_spec: str) -> "HelperData":
+        """Deserialise an offset previously stored with :meth:`to_bytes`."""
+        bits = np.unpackbits(np.frombuffer(blob, dtype=np.uint8))
+        if bits.size < n_bits:
+            raise ValueError("blob too short for the declared bit count")
+        return cls(offset=bits[:n_bits], codec_spec=codec_spec)

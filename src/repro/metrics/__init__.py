@@ -1,0 +1,70 @@
+"""PUF quality metrics: uniqueness, reliability, uniformity, randomness."""
+
+from .aliasing import AliasingReport, bit_aliasing
+from .entropy import (
+    EntropyReport,
+    collision_entropy_from_hd,
+    extractable_key_bits,
+    min_entropy_bits,
+    response_entropy,
+    shannon_bits,
+)
+from .hamming import fractional_hd, hamming_distance, hd_matrix, pairwise_fractional_hd
+from .randomness import (
+    ALPHA,
+    RandomnessReport,
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    longest_run_test,
+    monobit_test,
+    population_bits,
+    randomness_battery,
+    runs_test,
+    serial_test,
+)
+from .reliability import (
+    ReliabilityReport,
+    flip_curve,
+    flip_fraction,
+    reliability,
+)
+from .uniformity import UniformityReport, uniformity, uniformity_of
+from .uniqueness import UniquenessReport, hd_histogram, interchip_hd, uniqueness
+
+__all__ = [
+    "ALPHA",
+    "AliasingReport",
+    "EntropyReport",
+    "RandomnessReport",
+    "ReliabilityReport",
+    "UniformityReport",
+    "UniquenessReport",
+    "approximate_entropy_test",
+    "bit_aliasing",
+    "block_frequency_test",
+    "collision_entropy_from_hd",
+    "cumulative_sums_test",
+    "extractable_key_bits",
+    "flip_curve",
+    "flip_fraction",
+    "fractional_hd",
+    "hamming_distance",
+    "hd_histogram",
+    "hd_matrix",
+    "interchip_hd",
+    "longest_run_test",
+    "min_entropy_bits",
+    "monobit_test",
+    "pairwise_fractional_hd",
+    "population_bits",
+    "randomness_battery",
+    "reliability",
+    "response_entropy",
+    "runs_test",
+    "shannon_bits",
+    "serial_test",
+    "uniformity",
+    "uniformity_of",
+    "uniqueness",
+]

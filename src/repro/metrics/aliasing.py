@@ -1,0 +1,47 @@
+"""Bit-aliasing: per-bit-position bias across the chip population.
+
+Bit position ``j`` is *aliased* when most chips agree on its value — the
+signature of a systematic (chip-independent) influence on that particular
+oscillator comparison.  Ideal is 50 % per position; the conventional
+layout's systematic gradient produces a broad spread of per-position
+biases, which is exactly what correlates responses across chips and
+depresses uniqueness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AliasingReport:
+    """Per-bit-position ones-fraction statistics."""
+
+    per_bit: np.ndarray
+    mean: float
+    std: float
+    worst_bias: float
+
+    def percent(self) -> float:
+        return 100.0 * self.mean
+
+
+def bit_aliasing(responses: Sequence) -> AliasingReport:
+    """Aliasing report over one response per chip (equal widths)."""
+    mat = np.stack([np.asarray(r) for r in responses])
+    if mat.ndim != 2:
+        raise ValueError("responses must be equal-length bit vectors")
+    if not np.all((mat == 0) | (mat == 1)):
+        raise ValueError("responses must be 0/1 bit arrays")
+    if mat.shape[0] < 2:
+        raise ValueError("aliasing needs at least two chips")
+    per_bit = mat.mean(axis=0)
+    return AliasingReport(
+        per_bit=per_bit,
+        mean=float(per_bit.mean()),
+        std=float(per_bit.std(ddof=1)) if per_bit.size > 1 else 0.0,
+        worst_bias=float(np.abs(per_bit - 0.5).max()),
+    )

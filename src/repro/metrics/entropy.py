@@ -1,0 +1,111 @@
+"""Entropy accounting for PUF response material.
+
+A 128-bit key needs at least 128 bits of min-entropy in the material the
+fuzzy extractor condenses — minus what the helper data gives away.  This
+module provides the standard estimators used for that accounting:
+
+* **per-bit Shannon/min-entropy across the population** — from the
+  bit-aliasing probabilities (position ``j`` biased to 0.9 carries only
+  ``-log2(0.9) = 0.152`` bits of min-entropy against the population
+  distribution);
+* **pairwise-collision entropy bound** — from the inter-chip HD
+  distribution (correlated responses collide more than ideal);
+* **extractable-key budget** — response min-entropy minus the
+  ``n - k`` bits of helper-data leakage of a code-offset sketch.
+
+The numbers quantify the E3/E4 story: the conventional RO-PUF's
+systematic bias does not just look bad, it costs key material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ecc.concatenated import KeyCodec
+from .aliasing import bit_aliasing
+
+
+def shannon_bits(p: float) -> float:
+    """Shannon entropy of a Bernoulli(p) bit."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1 - p) * np.log2(1 - p))
+
+
+def min_entropy_bits(p: float) -> float:
+    """Min-entropy of a Bernoulli(p) bit: ``-log2(max(p, 1-p))``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    return float(-np.log2(max(p, 1.0 - p)))
+
+
+@dataclass(frozen=True)
+class EntropyReport:
+    """Population entropy figures for one design's response material."""
+
+    n_bits: int
+    shannon_per_bit: float
+    min_entropy_per_bit: float
+    total_min_entropy: float
+
+    @property
+    def efficiency(self) -> float:
+        """Min-entropy per physical response bit (1.0 = ideal)."""
+        return self.min_entropy_per_bit
+
+
+def response_entropy(responses: Sequence) -> EntropyReport:
+    """Estimate population entropy from one response per chip.
+
+    Per-position Bernoulli estimates come from the bit-aliasing
+    probabilities; totals assume independent positions (an upper bound —
+    disjoint pairing makes it tight, chain pairing does not).
+    """
+    report = bit_aliasing(responses)
+    shannon = float(np.mean([shannon_bits(p) for p in report.per_bit]))
+    min_e = float(np.mean([min_entropy_bits(p) for p in report.per_bit]))
+    n_bits = report.per_bit.size
+    return EntropyReport(
+        n_bits=n_bits,
+        shannon_per_bit=shannon,
+        min_entropy_per_bit=min_e,
+        total_min_entropy=min_e * n_bits,
+    )
+
+
+def extractable_key_bits(report: EntropyReport, codec: KeyCodec) -> float:
+    """Key material left after the code-offset sketch's leakage.
+
+    The helper string of a linear ``(n, k)`` sketch reveals at most
+    ``n - k`` bits about the response, so per block at most
+    ``min_entropy(n response bits) - (n - k)`` bits survive into the key.
+    Negative results mean the configuration is *unsound*: it leaks more
+    than the response material carries.
+    """
+    per_bit = report.min_entropy_per_bit
+    blocks = codec.n_blocks
+    n, k = codec.code.n, codec.code.k
+    per_block = per_bit * n - (n - k)
+    return blocks * per_block
+
+
+def collision_entropy_from_hd(mean_hd: float, n_bits: int) -> float:
+    """Population collision-entropy bound from the mean inter-chip HD.
+
+    Two independent draws from the population agree in one position with
+    probability ``p_match^2 + (1 - p_match)^2`` where ``p_match = 1 - HD``
+    ... i.e. the per-position collision probability is bounded by the
+    observed match rate, giving ``H2 >= -n * log2(match rate)`` for
+    independent positions.  At HD = 0.5 this returns exactly ``n_bits``.
+    """
+    if not 0.0 <= mean_hd <= 1.0:
+        raise ValueError("mean_hd must be in [0, 1]")
+    if n_bits < 1:
+        raise ValueError("n_bits must be positive")
+    p_match = 1.0 - mean_hd
+    return float(-n_bits * np.log2(max(p_match, 1e-12)))

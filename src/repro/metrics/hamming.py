@@ -1,0 +1,64 @@
+"""Hamming-distance primitives shared by all PUF quality metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_bits(x) -> np.ndarray:
+    arr = np.asarray(x)
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("responses must be 0/1 bit arrays")
+    return arr.astype(np.uint8)
+
+
+def hamming_distance(a, b) -> int:
+    """Number of positions where two equal-length bit vectors differ."""
+    a, b = _as_bits(a), _as_bits(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def fractional_hd(a, b) -> float:
+    """Hamming distance normalised by the vector length."""
+    a = _as_bits(a)
+    if a.size == 0:
+        raise ValueError("empty responses have no Hamming distance")
+    return hamming_distance(a, b) / a.size
+
+
+def pairwise_fractional_hd(responses: Sequence) -> np.ndarray:
+    """Fractional HDs between all unordered pairs of responses.
+
+    ``responses`` is a sequence of equal-length bit vectors (or a 2-D
+    array, rows = responses).  Returns the flat vector of
+    ``n*(n-1)/2`` pairwise fractional distances, the raw material of the
+    inter-chip uniqueness statistic.
+    """
+    mat = np.stack([_as_bits(r) for r in responses])
+    n, width = mat.shape
+    if n < 2:
+        raise ValueError("need at least two responses")
+    if width == 0:
+        raise ValueError("responses are empty")
+    # XOR via broadcasting on the upper triangle
+    iu, ju = np.triu_indices(n, k=1)
+    diffs = mat[iu] ^ mat[ju]
+    return diffs.sum(axis=1) / width
+
+
+def hd_matrix(responses: Sequence) -> np.ndarray:
+    """Full symmetric matrix of pairwise fractional HDs (zero diagonal)."""
+    mat = np.stack([_as_bits(r) for r in responses])
+    n, width = mat.shape
+    if width == 0:
+        raise ValueError("responses are empty")
+    out = np.zeros((n, n))
+    iu, ju = np.triu_indices(n, k=1)
+    vals = (mat[iu] ^ mat[ju]).sum(axis=1) / width
+    out[iu, ju] = vals
+    out[ju, iu] = vals
+    return out

@@ -1,0 +1,77 @@
+"""Reliability: intra-chip Hamming distance against a golden response.
+
+Two flavours matter for this paper:
+
+* **aging reliability** — fraction of bits flipped between the enrolment
+  (golden) response and the response of the *same chip after t years in
+  the field*, evaluated at the same corner.  This is the metric behind the
+  abstract's "7.7 % vs 32 % over 10 years".
+* **environmental reliability** — flips between the golden response and a
+  noisy evaluation at a different temperature/voltage corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .hamming import fractional_hd
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Bit-flip statistics over a population of chips."""
+
+    mean_flip_fraction: float
+    std_flip_fraction: float
+    worst_flip_fraction: float
+    per_chip: np.ndarray
+
+    def percent(self) -> float:
+        """Mean flipped-bit percentage (the number papers quote)."""
+        return 100.0 * self.mean_flip_fraction
+
+    @property
+    def mean_reliability(self) -> float:
+        """Conventional reliability figure: ``1 - mean flip fraction``."""
+        return 1.0 - self.mean_flip_fraction
+
+
+def flip_fraction(golden, observed) -> float:
+    """Fraction of bits that differ between golden and observed responses."""
+    return fractional_hd(golden, observed)
+
+
+def reliability(goldens: Sequence, observeds: Sequence) -> ReliabilityReport:
+    """Per-chip flip fractions aggregated over a population.
+
+    ``goldens[i]`` and ``observeds[i]`` are the enrolment and regeneration
+    responses of chip ``i``.
+    """
+    if len(goldens) != len(observeds):
+        raise ValueError("goldens and observeds must pair up one chip each")
+    if not goldens:
+        raise ValueError("need at least one chip")
+    per_chip = np.array(
+        [flip_fraction(g, o) for g, o in zip(goldens, observeds)]
+    )
+    return ReliabilityReport(
+        mean_flip_fraction=float(per_chip.mean()),
+        std_flip_fraction=float(per_chip.std(ddof=1)) if per_chip.size > 1 else 0.0,
+        worst_flip_fraction=float(per_chip.max()),
+        per_chip=per_chip,
+    )
+
+
+def flip_curve(
+    goldens: Sequence, observed_by_time: Sequence[Sequence]
+) -> List[ReliabilityReport]:
+    """Reliability reports along a time (or corner) sweep.
+
+    ``observed_by_time[k]`` holds the population's responses at sweep point
+    ``k``; the result is one report per sweep point — the series behind the
+    paper's bit-flips-versus-years figure.
+    """
+    return [reliability(goldens, observed) for observed in observed_by_time]

@@ -1,0 +1,47 @@
+"""Uniformity: the ones-fraction of each chip's response.
+
+An ideal PUF response is balanced — 50 % ones.  Layout systematics skew
+individual comparisons the same way on every chip, which shows up both
+here and in bit-aliasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """Ones-fraction statistics across a chip population."""
+
+    mean: float
+    std: float
+    per_chip: np.ndarray
+
+    def percent(self) -> float:
+        return 100.0 * self.mean
+
+
+def uniformity_of(response) -> float:
+    """Ones-fraction of a single response."""
+    arr = np.asarray(response)
+    if arr.size == 0:
+        raise ValueError("empty response")
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("responses must be 0/1 bit arrays")
+    return float(arr.mean())
+
+
+def uniformity(responses: Sequence) -> UniformityReport:
+    """Uniformity report over one response per chip."""
+    if not len(responses):
+        raise ValueError("need at least one response")
+    per_chip = np.array([uniformity_of(r) for r in responses])
+    return UniformityReport(
+        mean=float(per_chip.mean()),
+        std=float(per_chip.std(ddof=1)) if per_chip.size > 1 else 0.0,
+        per_chip=per_chip,
+    )

@@ -1,0 +1,28 @@
+"""Protocol layer: CRP tables, device authentication, modeling attacks."""
+
+from .attacks import (
+    SortingAttackModel,
+    attack_curve,
+    build_attack_model,
+    sorting_attack,
+)
+from .authentication import (
+    AuthenticationResult,
+    AuthenticationStudyResult,
+    Verifier,
+    authentication_study,
+)
+from .crp import CrpTable, harvest_crps
+
+__all__ = [
+    "AuthenticationResult",
+    "AuthenticationStudyResult",
+    "CrpTable",
+    "SortingAttackModel",
+    "Verifier",
+    "attack_curve",
+    "authentication_study",
+    "build_attack_model",
+    "harvest_crps",
+    "sorting_attack",
+]

@@ -1,0 +1,134 @@
+"""Modeling attacks on RO-PUF authentication: the sorting attack.
+
+An RO-PUF's challenge-to-pair mapping is public (the challenge seeds a
+permutation), so every disclosed response bit hands the attacker one
+ground-truth comparison ``f_a > f_b``.  Comparisons compose: once the
+attacker has observed enough CRPs to connect oscillators ``a`` and ``b``
+through a chain of comparisons, the pair's response is predictable without
+touching the device — the PUF's entropy is *at most* ``log2(n!)``, not
+``2^challenge_bits``.
+
+:func:`sorting_attack` implements the attack (transitive closure over the
+observed comparison digraph) and :func:`attack_curve` measures prediction
+accuracy versus the number of disclosed CRPs — experiment E11.  The point
+it makes for this paper: the attack works *identically* against the
+conventional RO-PUF and the ARO-PUF (aging resistance is orthogonal to
+modeling resistance), which is why the key-generation mode — where
+responses never leave the chip — is the deployment the area argument (E6)
+is about, and why the authentication verifier (E10) must never reuse
+challenges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+
+from .._rng import RngLike, as_generator
+from ..core.base import RoPufInstance
+from ..core.pairing import RandomDisjointPairing
+from .crp import CrpTable, harvest_crps
+
+
+@dataclass(frozen=True)
+class SortingAttackModel:
+    """The attacker's knowledge: a digraph of inferred speed orderings.
+
+    Edge ``u -> v`` means "oscillator ``v`` is faster than ``u``".
+    """
+
+    graph: nx.DiGraph
+    n_ros: int
+
+    @property
+    def n_comparisons(self) -> int:
+        """Directly observed comparisons (graph edges)."""
+        return self.graph.number_of_edges()
+
+    def known_order_fraction(self) -> float:
+        """Fraction of all RO pairs whose order the model can derive."""
+        closure = nx.transitive_closure(self.graph)
+        decided = closure.number_of_edges()
+        total = self.n_ros * (self.n_ros - 1) // 2
+        return decided / total
+
+    def predict_bit(self, a: int, b: int, rng: RngLike = None) -> Tuple[int, bool]:
+        """Predict ``sign(f_a > f_b)``; returns ``(bit, was_derived)``.
+
+        Unknown orderings fall back to a coin flip (``was_derived=False``).
+        """
+        if nx.has_path(self.graph, b, a):
+            return 1, True
+        if nx.has_path(self.graph, a, b):
+            return 0, True
+        gen = as_generator(rng)
+        return int(gen.integers(0, 2)), False
+
+
+def build_attack_model(table: CrpTable, n_ros: int) -> SortingAttackModel:
+    """Digest disclosed CRPs into the comparison digraph."""
+    pairing = RandomDisjointPairing()
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n_ros))
+    for challenge, response in zip(table.challenges, table.responses):
+        pairs = pairing.pairs(n_ros, int(challenge))
+        for (a, b), bit in zip(pairs, response):
+            if bit:  # f_a > f_b : b -> a
+                graph.add_edge(int(b), int(a))
+            else:
+                graph.add_edge(int(a), int(b))
+    return SortingAttackModel(graph=graph, n_ros=n_ros)
+
+
+def sorting_attack(
+    train: CrpTable,
+    test: CrpTable,
+    n_ros: int,
+    rng: RngLike = None,
+) -> float:
+    """Train on disclosed CRPs, return bit-prediction accuracy on unseen ones."""
+    model = build_attack_model(train, n_ros)
+    pairing = RandomDisjointPairing()
+    gen = as_generator(rng)
+    correct = 0
+    total = 0
+    for challenge, response in zip(test.challenges, test.responses):
+        pairs = pairing.pairs(n_ros, int(challenge))
+        for (a, b), bit in zip(pairs, response):
+            predicted, _ = model.predict_bit(int(a), int(b), rng=gen)
+            correct += int(predicted == int(bit))
+            total += 1
+    return correct / total
+
+
+def attack_curve(
+    instance: RoPufInstance,
+    train_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    n_test: int = 32,
+    rng: RngLike = None,
+) -> List[Tuple[int, float, float]]:
+    """E11 series: (disclosed CRPs, prediction accuracy, order coverage).
+
+    One harvested table is split so train/test challenges never overlap.
+    """
+    gen = as_generator(rng)
+    max_train = max(train_sizes)
+    table = harvest_crps(instance, max_train + n_test, rng=gen)
+    rows = []
+    for n_train in train_sizes:
+        train = CrpTable(
+            challenges=table.challenges[:n_train],
+            responses=table.responses[:n_train],
+            chip_id=table.chip_id,
+        )
+        test = CrpTable(
+            challenges=table.challenges[max_train:],
+            responses=table.responses[max_train:],
+            chip_id=table.chip_id,
+        )
+        model = build_attack_model(train, instance.design.n_ros)
+        accuracy = sorting_attack(train, test, instance.design.n_ros, rng=gen)
+        rows.append((n_train, accuracy, model.known_order_fraction()))
+    return rows

@@ -1,0 +1,209 @@
+"""Threshold-based device authentication over a CRP table.
+
+The standard lightweight PUF authentication protocol:
+
+* **enrolment** — the verifier harvests a CRP table per chip in the
+  secure facility and stores it;
+* **authentication** — the verifier replays a batch of never-used
+  challenges; the device answers from silicon; the verifier accepts when
+  the fractional Hamming distance to the enrolled responses stays below a
+  threshold.
+
+The threshold must sit between the intra-chip distance (noise + aging
+drift, grows over the mission — exactly what the ARO-PUF bounds) and the
+inter-chip distance (~50 %).  :func:`authentication_study` measures both
+error rates over a population and a mission, producing experiment E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .._rng import RngLike, as_generator, spawn
+from ..core.base import RoPufInstance
+from ..core.factory import Study
+from ..core.pairing import RandomDisjointPairing
+from ..metrics.hamming import fractional_hd
+from .crp import CrpTable, harvest_crps
+
+
+@dataclass(frozen=True)
+class AuthenticationResult:
+    """Outcome of one authentication attempt."""
+
+    accepted: bool
+    distance: float
+    threshold: float
+    challenges_used: int
+
+
+class Verifier:
+    """Server-side authority holding enrolled CRP tables."""
+
+    def __init__(self, threshold: float = 0.25, batch_size: int = 8):
+        if not 0.0 < threshold < 0.5:
+            raise ValueError("threshold must be in (0, 0.5)")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.threshold = threshold
+        self.batch_size = batch_size
+        self._tables: Dict[int, CrpTable] = {}
+        self._cursor: Dict[int, int] = {}
+
+    def enroll(self, instance: RoPufInstance, n_challenges: int = 64, rng: RngLike = None) -> None:
+        """Harvest and store a chip's CRP table (one-time, secure phase)."""
+        table = harvest_crps(instance, n_challenges, rng=rng)
+        self._tables[instance.chip_id] = table
+        self._cursor[instance.chip_id] = 0
+
+    def enrolled_chips(self) -> List[int]:
+        return sorted(self._tables)
+
+    def remaining_challenges(self, chip_id: int) -> int:
+        """Unused challenges left before the table is exhausted."""
+        table = self._tables[chip_id]
+        return table.n_challenges - self._cursor[chip_id]
+
+    def authenticate(
+        self, claimed_id: int, device: RoPufInstance, *, rng: RngLike = None
+    ) -> AuthenticationResult:
+        """Run one authentication round against the claimed identity.
+
+        Challenges are consumed (never replayed) to deny an eavesdropper a
+        replay dictionary; an exhausted table raises so the operator knows
+        to re-enrol.
+        """
+        if claimed_id not in self._tables:
+            raise KeyError(f"chip {claimed_id} was never enrolled")
+        table = self._tables[claimed_id]
+        cursor = self._cursor[claimed_id]
+        if cursor + self.batch_size > table.n_challenges:
+            raise RuntimeError(
+                f"chip {claimed_id}'s CRP table is exhausted; re-enrol"
+            )
+        batch = table.challenges[cursor : cursor + self.batch_size]
+        enrolled = table.responses[cursor : cursor + self.batch_size]
+        self._cursor[claimed_id] = cursor + self.batch_size
+
+        import dataclasses as _dc
+
+        design = _dc.replace(device.design, pairing=RandomDisjointPairing())
+        inst = design.instantiate(device.chip)
+        gen = as_generator(rng)
+        answers = np.stack(
+            [
+                inst.evaluate(int(c), noisy=True, rng=gen)
+                for c in batch
+            ]
+        )
+        distance = fractional_hd(enrolled.ravel(), answers.ravel())
+        return AuthenticationResult(
+            accepted=distance <= self.threshold,
+            distance=distance,
+            threshold=self.threshold,
+            challenges_used=int(batch.size),
+        )
+
+
+@dataclass
+class AuthenticationStudyResult:
+    """E10: authentication error rates over the mission.
+
+    Beyond the fixed-threshold FRR/FAR, the raw genuine and impostor
+    distance samples are kept so the separability of the two populations
+    can be judged directly (:meth:`equal_error_rate`).
+    """
+
+    years: List[float]
+    frr: Dict[str, List[float]]  # design -> false-reject rate per year
+    far: Dict[str, float]  # design -> false-accept rate (impostor chips)
+    threshold: float
+    genuine_distances: Dict[str, Dict[float, List[float]]]
+    impostor_distances: Dict[str, List[float]]
+
+    def equal_error_rate(self, design: str, year: float) -> Tuple[float, float]:
+        """(EER, threshold) where FRR equals FAR for aged genuine chips.
+
+        Sweeps the threshold over the pooled distance samples.  An EER
+        near zero means the genuine-aged and impostor distributions are
+        separable; a large EER means no threshold authenticates reliably.
+        """
+        genuine = np.asarray(self.genuine_distances[design][year])
+        impostor = np.asarray(self.impostor_distances[design])
+        candidates = np.unique(np.concatenate([genuine, impostor]))
+        best = (1.0, 0.0)
+        for thr in candidates:
+            frr = float(np.mean(genuine > thr))
+            far = float(np.mean(impostor <= thr))
+            score = max(frr, far)
+            if score < best[0]:
+                best = (score, float(thr))
+        return best
+
+
+def authentication_study(
+    studies: Dict[str, Study],
+    years: Sequence[float] = (0.0, 2.0, 5.0, 10.0),
+    *,
+    threshold: float = 0.25,
+    batch_size: int = 16,
+    n_challenges: int = 256,
+    rng: RngLike = None,
+) -> AuthenticationStudyResult:
+    """Measure FRR-over-lifetime and impostor FAR for each design.
+
+    For every chip: enrol fresh, then authenticate the *aged* silicon at
+    each mission point (false reject when the genuine chip is refused).
+    The false-accept rate pits every chip against every other chip's
+    enrolment at t=0.
+    """
+    gen = as_generator(rng)
+    frr: Dict[str, List[float]] = {}
+    far: Dict[str, float] = {}
+    genuine_distances: Dict[str, Dict[float, List[float]]] = {}
+    impostor_distances: Dict[str, List[float]] = {}
+    for name, study in studies.items():
+        verifier = Verifier(threshold=threshold, batch_size=batch_size)
+        enroll_rngs = spawn(gen, len(study.instances))
+        for inst, child in zip(study.instances, enroll_rngs):
+            verifier.enroll(inst, n_challenges=n_challenges, rng=child)
+
+        rates = []
+        genuine_distances[name] = {}
+        for t in years:
+            aged = study.aged_instances(t)
+            rejects = 0
+            dists = []
+            for inst in aged:
+                result = verifier.authenticate(inst.chip_id, inst, rng=gen)
+                rejects += 0 if result.accepted else 1
+                dists.append(result.distance)
+            rates.append(rejects / len(aged))
+            genuine_distances[name][t] = dists
+        frr[name] = rates
+
+        # impostor trials: chip j answers chip i's challenges (fresh)
+        accepts = 0
+        trials = 0
+        imp_dists = []
+        for claimed in study.instances:
+            impostor = study.instances[
+                (claimed.chip_id + 1) % len(study.instances)
+            ]
+            result = verifier.authenticate(claimed.chip_id, impostor, rng=gen)
+            accepts += 1 if result.accepted else 0
+            imp_dists.append(result.distance)
+            trials += 1
+        far[name] = accepts / trials
+        impostor_distances[name] = imp_dists
+    return AuthenticationStudyResult(
+        years=list(years),
+        frr=frr,
+        far=far,
+        threshold=threshold,
+        genuine_distances=genuine_distances,
+        impostor_distances=impostor_distances,
+    )

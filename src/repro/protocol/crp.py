@@ -1,0 +1,122 @@
+"""Challenge-response pair (CRP) harvesting.
+
+The abstract's first use case for a PUF is the *chip-specific identifier*:
+a verifier stores a table of challenge-response pairs per chip at
+enrolment and later authenticates the device by replaying challenges.
+This module produces those tables from any
+:class:`~repro.core.base.RoPufInstance` using the challenge-seeded random
+pairing (each challenge selects a fresh random disjoint matching of the
+oscillators, which is how RO-PUFs expose a large challenge space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._rng import RngLike, as_generator
+from ..core.base import RoPufInstance
+from ..core.pairing import RandomDisjointPairing
+from ..environment.conditions import OperatingConditions
+
+
+@dataclass(frozen=True)
+class CrpTable:
+    """A verifier-side table of challenges and enrolled responses."""
+
+    challenges: np.ndarray
+    responses: np.ndarray
+    chip_id: int
+
+    def __post_init__(self) -> None:
+        ch = np.asarray(self.challenges, dtype=np.int64)
+        rs = np.asarray(self.responses, dtype=np.uint8)
+        if ch.ndim != 1:
+            raise ValueError("challenges must be a 1-D integer array")
+        if rs.ndim != 2 or rs.shape[0] != ch.shape[0]:
+            raise ValueError(
+                "responses must have shape (n_challenges, n_bits) matching "
+                "the challenge count"
+            )
+        object.__setattr__(self, "challenges", ch)
+        object.__setattr__(self, "responses", rs)
+
+    @property
+    def n_challenges(self) -> int:
+        return int(self.challenges.size)
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.responses.shape[1])
+
+    def lookup(self, challenge: int) -> np.ndarray:
+        """Enrolled response for ``challenge`` (raises if never enrolled)."""
+        idx = np.nonzero(self.challenges == challenge)[0]
+        if idx.size == 0:
+            raise KeyError(f"challenge {challenge} is not in the table")
+        return self.responses[int(idx[0])]
+
+    def split(self, n_train: int) -> "tuple[CrpTable, CrpTable]":
+        """Split into (train, test) tables — used by the attack analysis."""
+        if not 0 < n_train < self.n_challenges:
+            raise ValueError(
+                f"n_train must be in (0, {self.n_challenges}), got {n_train}"
+            )
+        return (
+            CrpTable(
+                challenges=self.challenges[:n_train],
+                responses=self.responses[:n_train],
+                chip_id=self.chip_id,
+            ),
+            CrpTable(
+                challenges=self.challenges[n_train:],
+                responses=self.responses[n_train:],
+                chip_id=self.chip_id,
+            ),
+        )
+
+
+def harvest_crps(
+    instance: RoPufInstance,
+    n_challenges: int,
+    *,
+    rng: RngLike = None,
+    conditions: Optional[OperatingConditions] = None,
+    noisy: bool = False,
+    votes: int = 1,
+) -> CrpTable:
+    """Collect a CRP table from one chip.
+
+    Challenges are drawn without replacement from the 31-bit challenge
+    space; each seeds a :class:`~repro.core.pairing.RandomDisjointPairing`
+    matching.  Enrolment normally uses the noiseless golden path
+    (``noisy=False``); pass ``noisy=True`` with ``votes`` for a
+    measurement-faithful enrolment.
+    """
+    if n_challenges < 1:
+        raise ValueError("n_challenges must be positive")
+    gen = as_generator(rng)
+    challenges = gen.choice(2**31 - 1, size=n_challenges, replace=False)
+
+    import dataclasses as _dc
+
+    design = _dc.replace(instance.design, pairing=RandomDisjointPairing())
+    inst = design.instantiate(instance.chip)
+    responses = []
+    for i, challenge in enumerate(challenges):
+        responses.append(
+            inst.evaluate(
+                int(challenge),
+                conditions=conditions,
+                noisy=noisy,
+                votes=votes if noisy else 1,
+                rng=None if not noisy else gen,
+            )
+        )
+    return CrpTable(
+        challenges=challenges,
+        responses=np.stack(responses),
+        chip_id=instance.chip_id,
+    )

@@ -1,0 +1,41 @@
+"""Device layer: technology cards and the analytic MOSFET model."""
+
+from .mosfet import (
+    delay_sensitivity,
+    drive_current,
+    mobility_factor,
+    transition_delay,
+    vth_at_temperature,
+)
+from .technology import (
+    BOLTZMANN_EV,
+    T_REF_K,
+    AreaTable,
+    HciParameters,
+    NbtiParameters,
+    TechnologyCard,
+    VariationParameters,
+    get_technology,
+    ptm45,
+    ptm90,
+    register,
+)
+
+__all__ = [
+    "AreaTable",
+    "BOLTZMANN_EV",
+    "HciParameters",
+    "NbtiParameters",
+    "T_REF_K",
+    "TechnologyCard",
+    "VariationParameters",
+    "delay_sensitivity",
+    "drive_current",
+    "get_technology",
+    "mobility_factor",
+    "ptm45",
+    "ptm90",
+    "register",
+    "transition_delay",
+    "vth_at_temperature",
+]

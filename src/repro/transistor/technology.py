@@ -1,0 +1,245 @@
+"""Technology cards: every process-dependent constant in one place.
+
+The paper evaluates the ARO-PUF with HSPICE on a 90 nm predictive technology
+model (PTM).  We replace SPICE with an analytic alpha-power-law delay model
+(see :mod:`repro.transistor.mosfet`), so a "technology card" here bundles
+
+* nominal device electrical parameters (``vdd``, threshold voltages, the
+  velocity-saturation exponent ``alpha``),
+* temperature coefficients,
+* process-variation magnitudes (inter-die, intra-die random, systematic
+  layout gradient),
+* aging-model constants (NBTI and HCI), and
+* an area table used by the ECC/key design-space experiments.
+
+The calibration constants were chosen so that the mechanistic simulation
+reproduces the abstract's anchors (32 %/7.7 % aged bit flips, ~45 %/49.67 %
+inter-chip HD); the derivation is sketched next to each constant and in
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Boltzmann constant in eV/K, used for the NBTI temperature acceleration.
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Reference ambient temperature for all nominal quantities, in Kelvin.
+T_REF_K = 298.15
+
+
+@dataclass(frozen=True)
+class AreaTable:
+    """Standard-cell area figures, in square micrometres.
+
+    The absolute values follow typical 90 nm standard-cell libraries; only
+    the *ratios* matter for the ECC/PUF area comparison (experiment E6).
+    """
+
+    inverter: float = 4.9
+    nand2: float = 5.9
+    nor2: float = 5.9
+    xor2: float = 11.8
+    mux2: float = 8.8
+    dff: float = 22.1
+    and2: float = 5.9
+    #: per-bit area of a ripple counter (flip-flop + half-adder glue)
+    counter_bit: float = 29.0
+    #: a 2:1 analog-style transmission gate (used by the ARO recovery mux)
+    tgate: float = 3.4
+
+    def scaled(self, factor: float) -> "AreaTable":
+        """Return a copy with every entry multiplied by ``factor``."""
+        return AreaTable(
+            **{f.name: getattr(self, f.name) * factor for f in dataclasses.fields(self)}
+        )
+
+
+@dataclass(frozen=True)
+class NbtiParameters:
+    """Long-term NBTI model constants (reaction-diffusion form).
+
+    The per-device threshold shift after ``t`` years at stress probability
+    (duty factor) ``alpha`` is::
+
+        dVth = A_dev * k(T) * (alpha * t) ** n      [volts]
+
+    with ``A_dev`` log-normally distributed around :attr:`a_mean`
+    (coefficient of variation :attr:`a_cv`) to capture the large
+    device-to-device NBTI variability of deeply scaled technologies, and
+    ``k(T) = exp(-Ea/kB * (1/T - 1/T_ref))`` the Arrhenius acceleration.
+    """
+
+    #: mean threshold shift after 1 year of DC stress at T_ref, in volts.
+    #: 0.046 V/year^n with n = 1/6 gives ~68 mV after 10 years of DC stress
+    #: at T_ref (~82 mV at the 45 degC mission temperature), in the range
+    #: published for worst-case 90 nm DC NBTI.
+    a_mean: float = 0.046
+    #: coefficient of variation of the per-device prefactor.  Deep-submicron
+    #: NBTI is dominated by a handful of interface traps per device, so the
+    #: spread exceeds the mean; 1.2 (with the 0.30 V saturation below)
+    #: calibrates the conventional RO-PUF to the paper's 32 % 10-year flip
+    #: rate (DESIGN.md §5, tools/calibrate.py).
+    a_cv: float = 1.2
+    #: time/duty exponent of the reaction-diffusion model (H2 diffusion).
+    n: float = 1.0 / 6.0
+    #: activation energy in eV for the Arrhenius temperature acceleration.
+    ea: float = 0.08
+    #: fractional long-term recovery when stress is removed.  Applied to
+    #: the *relaxable* component when a device spends part of its life in
+    #: the recovery state.
+    recovery_fraction: float = 0.30
+    #: PBTI (NMOS) severity relative to NBTI.  Small for the SiON 90 nm
+    #: node the paper targets; nonzero so parked-high inputs still age the
+    #: pull-down network a little.
+    pbti_factor: float = 0.02
+    #: hard saturation of the BTI threshold shift, volts.  The interface
+    #: trap density a device can generate is finite, so the log-normal
+    #: prefactor tail must not produce shifts beyond the physical range.
+    max_shift: float = 0.30
+
+
+@dataclass(frozen=True)
+class HciParameters:
+    """Hot-carrier-injection model constants.
+
+    HCI damage accrues per switching event; for an oscillator running at
+    frequency ``f`` for active time ``t_act``::
+
+        dVth = B_dev * (f * t_act / f0_t0) ** m     [volts]
+
+    ``B_dev`` is log-normal around :attr:`b_mean`.  ``f0_t0`` normalises the
+    transition count so that :attr:`b_mean` is the shift after one year of
+    continuous 1 GHz switching.
+    """
+
+    b_mean: float = 0.006
+    b_cv: float = 0.5
+    m: float = 0.45
+    #: hard saturation of the HCI threshold shift, volts
+    max_shift: float = 0.15
+    #: normalisation: transitions in one year of continuous 1 GHz operation.
+    ref_transitions: float = 1.0e9 * 365.25 * 86400.0
+
+
+@dataclass(frozen=True)
+class VariationParameters:
+    """Process-variation magnitudes (threshold-voltage sigmas, in volts)."""
+
+    #: inter-die (chip-wide) Vth shift applied to every device on a chip.
+    #: Common-mode for RO comparisons, so it barely affects responses; kept
+    #: for physical fidelity of absolute frequencies.
+    sigma_inter_die: float = 0.015
+    #: intra-die random (device-level) mismatch; the entropy source of the
+    #: PUF.  20 mV is a typical AVT/sqrt(WL) figure for minimum-size 90 nm
+    #: devices.
+    sigma_intra_die: float = 0.020
+    #: systematic layout-induced component: identical across chips at equal
+    #: die coordinates.  ~0.5 * sigma_intra_die drags the conventional
+    #: RO-PUF inter-chip HD to ~45 % (DESIGN.md §5, tools/calibrate.py);
+    #: the ARO's symmetric cell cancels it differentially.
+    sigma_systematic: float = 0.0097
+    #: correlation length of the smooth intra-die spatial component, in
+    #: units of the RO grid pitch.
+    correlation_length: float = 4.0
+    #: fraction of the intra-die variance carried by the spatially
+    #: correlated (smooth) component; the rest is white device mismatch.
+    correlated_fraction: float = 0.2
+
+
+@dataclass(frozen=True)
+class TechnologyCard:
+    """A complete set of process constants for one technology node."""
+
+    name: str = "ptm90"
+    #: nominal supply voltage, volts
+    vdd: float = 1.2
+    #: nominal NMOS threshold voltage, volts
+    vth_n: float = 0.25
+    #: nominal PMOS threshold magnitude, volts
+    vth_p: float = 0.25
+    #: alpha-power-law velocity-saturation exponent
+    alpha: float = 1.3
+    #: drive constant: inverter output current at (vdd - vth) = 1 V, amps.
+    #: Sets the absolute frequency scale (~1 GHz for a 5-stage 90 nm RO
+    #: with realistic wire and counter-input loading).
+    k_drive: float = 3.2e-5
+    #: switched load capacitance per ring stage, farads
+    c_load: float = 2.4e-15
+    #: threshold temperature coefficient, volts per kelvin (Vth decreases
+    #: with temperature)
+    vth_tc: float = -0.8e-3
+    #: mobility temperature exponent: mu(T) = mu0 * (T/T_ref)**mobility_exp
+    mobility_exp: float = -1.4
+    #: relative device-to-device mismatch of the temperature coefficients;
+    #: sets how much of a temperature excursion turns into differential
+    #: (bit-flipping) frequency shift rather than common mode.
+    tc_mismatch_cv: float = 0.04
+    #: relative 1-sigma per-evaluation frequency jitter (supply/thermal
+    #: noise within one measurement window)
+    eval_jitter: float = 5.0e-4
+    nbti: NbtiParameters = field(default_factory=NbtiParameters)
+    hci: HciParameters = field(default_factory=HciParameters)
+    variation: VariationParameters = field(default_factory=VariationParameters)
+    area: AreaTable = field(default_factory=AreaTable)
+
+    def replace(self, **changes) -> "TechnologyCard":
+        """Return a copy of the card with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def gate_overdrive(self) -> float:
+        """Nominal gate overdrive ``vdd - vth`` (volts, NMOS figure)."""
+        return self.vdd - self.vth_n
+
+
+def ptm90() -> TechnologyCard:
+    """The default 90 nm predictive-technology-like card used by the paper."""
+    return TechnologyCard()
+
+
+def ptm45() -> TechnologyCard:
+    """A 45 nm-like card: lower Vdd, larger mismatch, faster gates.
+
+    Provided for technology-scaling studies; the paper's evaluation uses
+    the 90 nm card.
+    """
+    return TechnologyCard(
+        name="ptm45",
+        vdd=1.0,
+        vth_n=0.22,
+        vth_p=0.22,
+        alpha=1.25,
+        k_drive=2.8e-5,
+        c_load=1.1e-15,
+        variation=VariationParameters(
+            sigma_inter_die=0.018,
+            sigma_intra_die=0.028,
+            sigma_systematic=0.012,
+        ),
+        area=AreaTable().scaled(0.30),
+    )
+
+
+_REGISTRY: Dict[str, TechnologyCard] = {}
+
+
+def register(card: TechnologyCard) -> None:
+    """Add ``card`` to the by-name registry used by :func:`get_technology`."""
+    _REGISTRY[card.name] = card
+
+
+def get_technology(name: str) -> TechnologyCard:
+    """Look up a technology card by name (``"ptm90"`` or ``"ptm45"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown technology {name!r}; known: {known}") from None
+
+
+register(ptm90())
+register(ptm45())

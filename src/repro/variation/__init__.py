@@ -1,0 +1,25 @@
+"""Process-variation Monte-Carlo: chips, spatial fields, and the sampler."""
+
+from .chip import NMOS, PMOS, Chip, ChipPopulation, grid_positions
+from .process import VariationModel
+from .spatial import (
+    SYMMETRIC_RESIDUAL,
+    LayoutStyle,
+    correlated_field,
+    effective_systematic,
+    systematic_field,
+)
+
+__all__ = [
+    "Chip",
+    "ChipPopulation",
+    "LayoutStyle",
+    "NMOS",
+    "PMOS",
+    "SYMMETRIC_RESIDUAL",
+    "VariationModel",
+    "correlated_field",
+    "effective_systematic",
+    "grid_positions",
+    "systematic_field",
+]

@@ -1,0 +1,97 @@
+"""Monte-Carlo process-variation sampler (the virtual fab).
+
+:class:`VariationModel` turns a technology card plus an array geometry into
+:class:`~repro.variation.chip.Chip` samples.  The threshold voltage of each
+device decomposes hierarchically, matching the standard WID/D2D taxonomy
+used in the RO-PUF literature:
+
+    vth = vth_nominal
+        + inter_die              (one draw per chip, common to all devices)
+        + correlated(x, y)       (smooth chip-specific field, per RO)
+        + white mismatch         (independent per device — the PUF entropy)
+        + systematic(x, y)       (mask-set property, identical across chips)
+
+The systematic term depends on the layout style: the ARO's symmetric cell
+cancels it down to a small residual (see :mod:`repro.variation.spatial`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import RngLike, as_generator, spawn
+from ..transistor.technology import TechnologyCard
+from .chip import Chip, ChipPopulation, grid_positions
+from .spatial import LayoutStyle, correlated_field, effective_systematic
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Samples chips for one design point.
+
+    Parameters
+    ----------
+    tech:
+        Technology card supplying nominal thresholds and sigma values.
+    n_ros, n_stages:
+        Geometry of the RO array (stages = inverting stages per ring).
+    layout:
+        Cell layout discipline; controls systematic-component cancellation.
+    """
+
+    tech: TechnologyCard
+    n_ros: int
+    n_stages: int
+    layout: LayoutStyle = LayoutStyle.CONVENTIONAL
+
+    def __post_init__(self) -> None:
+        if self.n_ros < 2:
+            raise ValueError("an RO-PUF needs at least two oscillators")
+        if self.n_stages < 3 or self.n_stages % 2 == 0:
+            raise ValueError("n_stages must be an odd integer >= 3 for oscillation")
+
+    def sample_chip(self, rng: RngLike = None, chip_id: int = 0) -> Chip:
+        """Draw one chip from the process distribution."""
+        gen = as_generator(rng)
+        var = self.tech.variation
+        positions = grid_positions(self.n_ros)
+        shape = (self.n_ros, self.n_stages, 2)
+
+        inter_die = var.sigma_inter_die * gen.standard_normal()
+
+        # Split intra-die variance between a smooth correlated field and
+        # white per-device mismatch, preserving total variance.
+        corr_sigma = var.sigma_intra_die * np.sqrt(var.correlated_fraction)
+        white_sigma = var.sigma_intra_die * np.sqrt(1.0 - var.correlated_fraction)
+        corr = correlated_field(
+            positions, corr_sigma, var.correlation_length, rng=gen
+        )
+        white = white_sigma * gen.standard_normal(shape)
+
+        systematic = effective_systematic(positions, var.sigma_systematic, self.layout)
+
+        per_ro = inter_die + corr + systematic  # shape (n_ros,)
+        vth = np.empty(shape)
+        vth[:, :, 0] = self.tech.vth_n
+        vth[:, :, 1] = self.tech.vth_p
+        vth += per_ro[:, None, None] + white
+
+        tc_scale = 1.0 + self.tech.tc_mismatch_cv * gen.standard_normal(shape)
+
+        return Chip(vth=vth, positions=positions, tc_scale=tc_scale, chip_id=chip_id)
+
+    def sample_population(self, n_chips: int, rng: RngLike = None) -> ChipPopulation:
+        """Draw ``n_chips`` independent chips.
+
+        Each chip gets its own spawned child generator so that adding chips
+        to a population never perturbs the earlier chips' samples.
+        """
+        if n_chips <= 0:
+            raise ValueError("n_chips must be positive")
+        children = spawn(rng, n_chips)
+        chips = [
+            self.sample_chip(child, chip_id=i) for i, child in enumerate(children)
+        ]
+        return ChipPopulation(chips=chips)

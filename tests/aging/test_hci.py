@@ -1,0 +1,68 @@
+"""HCI law: transition-count scaling and prefactor statistics."""
+
+import numpy as np
+import pytest
+
+from repro.aging import PMOS_HCI_FACTOR, hci_shift
+from repro.aging.hci import sample_prefactors
+from repro.transistor import ptm90
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ptm90().hci
+
+
+class TestHciShift:
+    def test_zero_transitions_no_shift(self, params):
+        assert hci_shift(0.0, params) == 0.0
+
+    def test_monotone_in_transitions(self, params):
+        shifts = [float(hci_shift(n, params)) for n in (1e12, 1e14, 1e16)]
+        assert shifts == sorted(shifts)
+
+    def test_reference_normalisation(self, params):
+        """At exactly ref_transitions the shift equals b_mean."""
+        assert float(hci_shift(params.ref_transitions, params)) == pytest.approx(
+            params.b_mean
+        )
+
+    def test_power_law(self, params):
+        r = float(hci_shift(100 * params.ref_transitions, params)) / float(
+            hci_shift(params.ref_transitions, params)
+        )
+        assert r == pytest.approx(100**params.m)
+
+    def test_pmos_reduced(self, params):
+        n = params.ref_transitions
+        assert float(hci_shift(n, params, pmos=True)) == pytest.approx(
+            PMOS_HCI_FACTOR * float(hci_shift(n, params))
+        )
+
+    def test_saturation(self, params):
+        assert float(hci_shift(1e30, params, prefactor=1.0)) == params.max_shift
+
+    def test_negative_rejected(self, params):
+        with pytest.raises(ValueError):
+            hci_shift(-1.0, params)
+
+    def test_free_running_ten_years_is_significant(self, params):
+        """A ring left oscillating at 1 GHz for 10 years takes real damage
+        (the ablation baseline), while the ARO's few seconds do not."""
+        year = params.ref_transitions
+        free_running = float(hci_shift(10 * year, params))
+        aro_like = float(hci_shift(2e-7 * 10 * year, params))
+        assert free_running > 0.01
+        assert aro_like < 1e-3
+
+
+class TestPrefactors:
+    def test_moments(self, params):
+        rng = np.random.default_rng(0)
+        b = sample_prefactors(200_000, params, rng)
+        assert b.mean() == pytest.approx(params.b_mean, rel=0.02)
+        assert b.std() / b.mean() == pytest.approx(params.b_cv, rel=0.05)
+
+    def test_positive(self, params):
+        rng = np.random.default_rng(1)
+        assert np.all(sample_prefactors(1000, params, rng) > 0)

@@ -1,0 +1,133 @@
+"""Stress bookkeeping: cell + mission + policy -> per-device duties."""
+
+import numpy as np
+import pytest
+
+from repro.aging import IdlePolicy, MissionProfile, compute_stress, default_idle_policy
+from repro.circuit import aro_cell, conventional_cell
+from repro.variation import NMOS, PMOS
+
+
+@pytest.fixture(scope="module")
+def mission():
+    return MissionProfile(eval_duty=1e-6)
+
+
+class TestDefaultPolicies:
+    def test_conventional_parks_static(self):
+        assert default_idle_policy(conventional_cell()) is IdlePolicy.PARKED_STATIC
+
+    def test_aro_recovers(self):
+        assert default_idle_policy(aro_cell()) is IdlePolicy.RECOVERY
+
+    def test_recovery_requires_aro(self, mission):
+        with pytest.raises(ValueError, match="recovery"):
+            compute_stress(conventional_cell(), mission, IdlePolicy.RECOVERY)
+
+
+class TestConventionalStress:
+    def test_alternating_pmos_dc_duty(self, mission):
+        stress = compute_stress(conventional_cell(5), mission)
+        pmos = stress.nbti_duty[:, PMOS]
+        idle = 1 - mission.eval_duty
+        expected = np.array([0, 0, 1, 0, 1]) * idle + 0.5 * mission.eval_duty
+        assert np.allclose(pmos, expected)
+
+    def test_complementary_nmos_pbti(self, mission):
+        stress = compute_stress(conventional_cell(5), mission)
+        nmos = stress.pbti_duty[:, NMOS]
+        assert nmos[0] > 0.9  # parked high
+        assert nmos[2] < 0.01  # parked low
+
+    def test_tiny_transition_budget(self, mission):
+        stress = compute_stress(conventional_cell(5), mission)
+        # one year of transitions at duty 1e-6 and ~1 GHz
+        assert stress.transitions_per_year[0, PMOS] == pytest.approx(
+            1e-6 * 1e9 * 365.25 * 86400, rel=1e-6
+        )
+
+
+class TestAroStress:
+    def test_no_dc_nbti_anywhere(self, mission):
+        stress = compute_stress(aro_cell(5), mission)
+        assert np.all(stress.nbti_duty[:, PMOS] <= 0.5 * mission.eval_duty + 1e-15)
+
+    def test_balanced_across_stages(self, mission):
+        """Every ARO stage must see identical stress (the design's point)."""
+        stress = compute_stress(aro_cell(5), mission)
+        assert np.allclose(stress.nbti_duty, stress.nbti_duty[0])
+        assert np.allclose(stress.pbti_duty, stress.pbti_duty[0])
+
+    def test_nmos_holds_pbti_while_idle(self, mission):
+        stress = compute_stress(aro_cell(5), mission)
+        assert np.all(stress.pbti_duty[:, NMOS] > 0.99)
+
+
+class TestParkedToggling:
+    def test_half_duty_everywhere(self):
+        mission = MissionProfile(eval_duty=1e-6)
+        stress = compute_stress(
+            conventional_cell(5), mission, IdlePolicy.PARKED_TOGGLING
+        )
+        idle = 1 - mission.eval_duty
+        assert np.allclose(
+            stress.nbti_duty[:, PMOS], 0.5 * idle + 0.5 * mission.eval_duty
+        )
+        assert np.allclose(
+            stress.pbti_duty[:, NMOS], 0.5 * idle + 0.5 * mission.eval_duty
+        )
+
+    def test_no_extra_transitions(self):
+        """Pattern toggling is quasi-static: no HCI-relevant switching."""
+        mission = MissionProfile(eval_duty=1e-6)
+        static = compute_stress(conventional_cell(5), mission)
+        toggling = compute_stress(
+            conventional_cell(5), mission, IdlePolicy.PARKED_TOGGLING
+        )
+        assert np.array_equal(
+            static.transitions_per_year, toggling.transitions_per_year
+        )
+
+
+class TestFreeRunning:
+    def test_half_duty_and_full_transitions(self):
+        mission = MissionProfile(eval_duty=1e-6)
+        stress = compute_stress(
+            conventional_cell(5), mission, IdlePolicy.FREE_RUNNING
+        )
+        assert np.allclose(stress.nbti_duty[:, PMOS], 0.5)
+        assert stress.transitions_per_year[0, NMOS] == pytest.approx(
+            1e9 * 365.25 * 86400, rel=1e-6
+        )
+
+
+class TestProfileValidation:
+    def test_shape_enforced(self):
+        from repro.aging import StressProfile
+
+        with pytest.raises(ValueError):
+            StressProfile(
+                nbti_duty=np.zeros(5),
+                pbti_duty=np.zeros((5, 2)),
+                transitions_per_year=np.zeros((5, 2)),
+            )
+
+    def test_duty_over_one_rejected(self):
+        from repro.aging import StressProfile
+
+        with pytest.raises(ValueError):
+            StressProfile(
+                nbti_duty=np.full((5, 2), 1.5),
+                pbti_duty=np.zeros((5, 2)),
+                transitions_per_year=np.zeros((5, 2)),
+            )
+
+    def test_negative_rejected(self):
+        from repro.aging import StressProfile
+
+        with pytest.raises(ValueError):
+            StressProfile(
+                nbti_duty=np.zeros((5, 2)),
+                pbti_duty=np.zeros((5, 2)),
+                transitions_per_year=np.full((5, 2), -1.0),
+            )

@@ -1,0 +1,61 @@
+"""Command-line runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "e2"])
+        assert args.experiment == "e2"
+        assert args.chips == 50
+        assert args.ros == 256
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "e99"])
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_run_e2_small(self, capsys):
+        code = main(["run", "e2", "--chips", "4", "--ros", "32", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E2: response bit flips" in out
+        assert "ro-puf" in out and "aro-puf" in out
+
+    def test_run_e3_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "e3.txt"
+        code = main(
+            ["run", "e3", "--chips", "4", "--ros", "32", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "inter-chip Hamming distance" in out_file.read_text()
+
+    def test_seed_changes_numbers(self, capsys):
+        main(["run", "e3", "--chips", "4", "--ros", "32", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["run", "e3", "--chips", "4", "--ros", "32", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_seed_reproducible(self, capsys):
+        main(["run", "e8", "--chips", "3", "--ros", "16", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["run", "e8", "--chips", "3", "--ros", "16", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second

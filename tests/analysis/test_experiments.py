@@ -1,0 +1,149 @@
+"""Experiment harness: structure and qualitative shape at small scale.
+
+Quantitative anchors at paper scale are asserted (with bands) in
+tests/integration/test_paper_anchors.py and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    aging_bitflips,
+    duty_ablation,
+    ecc_area_experiment,
+    environmental_reliability,
+    frequency_degradation,
+    layout_ablation,
+    randomness_experiment,
+    uniqueness_experiment,
+)
+from repro.ecc import standard_codes
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_chips=6, n_ros=32, seed=7)
+
+
+YEARS = (1.0, 5.0, 10.0)
+
+
+class TestFrequencyDegradation:
+    def test_structure_and_shape(self, config):
+        res = frequency_degradation(config, years=YEARS)
+        assert set(res.series) == {"ro-puf", "aro-puf"}
+        conv = res.series["ro-puf"]
+        assert conv.x == list(YEARS)
+        # degradation grows with time and stays percent-scale
+        assert conv.y == sorted(conv.y)
+        assert 0 < conv.y[-1] < 10
+
+    def test_aro_degrades_less(self, config):
+        res = frequency_degradation(config, years=YEARS)
+        assert (
+            res.series["aro-puf"].y_at(10.0) < 0.5 * res.series["ro-puf"].y_at(10.0)
+        )
+
+    def test_fresh_frequency_reported(self, config):
+        res = frequency_degradation(config, years=YEARS)
+        assert 0.5 < res.fresh_frequency_ghz["ro-puf"] < 2.0
+
+
+class TestAgingBitflips:
+    def test_monotone_flip_growth(self, config):
+        res = aging_bitflips(config, years=YEARS)
+        for s in res.series.values():
+            assert s.y == sorted(s.y)
+
+    def test_aro_beats_conventional(self, config):
+        res = aging_bitflips(config, years=YEARS)
+        final = res.at_ten_years()
+        assert final["aro-puf"] < 0.6 * final["ro-puf"]
+
+    def test_final_reports_attached(self, config):
+        res = aging_bitflips(config, years=YEARS)
+        assert res.final_reports["ro-puf"].per_chip.shape == (6,)
+
+
+class TestUniqueness:
+    def test_reports_and_histograms(self, config):
+        res = uniqueness_experiment(config, bins=10)
+        assert 25 < res.reports["ro-puf"].percent() < 55
+        centers, counts = res.histograms["aro-puf"]
+        assert centers.shape == (10,)
+        assert counts.sum() == 6 * 5 // 2
+
+
+class TestRandomness:
+    def test_all_sections_present(self, config):
+        res = randomness_experiment(config)
+        for section in (res.uniformity, res.aliasing, res.battery):
+            assert set(section) == {"ro-puf", "aro-puf"}
+        assert 0.2 < res.uniformity["aro-puf"].mean < 0.8
+        assert len(res.battery["aro-puf"].p_values) == 7
+
+
+class TestEnvironmental:
+    def test_corner_series(self, config):
+        res = environmental_reliability(
+            config, temperatures_c=(25.0, 85.0), vdd_rel=(0.9, 1.0), votes=3
+        )
+        conv_t = res.temperature_series["ro-puf"]
+        assert conv_t.x == [25.0, 85.0]
+        # flips at the extreme corner exceed the nominal re-read noise
+        assert conv_t.y[1] >= conv_t.y[0]
+        assert res.voltage_series["aro-puf"].x == [0.9, 1.0]
+
+
+class TestEccArea:
+    def test_single_policy_row(self):
+        res = ecc_area_experiment(
+            policies=(("test policy", 0.20, 0.05),),
+            bch_palette=standard_codes(max_m=8, max_t=20),
+        )
+        assert len(res.rows) == 1
+        row = res.rows[0]
+        assert row.conv is not None and row.aro is not None
+        assert row.ratio > 1.5
+        assert row.conv.raw_bits > 2 * row.aro.raw_bits
+
+    def test_infeasible_policy_yields_none(self):
+        res = ecc_area_experiment(
+            policies=(("hopeless", 0.49, 0.49),),
+            bch_palette=standard_codes(max_m=6, max_t=6),
+        )
+        assert res.rows[0].conv is None
+        assert res.rows[0].ratio is None
+
+
+class TestDutyAblation:
+    def test_flips_grow_with_duty(self, config):
+        res = duty_ablation(config, duties=(1e-7, 1e-4, 1e-2), t_years=10.0)
+        assert res.duty_series.y == sorted(res.duty_series.y)
+
+    def test_policy_ordering(self, config):
+        res = duty_ablation(config, duties=(1e-7,), t_years=10.0)
+        rows = dict(res.policy_rows)
+        assert rows["aro-puf / recovery"] < rows["ro-puf / parked static"]
+        assert rows["ro-puf / free running"] > rows["aro-puf / recovery"]
+
+
+class TestLayoutAblation:
+    def test_conventional_uniqueness_falls_with_systematics(self, config):
+        res = layout_ablation(config, sys_multipliers=(0.0, 3.0))
+        conv = res.systematic_series["ro-puf"]
+        assert conv.y[1] < conv.y[0]
+
+    def test_aro_stays_flat(self, config):
+        res = layout_ablation(config, sys_multipliers=(0.0, 3.0))
+        aro = res.systematic_series["aro-puf"]
+        assert abs(aro.y[1] - aro.y[0]) < abs(
+            res.systematic_series["ro-puf"].y[1]
+            - res.systematic_series["ro-puf"].y[0]
+        )
+
+    def test_pairing_rows(self, config):
+        res = layout_ablation(config, sys_multipliers=(1.0,))
+        labels = [label for label, _ in res.pairing_rows]
+        assert "ro-puf / neighbour" in labels
+        assert "aro-puf / distant" in labels

@@ -1,0 +1,103 @@
+"""CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    aging_bitflips,
+    duty_ablation,
+    layout_ablation,
+    masking_ablation,
+    stage_ablation,
+    uniqueness_experiment,
+)
+from repro.analysis.export import (
+    export_e2,
+    export_e3,
+    export_e7,
+    export_e8,
+    export_e9,
+    export_e12,
+    export_series,
+)
+from repro.analysis.sweep import Series
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_chips=4, n_ros=16, seed=31)
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportSeries:
+    def test_writes_aligned_columns(self, tmp_path):
+        a = Series(name="a")
+        b = Series(name="b")
+        for x in (1.0, 2.0):
+            a.add(x, x * 10)
+            b.add(x, x * 20)
+        path = export_series({"a": a, "b": b}, tmp_path / "out.csv", "t")
+        rows = read_csv(path)
+        assert rows[0] == ["t", "a", "b"]
+        assert rows[1] == ["1.0", "10.0", "20.0"]
+
+    def test_mismatched_axes_rejected(self, tmp_path):
+        a = Series(name="a")
+        a.add(1.0, 1.0)
+        b = Series(name="b")
+        b.add(2.0, 1.0)
+        with pytest.raises(ValueError, match="different x axis"):
+            export_series({"a": a, "b": b}, tmp_path / "out.csv")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series({}, tmp_path / "out.csv")
+
+
+class TestExperimentExports:
+    def test_e2(self, config, tmp_path):
+        res = aging_bitflips(config, years=(1.0, 10.0))
+        (path,) = export_e2(res, tmp_path)
+        rows = read_csv(path)
+        assert rows[0][0] == "years"
+        assert len(rows) == 3  # header + 2 years
+
+    def test_e3(self, config, tmp_path):
+        res = uniqueness_experiment(config, bins=5)
+        files = export_e3(res, tmp_path)
+        assert len(files) == 2
+        stats = read_csv(files[0])
+        assert stats[0][0] == "design"
+        hist = read_csv(files[1])
+        assert len(hist) == 1 + 2 * 5  # header + both designs x bins
+
+    def test_e7(self, config, tmp_path):
+        res = duty_ablation(config, duties=(1e-7, 1e-4))
+        files = export_e7(res, tmp_path)
+        assert len(files) == 2
+        policies = read_csv(files[1])
+        assert any("recovery" in row[0] for row in policies[1:])
+
+    def test_e8(self, config, tmp_path):
+        res = layout_ablation(config, sys_multipliers=(0.0, 1.0))
+        files = export_e8(res, tmp_path)
+        sweep_rows = read_csv(files[0])
+        assert sweep_rows[0][0] == "sigma_multiplier"
+
+    def test_e9(self, config, tmp_path):
+        res = masking_ablation(config, ks=(2, 4))
+        (path,) = export_e9(res, tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 3  # header + 2 masking rows + ARO reference
+
+    def test_e12(self, config, tmp_path):
+        res = stage_ablation(config, stage_counts=(3, 5))
+        (path,) = export_e12(res, tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 4  # header + 2 designs x 2 stage counts

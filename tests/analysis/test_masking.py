@@ -1,0 +1,45 @@
+"""E9 masking ablation experiment (unit scale)."""
+
+import pytest
+
+from repro.analysis import ExperimentConfig, masking_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return masking_ablation(
+        ExperimentConfig(n_chips=5, n_ros=64, seed=21), ks=(2, 8), t_years=10.0
+    )
+
+
+class TestMaskingAblation:
+    def test_row_labels(self, result):
+        labels = [row.label for row in result.rows]
+        assert labels[0] == "ro-puf / neighbour (k=2)"
+        assert "ro-puf / 1-of-8 masking" in labels
+        assert labels[-1] == "aro-puf / neighbour (reference)"
+
+    def test_bits_follow_group_size(self, result):
+        by_label = {row.label: row for row in result.rows}
+        assert by_label["ro-puf / neighbour (k=2)"].n_bits == 32
+        assert by_label["ro-puf / 1-of-8 masking"].n_bits == 8
+
+    def test_masking_widens_margin(self, result):
+        by_label = {row.label: row for row in result.rows}
+        assert (
+            by_label["ro-puf / 1-of-8 masking"].mean_margin_percent
+            > 2 * by_label["ro-puf / neighbour (k=2)"].mean_margin_percent
+        )
+
+    def test_masking_reduces_aging_flips(self, result):
+        by_label = {row.label: row for row in result.rows}
+        assert (
+            by_label["ro-puf / 1-of-8 masking"].aging_flips_percent
+            < by_label["ro-puf / neighbour (k=2)"].aging_flips_percent
+        )
+
+    def test_percentages_bounded(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.noise_flips_percent <= 100.0
+            assert 0.0 <= row.aging_flips_percent <= 100.0
+            assert row.mean_margin_percent > 0.0

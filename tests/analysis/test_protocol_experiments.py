@@ -1,0 +1,56 @@
+"""E10/E11 experiment wrappers at unit scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentConfig, attack_experiment, authentication_experiment
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_chips=6, n_ros=32, seed=51)
+
+
+class TestAuthenticationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return authentication_experiment(config, years=(0.0, 10.0))
+
+    def test_both_designs_covered(self, result):
+        assert set(result.frr) == {"ro-puf", "aro-puf"}
+
+    def test_fresh_silicon_authenticates(self, result):
+        for rates in result.frr.values():
+            assert rates[0] == 0.0
+
+    def test_distance_populations_recorded(self, result):
+        for name in result.frr:
+            assert len(result.genuine_distances[name][10.0]) == 6
+            assert len(result.impostor_distances[name]) == 6
+
+    def test_aro_separability_dominates(self, result):
+        conv_eer, _ = result.equal_error_rate("ro-puf", 10.0)
+        aro_eer, _ = result.equal_error_rate("aro-puf", 10.0)
+        assert aro_eer <= conv_eer
+
+
+class TestAttackExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return attack_experiment(
+            config, train_sizes=(1, 8, 16), n_test=8
+        )
+
+    def test_rows_per_design(self, result):
+        assert set(result.rows) == {"ro-puf", "aro-puf"}
+        for rows in result.rows.values():
+            assert [n for n, _, _ in rows] == [1, 8, 16]
+
+    def test_coverage_monotone(self, result):
+        for rows in result.rows.values():
+            coverages = [cov for _, _, cov in rows]
+            assert coverages == sorted(coverages)
+
+    def test_rich_disclosure_predicts_well(self, result):
+        for rows in result.rows.values():
+            assert rows[-1][1] > 0.75

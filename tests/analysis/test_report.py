@@ -1,0 +1,40 @@
+"""Markdown report generator."""
+
+import pytest
+
+from repro.analysis import ExperimentConfig
+from repro.analysis.report import ALL_EXPERIMENTS, generate_report
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_chips=4, n_ros=16, seed=41)
+
+
+class TestGenerateReport:
+    def test_subset_report(self, config, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_report(config, experiments=("e2", "e3"), path=path)
+        assert path.read_text() == text
+        assert "# ARO-PUF reproduction report" in text
+        assert "## Paper anchors" in text
+        assert "## E2" in text and "## E3" in text
+        assert "## E6" not in text
+
+    def test_anchor_table_present(self, config):
+        text = generate_report(config, experiments=("e3",))
+        assert "| Anchor | Paper | Measured |" in text
+        assert "49.67" in text
+
+    def test_scale_recorded(self, config):
+        text = generate_report(config, experiments=("e3",))
+        assert "4 chips x 16 ROs" in text
+
+    def test_unknown_experiment_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(config, experiments=("e99",))
+
+    def test_all_experiments_constant_matches_cli(self):
+        from repro.cli import EXPERIMENTS
+
+        assert set(ALL_EXPERIMENTS) == set(EXPERIMENTS)

@@ -1,0 +1,51 @@
+"""Sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, geometric_spacing, sweep
+
+
+class TestSeries:
+    def test_add_and_rows(self):
+        s = Series(name="t")
+        s.add(1.0, 2.0, 0.1)
+        s.add(2.0, 4.0)
+        assert s.as_rows() == [(1.0, 2.0, 0.1), (2.0, 4.0, 0.0)]
+
+    def test_y_at(self):
+        s = Series(name="t")
+        s.add(1.0, 10.0)
+        s.add(10.0, 42.0)
+        assert s.y_at(10.0) == 42.0
+
+    def test_y_at_missing(self):
+        s = Series(name="t")
+        s.add(1.0, 10.0)
+        with pytest.raises(KeyError, match="t"):
+            s.y_at(3.0)
+
+
+class TestSweep:
+    def test_applies_function(self):
+        s = sweep([1, 2, 3], lambda v: v**2, name="sq")
+        assert s.y == [1.0, 4.0, 9.0]
+        assert s.name == "sq"
+
+
+class TestGeometricSpacing:
+    def test_endpoints(self):
+        vals = geometric_spacing(1e-8, 1e-2, 7)
+        assert vals[0] == pytest.approx(1e-8)
+        assert vals[-1] == pytest.approx(1e-2)
+        assert len(vals) == 7
+
+    def test_log_spaced(self):
+        vals = geometric_spacing(1.0, 100.0, 3)
+        assert vals[1] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_spacing(0.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            geometric_spacing(1.0, 2.0, 1)

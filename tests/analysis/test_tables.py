@@ -1,0 +1,59 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.analysis import Series, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [1.2e-7], [3e6]])
+        assert "0.123" in text
+        assert "1.200e-07" in text
+        assert "3.000e+06" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert lines[2].index("|") == lines[3].index("|")
+
+
+class TestFormatSeries:
+    def make(self, name, ys):
+        s = Series(name=name)
+        for x, y in zip([1.0, 2.0], ys):
+            s.add(x, y)
+        return s
+
+    def test_shared_axis(self):
+        a = self.make("conv", [1.0, 2.0])
+        b = self.make("aro", [0.5, 0.7])
+        text = format_series([a, b], x_label="years", y_label="%")
+        assert "conv (%)" in text and "aro (%)" in text
+        assert "years" in text
+
+    def test_mismatched_axes_rejected(self):
+        a = self.make("conv", [1.0, 2.0])
+        b = Series(name="aro")
+        b.add(5.0, 1.0)
+        with pytest.raises(ValueError, match="different x axis"):
+            format_series([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([])

@@ -1,0 +1,88 @@
+"""Cell descriptors: stress patterns, areas, measured periods."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CellKind,
+    aro_cell,
+    cell_for,
+    conventional_cell,
+    measured_period,
+)
+from repro.transistor import ptm90
+from repro.variation import NMOS, PMOS
+
+
+class TestFactory:
+    def test_cell_for_dispatch(self):
+        assert cell_for(CellKind.CONVENTIONAL).kind is CellKind.CONVENTIONAL
+        assert cell_for(CellKind.ARO).kind is CellKind.ARO
+
+    def test_stage_count_propagates(self):
+        assert conventional_cell(7).n_stages == 7
+        assert aro_cell(9).build().gates_tagged(role="stage")[0] is not None
+
+
+class TestIdleStressPattern:
+    def test_conventional_stresses_alternating_pmos(self):
+        pattern = conventional_cell(5).idle_stress_pattern()
+        assert pattern[:, PMOS].tolist() == [0.0, 0.0, 1.0, 0.0, 1.0]
+        # the complementary stages park their NMOS at gate high (PBTI)
+        assert pattern[:, NMOS].tolist() == [1.0, 1.0, 0.0, 1.0, 0.0]
+
+    def test_conventional_seven_stages(self):
+        pattern = conventional_cell(7).idle_stress_pattern()
+        assert pattern[:, PMOS].sum() == 3.0  # (N-1)/2 stressed PMOS
+
+    def test_aro_stresses_no_pmos(self):
+        pattern = aro_cell(5).idle_stress_pattern()
+        assert not pattern[:, PMOS].any()
+        assert pattern[:, NMOS].all()  # all inputs parked high
+
+    def test_every_stage_parks_exactly_one_polarity(self):
+        for cell in (conventional_cell(5), aro_cell(5)):
+            pattern = cell.idle_stress_pattern()
+            assert np.array_equal(
+                pattern[:, NMOS] + pattern[:, PMOS], np.ones(5)
+            )
+
+
+class TestArea:
+    def test_aro_cell_is_larger(self):
+        tech = ptm90()
+        assert aro_cell(5).cell_area(tech) > conventional_cell(5).cell_area(tech)
+
+    def test_area_scales_with_stages(self):
+        tech = ptm90()
+        assert conventional_cell(7).cell_area(tech) > conventional_cell(5).cell_area(tech)
+
+    def test_conventional_area_formula(self):
+        tech = ptm90()
+        expected = tech.area.nand2 + 4 * tech.area.inverter
+        assert conventional_cell(5).cell_area(tech) == pytest.approx(expected)
+
+
+class TestMeasuredPeriod:
+    def test_conventional_matches_analytic(self):
+        d = 2e-11
+        cell = conventional_cell(5)
+        expected = 2 * (cell.stage0_penalty * d + 4 * d)
+        assert measured_period(cell, [d] * 5) == pytest.approx(expected, rel=1e-6)
+
+    def test_aro_matches_analytic(self):
+        d = 2e-11
+        period = measured_period(aro_cell(5), [d] * 5)
+        assert period == pytest.approx(2 * 5 * d * 1.35, rel=1e-6)
+
+    def test_mismatched_delays(self):
+        rng = np.random.default_rng(3)
+        delays = (2e-11 * (1 + 0.08 * rng.standard_normal(5))).tolist()
+        cell = conventional_cell(5)
+        expected = 2 * (delays[0] * cell.stage0_penalty + sum(delays[1:]))
+        assert measured_period(cell, delays) == pytest.approx(expected, rel=1e-6)
+
+    def test_longer_ring_slower(self):
+        assert measured_period(conventional_cell(7)) > measured_period(
+            conventional_cell(5)
+        )

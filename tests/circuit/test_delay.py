@@ -1,0 +1,108 @@
+"""Analytic ring timing: shapes, monotonicities, structural agreement."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    chip_frequencies,
+    conventional_cell,
+    measured_period,
+    ring_frequency,
+    ring_period,
+)
+from repro.transistor import ptm90, transition_delay
+from repro.variation import NMOS, PMOS, VariationModel
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return ptm90()
+
+
+def uniform_vth(shape, value=0.25):
+    return np.full(shape, value)
+
+
+class TestRingPeriod:
+    def test_scalar_ring(self, tech):
+        vth = uniform_vth((5, 2))
+        period = ring_period(vth, tech)
+        stage = 2 * float(transition_delay(0.25, tech))
+        assert period == pytest.approx(5 * stage)
+
+    def test_batched_rings(self, tech):
+        vth = uniform_vth((3, 7, 5, 2))
+        period = ring_period(vth, tech)
+        assert period.shape == (3, 7)
+        assert np.allclose(period, period[0, 0])
+
+    def test_stage0_penalty_weights_first_stage(self, tech):
+        vth = uniform_vth((5, 2))
+        base = ring_period(vth, tech)
+        penalised = ring_period(vth, tech, stage0_penalty=1.5)
+        stage = base / 5
+        assert penalised == pytest.approx(base + 0.5 * stage)
+
+    def test_even_stage_count_rejected(self, tech):
+        with pytest.raises(ValueError, match="odd"):
+            ring_period(uniform_vth((4, 2)), tech)
+
+    def test_bad_last_axis_rejected(self, tech):
+        with pytest.raises(ValueError, match="shape"):
+            ring_period(uniform_vth((5, 3)), tech)
+
+    def test_higher_pmos_vth_slows_ring(self, tech):
+        vth = uniform_vth((5, 2))
+        slow = vth.copy()
+        slow[2, PMOS] += 0.05
+        assert ring_period(slow, tech) > ring_period(vth, tech)
+
+    def test_frequency_is_reciprocal(self, tech):
+        vth = uniform_vth((5, 2))
+        assert ring_frequency(vth, tech) == pytest.approx(
+            1.0 / float(ring_period(vth, tech))
+        )
+
+    def test_nominal_frequency_near_one_gigahertz(self, tech):
+        f = float(ring_frequency(uniform_vth((5, 2)), tech))
+        assert 0.5e9 < f < 2.0e9
+
+
+class TestChipFrequencies:
+    def test_shape_and_spread(self, tech):
+        chip = VariationModel(tech=tech, n_ros=64, n_stages=5).sample_chip(rng=0)
+        f = chip_frequencies(chip, tech)
+        assert f.shape == (64,)
+        assert 0.002 < f.std() / f.mean() < 0.05
+
+    def test_tc_mismatch_toggle(self, tech):
+        chip = VariationModel(tech=tech, n_ros=8, n_stages=5).sample_chip(rng=0)
+        with_tc = chip_frequencies(chip, tech, temperature_k=358.0)
+        without = chip_frequencies(chip, tech, temperature_k=358.0, use_tc_mismatch=False)
+        assert not np.allclose(with_tc, without)
+
+
+class TestStructuralAgreement:
+    def test_analytic_period_matches_event_simulation(self, tech):
+        """The vectorised model and the gate-level simulator must agree on
+        the same per-stage delays — this pins the analytic hot path to the
+        structural ground truth."""
+        rng = np.random.default_rng(11)
+        vth = 0.25 + 0.02 * rng.standard_normal((5, 2))
+        cell = conventional_cell(5)
+
+        t_fall = transition_delay(vth[:, NMOS], tech)
+        t_rise = transition_delay(vth[:, PMOS], tech)
+        stage_delays = 0.5 * (t_rise + t_fall)
+
+        analytic = float(
+            ring_period(vth, tech, stage0_penalty=cell.stage0_penalty)
+        )
+        # the event sim uses one delay per gate (mean of rise/fall), so
+        # compare against the symmetrised analytic period
+        symmetric = 2 * float(
+            stage_delays[0] * cell.stage0_penalty + stage_delays[1:].sum()
+        )
+        measured = measured_period(cell, stage_delays.tolist())
+        assert measured == pytest.approx(symmetric, rel=1e-9)
+        assert analytic == pytest.approx(symmetric, rel=1e-12)

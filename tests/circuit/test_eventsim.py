@@ -1,0 +1,160 @@
+"""Event-driven simulator: propagation, settling, inertial filtering."""
+
+import pytest
+
+from repro.circuit import EventSimulator, Netlist, SimulationError
+
+
+def inverter_chain(n=3, delay=1e-9):
+    net = Netlist(name="chain")
+    net.add_input("in")
+    prev = "in"
+    for i in range(n):
+        net.gate("INV", [prev], f"n{i}", delay=delay)
+        prev = f"n{i}"
+    return net
+
+
+class TestPropagation:
+    def test_chain_propagates_with_cumulative_delay(self):
+        net = inverter_chain(3, delay=1e-9)
+        sim = EventSimulator(net)
+        result = sim.run({"in": True}, t_end=1e-6)
+        assert result.settled
+        # in=1 -> n0=0, n1=1, n2=0
+        final = result.final_values()
+        assert final["n0"] is False
+        assert final["n1"] is True
+        assert final["n2"] is False
+        # n0 starts consistent (0) and never moves; n1 resolves its
+        # inconsistent initial value after one gate delay; the would-be n2
+        # glitch is narrower than the gate delay and gets filtered
+        assert result.waveforms["n0"].n_toggles == 0
+        assert result.waveforms["n1"].times[-1] == pytest.approx(1e-9)
+        assert result.waveforms["n2"].n_toggles == 0
+
+    def test_unbound_input_rejected(self):
+        sim = EventSimulator(inverter_chain())
+        with pytest.raises(SimulationError, match="unbound"):
+            sim.run({}, t_end=1e-6)
+
+    def test_initial_values_respected(self):
+        net = inverter_chain(1)
+        sim = EventSimulator(net)
+        # consistent initial state: in=1, n0=0 -> no events at all
+        result = sim.run({"in": True}, t_end=1e-6, initial={"n0": False})
+        assert result.waveforms["n0"].n_toggles == 0
+
+    def test_unknown_initial_node_rejected(self):
+        sim = EventSimulator(inverter_chain())
+        with pytest.raises(SimulationError, match="unknown"):
+            sim.run({"in": False}, t_end=1.0, initial={"nope": True})
+
+    def test_scheduled_input_events(self):
+        net = inverter_chain(1, delay=1e-9)
+        sim = EventSimulator(net)
+        result = sim.run(
+            {"in": False},
+            t_end=1e-5,
+            input_events=[(5e-9, "in", True), (8e-9, "in", False)],
+        )
+        wave = result.waveforms["n0"]
+        # n0: starts 0 (inconsistent), resolves to 1, then toggles twice
+        assert wave.values[-1] is True
+        assert wave.n_toggles >= 3
+
+    def test_input_event_on_non_input_rejected(self):
+        sim = EventSimulator(inverter_chain())
+        with pytest.raises(SimulationError, match="primary input"):
+            sim.run({"in": False}, 1.0, input_events=[(0.5, "n0", True)])
+
+
+class TestInertialFiltering:
+    def test_narrow_pulse_swallowed(self):
+        """A pulse shorter than the gate delay must not reach the output."""
+        net = Netlist(name="pulse")
+        net.add_input("in")
+        net.gate("BUF", ["in"], "out", delay=10e-9)
+        sim = EventSimulator(net)
+        result = sim.run(
+            {"in": False},
+            t_end=1e-6,
+            input_events=[(100e-9, "in", True), (103e-9, "in", False)],
+        )
+        assert result.waveforms["out"].n_toggles == 0
+
+    def test_wide_pulse_passes(self):
+        net = Netlist(name="pulse")
+        net.add_input("in")
+        net.gate("BUF", ["in"], "out", delay=10e-9)
+        sim = EventSimulator(net)
+        result = sim.run(
+            {"in": False},
+            t_end=1e-6,
+            input_events=[(100e-9, "in", True), (130e-9, "in", False)],
+        )
+        assert result.waveforms["out"].n_toggles == 2
+
+
+class TestOscillationAndSettle:
+    def ring(self, delay=1e-9):
+        net = Netlist(name="ring")
+        net.add_input("en")
+        net.gate("NAND2", ["en", "c"], "a", delay=delay)
+        net.gate("INV", ["a"], "b", delay=delay)
+        net.gate("INV", ["b"], "c", delay=delay)
+        return net
+
+    def test_disabled_ring_settles(self):
+        sim = EventSimulator(self.ring())
+        state = sim.settle({"en": False})
+        assert state["a"] is True
+        assert state["b"] is False
+        assert state["c"] is True
+
+    def test_enabled_ring_never_settles(self):
+        sim = EventSimulator(self.ring())
+        with pytest.raises(SimulationError):
+            sim.settle({"en": True}, max_events=5000)
+
+    def test_enabled_ring_measured_period(self):
+        sim = EventSimulator(self.ring(delay=1e-9))
+        parked = sim.settle({"en": False})
+        result = sim.run({"en": True}, t_end=100e-9, initial=parked)
+        assert not result.settled
+        assert result.period("c") == pytest.approx(6e-9, rel=1e-6)
+
+    def test_period_needs_enough_edges(self):
+        sim = EventSimulator(self.ring(delay=1e-9))
+        parked = sim.settle({"en": False})
+        result = sim.run({"en": True}, t_end=8e-9, initial=parked)
+        with pytest.raises(SimulationError, match="rising edges"):
+            result.period("c", n_cycles=10)
+
+    def test_max_events_guard(self):
+        sim = EventSimulator(self.ring())
+        with pytest.raises(SimulationError, match="events"):
+            sim.run({"en": True}, t_end=1.0, max_events=1000)
+
+
+class TestWaveform:
+    def test_value_at_interpolates_step(self):
+        net = inverter_chain(1, delay=1e-9)
+        sim = EventSimulator(net)
+        result = sim.run({"in": True}, t_end=1e-6)
+        wave = result.waveforms["n0"]
+        assert wave.value_at(0.0) is False
+        assert wave.value_at(2e-9) is False
+
+    def test_edges_filtering(self):
+        net = inverter_chain(1, delay=1e-9)
+        sim = EventSimulator(net)
+        result = sim.run(
+            {"in": True},
+            t_end=1e-5,
+            input_events=[(10e-9, "in", False)],
+        )
+        rising = result.waveforms["n0"].edges(rising=True)
+        falling = result.waveforms["n0"].edges(rising=False)
+        assert len(rising) == 1
+        assert len(falling) == 0  # initial 0 assignment is not an edge

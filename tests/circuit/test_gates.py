@@ -1,0 +1,88 @@
+"""Gate primitives: truth tables and validation."""
+
+import pytest
+
+from repro.circuit import GATE_LIBRARY, Gate
+
+
+def make(gate_type, n_inputs):
+    return Gate(
+        name="g",
+        gate_type=gate_type,
+        inputs=tuple(f"i{k}" for k in range(n_inputs)),
+        output="o",
+    )
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("a,expect", [(0, 1), (1, 0)])
+    def test_inv(self, a, expect):
+        assert make("INV", 1).evaluate([a]) == bool(expect)
+
+    @pytest.mark.parametrize("a,expect", [(0, 0), (1, 1)])
+    def test_buf(self, a, expect):
+        assert make("BUF", 1).evaluate([a]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "a,b,expect", [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+    )
+    def test_nand2(self, a, b, expect):
+        assert make("NAND2", 2).evaluate([a, b]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "a,b,expect", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)]
+    )
+    def test_nor2(self, a, b, expect):
+        assert make("NOR2", 2).evaluate([a, b]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "a,b,expect", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+    )
+    def test_xor2(self, a, b, expect):
+        assert make("XOR2", 2).evaluate([a, b]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "a,b,expect", [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]
+    )
+    def test_and2(self, a, b, expect):
+        assert make("AND2", 2).evaluate([a, b]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "a,b,expect", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)]
+    )
+    def test_or2(self, a, b, expect):
+        assert make("OR2", 2).evaluate([a, b]) == bool(expect)
+
+    @pytest.mark.parametrize(
+        "d0,d1,sel,expect",
+        [(0, 1, 0, 0), (0, 1, 1, 1), (1, 0, 0, 1), (1, 0, 1, 0)],
+    )
+    def test_mux2_selects(self, d0, d1, sel, expect):
+        assert make("MUX2", 3).evaluate([d0, d1, sel]) == bool(expect)
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate type"):
+            make("XNOR7", 2)
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="takes 2 inputs"):
+            make("NAND2", 3)
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Gate(name="g", gate_type="INV", inputs=("a",), output="o", delay=0.0)
+
+    def test_library_covers_expected_types(self):
+        assert {"INV", "NAND2", "MUX2"} <= set(GATE_LIBRARY)
+
+    def test_tags_are_free_form(self):
+        g = Gate(
+            name="g",
+            gate_type="INV",
+            inputs=("a",),
+            output="o",
+            tags={"stage": 3, "role": "stage"},
+        )
+        assert g.tags["stage"] == 3

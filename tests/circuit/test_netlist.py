@@ -1,0 +1,86 @@
+"""Netlist container: construction rules and queries."""
+
+import pytest
+
+from repro.circuit import Netlist, NetlistError
+
+
+@pytest.fixture
+def net():
+    n = Netlist(name="t")
+    n.add_input("a")
+    n.add_input("b")
+    return n
+
+
+class TestConstruction:
+    def test_gate_convenience_names_unique(self, net):
+        g1 = net.gate("INV", ["a"], "x")
+        g2 = net.gate("INV", ["x"], "y")
+        assert g1.name != g2.name
+
+    def test_duplicate_gate_name_rejected(self, net):
+        net.gate("INV", ["a"], "x", name="g0")
+        with pytest.raises(NetlistError, match="duplicate"):
+            net.gate("INV", ["b"], "y", name="g0")
+
+    def test_multiple_drivers_rejected(self, net):
+        net.gate("INV", ["a"], "x")
+        with pytest.raises(NetlistError, match="driver"):
+            net.gate("INV", ["b"], "x")
+
+    def test_driving_primary_input_rejected(self, net):
+        with pytest.raises(NetlistError, match="primary input"):
+            net.gate("INV", ["a"], "b")
+
+    def test_input_redeclaration_rejected(self, net):
+        with pytest.raises(NetlistError):
+            net.add_input("a")
+
+    def test_input_on_driven_node_rejected(self, net):
+        net.gate("INV", ["a"], "x")
+        with pytest.raises(NetlistError):
+            net.add_input("x")
+
+
+class TestQueries:
+    def test_nodes_cover_everything(self, net):
+        net.gate("NAND2", ["a", "b"], "x")
+        assert net.nodes == {"a", "b", "x"}
+
+    def test_driver_of(self, net):
+        g = net.gate("INV", ["a"], "x")
+        assert net.driver_of("x") is g
+        assert net.driver_of("a") is None
+
+    def test_fanout_of(self, net):
+        g1 = net.gate("INV", ["a"], "x")
+        g2 = net.gate("NAND2", ["a", "x"], "y")
+        assert net.fanout_of("a") == [g1, g2]
+        assert net.fanout_of("x") == [g2]
+
+    def test_gates_tagged(self, net):
+        net.gate("INV", ["a"], "x", stage=0, role="stage")
+        net.gate("INV", ["x"], "y", stage=1, role="stage")
+        net.gate("INV", ["y"], "z", stage=1, role="mux")
+        assert len(net.gates_tagged(role="stage")) == 2
+        assert len(net.gates_tagged(stage=1, role="mux")) == 1
+        assert net.gates_tagged(role="nonexistent") == []
+
+
+class TestValidate:
+    def test_complete_netlist_validates(self, net):
+        net.gate("NAND2", ["a", "b"], "x")
+        net.validate()
+
+    def test_floating_input_detected(self, net):
+        net.gate("NAND2", ["a", "ghost"], "x")
+        with pytest.raises(NetlistError, match="floating"):
+            net.validate()
+
+    def test_combinational_loop_allowed(self, net):
+        """Rings are loops; validate must not reject them."""
+        net.gate("NAND2", ["a", "z"], "x")
+        net.gate("INV", ["x"], "y")
+        net.gate("INV", ["y"], "z")
+        net.validate()

@@ -1,0 +1,124 @@
+"""RO netlist builders: structure, parking, oscillation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ENABLE,
+    OSC_OUT,
+    RECOVERY,
+    EventSimulator,
+    build_aro_cell,
+    build_conventional_ro,
+    stage_input_nodes,
+)
+from repro.circuit.ring import LAUNCH
+
+
+class TestConventionalStructure:
+    def test_gate_count(self):
+        net = build_conventional_ro(5)
+        assert len(net.gates) == 5
+        assert len(net.gates_tagged(role="stage")) == 5
+
+    def test_stage_zero_is_nand(self):
+        net = build_conventional_ro(5)
+        g = net.gates_tagged(stage=0)[0]
+        assert g.gate_type == "NAND2"
+        assert ENABLE in g.inputs
+
+    def test_even_stage_count_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            build_conventional_ro(4)
+
+    def test_custom_delays_applied(self):
+        delays = [1e-11, 2e-11, 3e-11, 4e-11, 5e-11]
+        net = build_conventional_ro(5, stage_delays=delays, nand_penalty=2.0)
+        stage0 = net.gates_tagged(stage=0)[0]
+        stage3 = net.gates_tagged(stage=3)[0]
+        assert stage0.delay == pytest.approx(2e-11)  # 2x penalty
+        assert stage3.delay == pytest.approx(4e-11)
+
+    def test_wrong_delay_count_rejected(self):
+        with pytest.raises(ValueError, match="stage delays"):
+            build_conventional_ro(5, stage_delays=[1e-11] * 4)
+
+    def test_parked_state_alternates(self):
+        """en=0 latches the classic alternating pattern: every other PMOS
+        (stages 2 and 4 for N=5) sits at input low, i.e. DC stressed."""
+        net = build_conventional_ro(5)
+        state = EventSimulator(net).settle({ENABLE: False})
+        inputs = [state[node] for node in stage_input_nodes(net)]
+        assert inputs == [True, True, False, True, False]
+
+    def test_oscillates_when_enabled(self):
+        net = build_conventional_ro(5)
+        sim = EventSimulator(net)
+        parked = sim.settle({ENABLE: False})
+        result = sim.run({ENABLE: True}, t_end=5e-9, initial=parked)
+        assert result.waveforms[OSC_OUT].n_toggles > 10
+
+
+class TestAroStructure:
+    def test_gate_count(self):
+        net = build_aro_cell(5)
+        assert len(net.gates) == 10  # mux + inverter per stage
+        assert len(net.gates_tagged(role="mux")) == 5
+
+    def test_stage_zero_mux_uses_launch(self):
+        net = build_aro_cell(5)
+        mux0 = [g for g in net.gates_tagged(role="mux") if g.tags["stage"] == 0][0]
+        mux1 = [g for g in net.gates_tagged(role="mux") if g.tags["stage"] == 1][0]
+        assert LAUNCH in mux0.inputs
+        assert ENABLE in mux1.inputs
+
+    def test_idle_parks_every_inverter_input_high(self):
+        """The design's whole point: no PMOS gate at logic low while idle."""
+        net = build_aro_cell(5)
+        state = EventSimulator(net).settle(
+            {ENABLE: False, LAUNCH: False, RECOVERY: True}
+        )
+        inputs = [state[node] for node in stage_input_nodes(net)]
+        assert inputs == [True] * 5
+
+    def test_oscillates_after_launch_sequence(self):
+        net = build_aro_cell(5)
+        sim = EventSimulator(net)
+        parked = sim.settle({ENABLE: False, LAUNCH: False, RECOVERY: True})
+        ready = sim.settle(
+            {ENABLE: True, LAUNCH: False, RECOVERY: True}, initial=parked
+        )
+        result = sim.run(
+            {ENABLE: True, LAUNCH: True, RECOVERY: True},
+            t_end=5e-9,
+            initial=ready,
+        )
+        assert result.waveforms[OSC_OUT].n_toggles > 10
+
+    def test_mux_delay_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            build_aro_cell(5, mux_delay_fraction=0.0)
+        with pytest.raises(ValueError):
+            build_aro_cell(5, mux_delay_fraction=1.0)
+
+
+class TestStageInputNodes:
+    def test_conventional_order(self):
+        net = build_conventional_ro(5)
+        nodes = stage_input_nodes(net)
+        assert len(nodes) == 5
+        assert nodes[0] == OSC_OUT  # NAND's feedback input
+
+    def test_aro_points_at_mux_outputs(self):
+        net = build_aro_cell(5)
+        nodes = stage_input_nodes(net)
+        assert nodes == [f"m{i}" for i in range(5)]
+
+    def test_untagged_netlist_rejected(self):
+        from repro.circuit import Netlist
+
+        net = Netlist()
+        net.add_input("a")
+        net.gate("INV", ["a"], "b")
+        with pytest.raises(ValueError, match="role='stage'"):
+            stage_input_nodes(net)

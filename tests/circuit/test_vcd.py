@@ -1,0 +1,74 @@
+"""VCD waveform export."""
+
+import pytest
+
+from repro.circuit import ENABLE, EventSimulator, build_conventional_ro
+from repro.circuit.vcd import _identifier, _parse_timescale, dump_vcd
+
+
+@pytest.fixture(scope="module")
+def result():
+    net = build_conventional_ro(5)
+    sim = EventSimulator(net)
+    parked = sim.settle({ENABLE: False})
+    return sim.run({ENABLE: True}, t_end=2e-9, initial=parked)
+
+
+class TestDump:
+    def test_header_and_vars(self, result, tmp_path):
+        path = dump_vcd(result, tmp_path / "ro.vcd")
+        text = path.read_text()
+        assert "$timescale 1ps $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1" in text
+        assert " osc " in text
+
+    def test_oscillation_recorded(self, result, tmp_path):
+        path = dump_vcd(result, tmp_path / "ro.vcd", nodes=["osc"])
+        text = path.read_text()
+        # many timestamped toggles of the single dumped signal
+        assert text.count("\n#") > 10
+        assert "1!" in text and "0!" in text
+
+    def test_time_quantisation(self, result, tmp_path):
+        """With 1 ps resolution the 106 ps half-period lands on #106-ish
+        ticks; every timestamp must be a non-negative integer."""
+        path = dump_vcd(result, tmp_path / "ro.vcd", nodes=["osc"])
+        ticks = [
+            int(line[1:])
+            for line in path.read_text().splitlines()
+            if line.startswith("#")
+        ]
+        assert ticks == sorted(ticks)
+        assert all(t >= 0 for t in ticks)
+
+    def test_unknown_node_rejected(self, result, tmp_path):
+        with pytest.raises(KeyError, match="nope"):
+            dump_vcd(result, tmp_path / "x.vcd", nodes=["nope"])
+
+    def test_empty_selection_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError):
+            dump_vcd(result, tmp_path / "x.vcd", nodes=[])
+
+
+class TestHelpers:
+    def test_identifier_uniqueness(self):
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+
+    def test_identifier_validation(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1ps", 1e-12), ("10ns", 1e-8), ("100us", 1e-4), ("1s", 1.0)],
+    )
+    def test_parse_timescale(self, text, expected):
+        assert _parse_timescale(text) == pytest.approx(expected)
+
+    def test_parse_timescale_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            _parse_timescale("2ns")
+        with pytest.raises(ValueError):
+            _parse_timescale("1parsec")

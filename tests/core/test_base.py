@@ -1,0 +1,108 @@
+"""PufDesign / RoPufInstance: geometry, evaluation semantics, area."""
+
+import numpy as np
+import pytest
+
+from repro.core import aro_design, conventional_design
+from repro.environment import OperatingConditions, celsius
+
+
+@pytest.fixture(scope="module")
+def instance(small_conventional_module=None):
+    design = conventional_design(n_ros=32)
+    return design.sample_instances(1, rng=0)[0]
+
+
+class TestDesign:
+    def test_bit_width(self):
+        assert conventional_design(n_ros=256).n_bits == 128
+
+    def test_with_n_ros(self):
+        base = conventional_design(n_ros=256)
+        big = base.with_n_ros(512)
+        assert big.n_ros == 512
+        assert big.n_bits == 256
+        assert base.n_ros == 256
+
+    def test_too_few_ros_rejected(self):
+        with pytest.raises(ValueError):
+            conventional_design(n_ros=1)
+
+    def test_puf_area_grows_with_array(self):
+        small = conventional_design(n_ros=64).puf_area()
+        large = conventional_design(n_ros=256).puf_area()
+        assert large > 2 * small
+
+    def test_variation_model_matches_geometry(self):
+        design = aro_design(n_ros=64, n_stages=7)
+        model = design.variation_model()
+        assert model.n_ros == 64
+        assert model.n_stages == 7
+
+
+class TestInstance:
+    def test_geometry_mismatch_rejected(self):
+        design32 = conventional_design(n_ros=32)
+        design64 = conventional_design(n_ros=64)
+        chip = design32.variation_model().sample_chip(rng=0)
+        with pytest.raises(ValueError, match="ROs"):
+            design64.instantiate(chip)
+
+    def test_frequencies_shape_and_scale(self, instance):
+        f = instance.frequencies()
+        assert f.shape == (32,)
+        assert 0.5e9 < f.mean() < 2e9
+
+    def test_golden_response_deterministic(self, instance):
+        a = instance.golden_response()
+        b = instance.golden_response()
+        assert np.array_equal(a, b)
+        assert a.dtype == np.uint8
+        assert a.shape == (16,)
+
+    def test_noiseless_votes_rejected(self, instance):
+        with pytest.raises(ValueError, match="votes"):
+            instance.evaluate(votes=3)
+
+    def test_noisy_evaluation_seeded(self, instance):
+        a = instance.evaluate(noisy=True, rng=4)
+        b = instance.evaluate(noisy=True, rng=4)
+        assert np.array_equal(a, b)
+
+    def test_hot_corner_slows_all_ros(self, instance):
+        nominal = instance.frequencies()
+        hot = instance.frequencies(OperatingConditions(temperature_k=celsius(85)))
+        assert np.all(hot < nominal)
+
+    def test_low_supply_slows_all_ros(self, instance):
+        nominal = instance.frequencies()
+        sagged = instance.frequencies(OperatingConditions(vdd=1.08))
+        assert np.all(sagged < nominal)
+
+    def test_corner_changes_few_bits(self, instance):
+        """Environmental shift is mostly common-mode: the response at a hot
+        corner differs from nominal in only a small fraction of bits."""
+        golden = instance.golden_response()
+        hot = instance.evaluate(
+            conditions=OperatingConditions(temperature_k=celsius(85))
+        )
+        flips = int(np.count_nonzero(golden != hot))
+        assert flips <= 3  # of 16 bits
+
+    def test_with_chip_rebinds(self, instance):
+        delta = np.full(instance.chip.vth.shape, 0.01)
+        aged = instance.with_chip(instance.chip.with_delta(delta))
+        assert np.all(aged.frequencies() < instance.frequencies())
+        # uniform aging is common-mode: response must be unchanged
+        assert np.array_equal(aged.golden_response(), instance.golden_response())
+
+
+class TestDesignContrast:
+    def test_aro_slower_due_to_mux_load(self):
+        conv = conventional_design(n_ros=16).sample_instances(1, rng=0)[0]
+        aro = aro_design(n_ros=16).sample_instances(1, rng=0)[0]
+        assert aro.frequencies().mean() < conv.frequencies().mean()
+
+    def test_names(self):
+        assert conventional_design().name == "ro-puf"
+        assert aro_design().name == "aro-puf"

@@ -1,0 +1,67 @@
+"""Study factory: registry, aging integration, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.aging import IdlePolicy, MissionProfile
+from repro.core import conventional_design, design_by_name, make_study
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert design_by_name("ro-puf").name == "ro-puf"
+        assert design_by_name("aro-puf", n_ros=64).n_ros == 64
+
+    def test_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="aro-puf"):
+            design_by_name("mystery-puf")
+
+
+class TestStudy:
+    def test_sizes(self, conventional_study):
+        assert conventional_study.n_chips == 8
+        assert len(conventional_study.agings) == 8
+
+    def test_golden_responses(self, conventional_study):
+        responses = conventional_study.responses()
+        assert len(responses) == 8
+        assert all(r.shape == (16,) for r in responses)
+
+    def test_aged_responses_differ(self, conventional_study):
+        fresh = conventional_study.responses()
+        aged = conventional_study.responses(t_years=10.0)
+        total_flips = sum(
+            int(np.count_nonzero(f != a)) for f, a in zip(fresh, aged)
+        )
+        assert total_flips > 0
+
+    def test_aged_instances_rebind_same_designs(self, conventional_study):
+        aged = conventional_study.aged_instances(5.0)
+        assert all(
+            a.design is i.design
+            for a, i in zip(aged, conventional_study.instances)
+        )
+
+    def test_reproducible(self, small_conventional):
+        a = make_study(small_conventional, 3, rng=77)
+        b = make_study(small_conventional, 3, rng=77)
+        assert np.array_equal(a.responses()[0], b.responses()[0])
+        assert np.array_equal(
+            a.responses(t_years=10.0)[2], b.responses(t_years=10.0)[2]
+        )
+
+    def test_idle_policy_override_changes_aging(self, small_conventional):
+        mission = MissionProfile()
+        parked = make_study(small_conventional, 4, mission=mission, rng=5)
+        free = make_study(
+            small_conventional,
+            4,
+            mission=mission,
+            idle_policy=IdlePolicy.FREE_RUNNING,
+            rng=5,
+        )
+        # same fabrication (same seed), different aging trajectories
+        assert np.array_equal(parked.instances[0].chip.vth, free.instances[0].chip.vth)
+        d_parked = parked.agings[0].delta(10.0)
+        d_free = free.agings[0].delta(10.0)
+        assert not np.allclose(d_parked, d_free)

@@ -1,0 +1,98 @@
+"""Pairing schemes: disjointness, widths, challenge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChainPairing,
+    DistantPairing,
+    NeighborPairing,
+    RandomDisjointPairing,
+)
+
+
+class TestNeighborPairing:
+    def test_pairs_adjacent(self):
+        pairs = NeighborPairing().pairs(8)
+        assert pairs.tolist() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_odd_count_drops_last(self):
+        pairs = NeighborPairing().pairs(7)
+        assert pairs.shape == (3, 2)
+        assert 6 not in pairs
+
+    def test_disjoint(self):
+        pairs = NeighborPairing().pairs(64)
+        flat = pairs.ravel()
+        assert len(set(flat.tolist())) == flat.size
+
+    def test_n_bits(self):
+        assert NeighborPairing().n_bits(256) == 128
+
+    def test_challenge_ignored(self):
+        p = NeighborPairing()
+        assert np.array_equal(p.pairs(8, challenge=5), p.pairs(8, challenge=9))
+
+
+class TestChainPairing:
+    def test_overlapping_chain(self):
+        pairs = ChainPairing().pairs(4)
+        assert pairs.tolist() == [[0, 1], [1, 2], [2, 3]]
+
+    def test_n_bits(self):
+        assert ChainPairing().n_bits(256) == 255
+
+
+class TestRandomDisjointPairing:
+    def test_disjoint(self):
+        pairs = RandomDisjointPairing().pairs(64, challenge=42)
+        flat = pairs.ravel()
+        assert len(set(flat.tolist())) == flat.size
+
+    def test_challenge_changes_pairs(self):
+        p = RandomDisjointPairing()
+        a = p.pairs(64, challenge=1)
+        b = p.pairs(64, challenge=2)
+        assert not np.array_equal(a, b)
+
+    def test_challenge_deterministic(self):
+        p = RandomDisjointPairing()
+        assert np.array_equal(p.pairs(64, challenge=7), p.pairs(64, challenge=7))
+
+    def test_default_challenge(self):
+        p = RandomDisjointPairing(default_challenge=3)
+        assert np.array_equal(p.pairs(16), p.pairs(16, challenge=3))
+
+    def test_negative_challenge_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDisjointPairing().pairs(16, challenge=-1)
+
+
+class TestDistantPairing:
+    def test_half_array_separation(self):
+        pairs = DistantPairing().pairs(8)
+        assert pairs.tolist() == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_disjoint(self):
+        pairs = DistantPairing().pairs(64)
+        flat = pairs.ravel()
+        assert len(set(flat.tolist())) == flat.size
+
+
+class TestCommon:
+    @pytest.mark.parametrize(
+        "scheme",
+        [NeighborPairing(), ChainPairing(), RandomDisjointPairing(), DistantPairing()],
+    )
+    def test_indices_in_range(self, scheme):
+        pairs = scheme.pairs(33)
+        assert pairs.min() >= 0
+        assert pairs.max() < 33
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [NeighborPairing(), ChainPairing(), RandomDisjointPairing(), DistantPairing()],
+    )
+    def test_too_few_ros_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.pairs(1)

@@ -1,0 +1,79 @@
+"""ECC area model: scaling behaviour (absolute values are library lore)."""
+
+import pytest
+
+from repro.ecc import (
+    BchCode,
+    ConcatenatedCode,
+    KeyCodec,
+    RepetitionCode,
+    bch_decoder_area,
+    gf_multiplier_area,
+    keygen_area,
+    repetition_decoder_area,
+)
+from repro.transistor import ptm90
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return ptm90()
+
+
+class TestBchDecoderArea:
+    def test_grows_with_t(self, tech):
+        small = bch_decoder_area(BchCode.design(8, 4), tech).total
+        large = bch_decoder_area(BchCode.design(8, 16), tech).total
+        assert large > 2 * small
+
+    def test_grows_with_field_size(self, tech):
+        small = bch_decoder_area(BchCode.design(6, 3), tech).total
+        large = bch_decoder_area(BchCode.design(10, 3), tech).total
+        assert large > small
+
+    def test_breakdown_sums(self, tech):
+        bd = bch_decoder_area(BchCode.design(7, 5), tech)
+        assert bd.total == pytest.approx(
+            bd.syndrome + bd.berlekamp_massey + bd.chien + bd.encoder
+        )
+
+    def test_plausible_magnitude(self, tech):
+        """A (255,131,t=18) decoder lands in the 10^4 um^2 range at 90 nm —
+        thousands of gate equivalents, not millions."""
+        total = bch_decoder_area(BchCode.design(8, 18), tech).total
+        assert 5e3 < total < 1e5
+
+
+class TestRepetitionArea:
+    def test_trivial_code_free(self, tech):
+        assert repetition_decoder_area(RepetitionCode(1), tech) == 0.0
+
+    def test_grows_slowly(self, tech):
+        a3 = repetition_decoder_area(RepetitionCode(3), tech)
+        a33 = repetition_decoder_area(RepetitionCode(33), tech)
+        assert 0 < a3 < a33 < 10 * a3  # log-ish growth
+
+
+class TestGfMultiplier:
+    def test_quadratic_in_m(self, tech):
+        a4 = gf_multiplier_area(4, tech.area)
+        a8 = gf_multiplier_area(8, tech.area)
+        assert a8 == pytest.approx(4 * a4)
+
+
+class TestKeygenArea:
+    def test_includes_repetition_and_helper(self, tech):
+        codec = KeyCodec(
+            code=ConcatenatedCode(BchCode.design(7, 5), RepetitionCode(5)),
+            key_bits=128,
+        )
+        bd = keygen_area(codec, tech)
+        assert bd.repetition > 0
+        assert bd.helper_xor > 0
+        assert bd.total > bch_decoder_area(codec.code.outer, tech).total
+
+    def test_time_sharing_ignores_block_count(self, tech):
+        code = ConcatenatedCode(BchCode.design(7, 5), RepetitionCode(3))
+        one = keygen_area(KeyCodec(code=code, key_bits=64), tech).total
+        many = keygen_area(KeyCodec(code=code, key_bits=256), tech).total
+        assert one == pytest.approx(many)

@@ -1,0 +1,99 @@
+"""Concatenated codes and key codecs."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConcatenatedCode(outer=BchCode.design(5, 3), inner=RepetitionCode(3))
+
+
+@pytest.fixture(scope="module")
+def codec(code):
+    return KeyCodec(code=code, key_bits=64)
+
+
+class TestConcatenated:
+    def test_geometry(self, code):
+        assert code.n == 93  # 31 * 3
+        assert code.k == 16
+
+    def test_roundtrip_clean(self, code):
+        rng = np.random.default_rng(0)
+        msg = rng.integers(0, 2, 16).astype(np.uint8)
+        assert np.array_equal(code.decode_message(code.encode(msg)), msg)
+
+    def test_corrects_mixed_errors(self, code):
+        """Scattered single flips die in the majority stage; a few group
+        majorities may flip and the BCH stage cleans those up."""
+        rng = np.random.default_rng(1)
+        msg = rng.integers(0, 2, 16).astype(np.uint8)
+        cw = code.encode(msg)
+        noisy = cw.copy()
+        noisy[0] ^= 1          # lone flip, majority fixes
+        noisy[[3, 4]] ^= 1     # group 1 majority flips -> BCH fixes
+        noisy[[30, 31]] ^= 1   # another outer error
+        assert np.array_equal(code.decode_message(noisy), msg)
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(92, dtype=np.uint8))
+
+    def test_block_failure_probability_monotone(self, code):
+        probs = [code.block_failure_probability(p) for p in (0.01, 0.05, 0.1, 0.2)]
+        assert probs == sorted(probs)
+        assert 0 <= probs[0] < probs[-1] <= 1
+
+    def test_trivial_inner_matches_bch_alone(self):
+        outer = BchCode.design(5, 3)
+        plain = ConcatenatedCode(outer=outer, inner=RepetitionCode(1))
+        from scipy import stats
+
+        p = 0.03
+        assert plain.block_failure_probability(p) == pytest.approx(
+            float(stats.binom.sf(outer.t, outer.n, p))
+        )
+
+
+class TestKeyCodec:
+    def test_block_count(self, codec):
+        assert codec.n_blocks == 4  # ceil(64 / 16)
+        assert codec.message_bits == 64
+        assert codec.raw_bits == 4 * 93
+
+    def test_uneven_key_rounds_up(self, code):
+        codec = KeyCodec(code=code, key_bits=50)
+        assert codec.n_blocks == 4
+        assert codec.message_bits == 64
+
+    def test_roundtrip(self, codec):
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, codec.message_bits).astype(np.uint8)
+        encoded = codec.encode(msg)
+        assert encoded.shape == (codec.raw_bits,)
+        assert np.array_equal(codec.decode(encoded), msg)
+
+    def test_roundtrip_with_noise(self, codec):
+        rng = np.random.default_rng(3)
+        msg = rng.integers(0, 2, codec.message_bits).astype(np.uint8)
+        encoded = codec.encode(msg)
+        noisy = encoded ^ (rng.random(encoded.size) < 0.04).astype(np.uint8)
+        assert np.array_equal(codec.decode(noisy), msg)
+
+    def test_key_failure_combines_blocks(self, codec):
+        p_block = codec.code.block_failure_probability(0.1)
+        expected = 1 - (1 - p_block) ** codec.n_blocks
+        assert codec.key_failure_probability(0.1) == pytest.approx(expected)
+
+    def test_shape_validation(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            codec.decode(np.zeros(10, dtype=np.uint8))
+
+    def test_key_bits_positive(self, code):
+        with pytest.raises(ValueError):
+            KeyCodec(code=code, key_bits=0)

@@ -1,0 +1,166 @@
+"""The (23, 12) Golay code."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BchDecodingError, ConcatenatedCode, KeyCodec, RepetitionCode
+from repro.ecc.golay import GOLAY_GENERATOR, GolayCode, _build_syndrome_table
+
+
+@pytest.fixture(scope="module")
+def code():
+    return GolayCode()
+
+
+class TestPerfection:
+    def test_syndrome_table_fills_the_space(self):
+        table = _build_syndrome_table()
+        assert len(table) == 2**11
+
+    def test_sphere_packing_identity(self):
+        """1 + C(23,1) + C(23,2) + C(23,3) = 2^11 — the perfect-code
+        counting identity the decoder relies on."""
+        from math import comb
+
+        assert sum(comb(23, w) for w in range(4)) == 2**11
+
+    def test_generator_divides_x23_plus_1(self):
+        from repro.ecc import poly_mod_gf2
+
+        x23 = np.zeros(24, dtype=np.uint8)
+        x23[0] = 1
+        x23[23] = 1
+        assert not poly_mod_gf2(x23, GOLAY_GENERATOR).any()
+
+
+class TestGeometry:
+    def test_parameters(self, code):
+        assert (code.n, code.k, code.t) == (23, 12, 3)
+        assert code.n_parity == 11
+        assert code.rate == pytest.approx(12 / 23)
+
+    def test_shortened(self, code):
+        short = code.shortened(18)
+        assert (short.n, short.k, short.t) == (18, 7, 3)
+
+    def test_invalid_lengths(self, code):
+        with pytest.raises(ValueError):
+            GolayCode(n=11)
+        with pytest.raises(ValueError):
+            code.shortened(24)
+
+
+class TestCodec:
+    def test_roundtrip_all_weights(self, code):
+        rng = np.random.default_rng(0)
+        for n_errors in range(4):
+            for _ in range(10):
+                msg = rng.integers(0, 2, 12).astype(np.uint8)
+                cw = code.encode(msg)
+                pos = rng.choice(23, size=n_errors, replace=False)
+                rx = cw.copy()
+                rx[pos] ^= 1
+                corrected, found = code.decode(rx)
+                assert np.array_equal(corrected, cw)
+                assert found == n_errors
+                assert np.array_equal(code.extract_message(corrected), msg)
+
+    def test_linearity(self, code):
+        rng = np.random.default_rng(1)
+        m1 = rng.integers(0, 2, 12).astype(np.uint8)
+        m2 = rng.integers(0, 2, 12).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(m1) ^ code.encode(m2), code.encode(m1 ^ m2)
+        )
+
+    def test_minimum_distance_is_seven(self, code):
+        """Every nonzero single-message codeword has weight >= 7; probe a
+        sample plus the unit messages."""
+        rng = np.random.default_rng(2)
+        for i in range(12):
+            msg = np.zeros(12, dtype=np.uint8)
+            msg[i] = 1
+            assert code.encode(msg).sum() >= 7
+        for _ in range(100):
+            msg = rng.integers(0, 2, 12).astype(np.uint8)
+            if msg.any():
+                assert code.encode(msg).sum() >= 7
+
+    def test_four_errors_miscorrect_silently(self, code):
+        """Perfection means weight-4 patterns land on a *different*
+        codeword — never a detected failure (documented behaviour)."""
+        cw = code.encode(np.zeros(12, dtype=np.uint8))
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            pos = rng.choice(23, size=4, replace=False)
+            rx = cw.copy()
+            rx[pos] ^= 1
+            out, _ = code.decode(rx)
+            assert code.is_codeword(out)
+            assert not np.array_equal(out, cw)
+
+    def test_shortened_roundtrip(self, code):
+        short = code.shortened(18)
+        rng = np.random.default_rng(4)
+        msg = rng.integers(0, 2, 7).astype(np.uint8)
+        cw = short.encode(msg)
+        pos = rng.choice(18, size=3, replace=False)
+        rx = cw.copy()
+        rx[pos] ^= 1
+        corrected, found = short.decode(rx)
+        assert np.array_equal(short.extract_message(corrected), msg)
+
+    def test_shortened_prefix_error_detected(self, code):
+        """A pattern that maps into the chopped prefix raises."""
+        short = code.shortened(14)
+        rng = np.random.default_rng(5)
+        detected = 0
+        cw = short.encode(np.zeros(short.k, dtype=np.uint8))
+        for _ in range(50):
+            pos = rng.choice(14, size=5, replace=False)
+            rx = cw.copy()
+            rx[pos] ^= 1
+            try:
+                short.decode(rx)
+            except BchDecodingError:
+                detected += 1
+        assert detected > 0
+
+    def test_validation(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(11, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(22, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            code.decode(np.full(23, 2))
+
+
+class TestInteroperability:
+    def test_as_outer_code_in_key_codec(self, code):
+        codec = KeyCodec(
+            code=ConcatenatedCode(outer=code, inner=RepetitionCode(3)),
+            key_bits=24,
+        )
+        rng = np.random.default_rng(6)
+        msg = rng.integers(0, 2, codec.message_bits).astype(np.uint8)
+        enc = codec.encode(msg)
+        noisy = enc ^ (rng.random(enc.size) < 0.04).astype(np.uint8)
+        assert np.array_equal(codec.decode(noisy), msg)
+
+    def test_in_fuzzy_extractor(self, code):
+        from repro.keygen import FuzzyExtractor
+
+        codec = KeyCodec(
+            code=ConcatenatedCode(outer=code, inner=RepetitionCode(3)),
+            key_bits=24,
+        )
+        fx = FuzzyExtractor(codec)
+        rng = np.random.default_rng(7)
+        resp = rng.integers(0, 2, fx.response_bits).astype(np.uint8)
+        helper, key = fx.enroll(resp, rng=8)
+        noise = (rng.random(resp.size) < 0.03).astype(np.uint8)
+        assert fx.reproduce(resp ^ noise, helper) == key
+
+    def test_instances_share_the_table(self):
+        a, b = GolayCode(), GolayCode()
+        assert a._table is b._table

@@ -1,0 +1,92 @@
+"""Repetition code: majority decoding and residual-error model."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import RepetitionCode
+
+
+class TestConstruction:
+    def test_even_factor_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(-3)
+
+    def test_geometry(self):
+        code = RepetitionCode(5)
+        assert (code.n, code.k, code.t) == (5, 1, 2)
+
+    def test_trivial_code(self):
+        code = RepetitionCode(1)
+        assert code.t == 0
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        code = RepetitionCode(3)
+        msg = np.array([1, 0, 1, 1], dtype=np.uint8)
+        cw = code.encode(msg)
+        assert cw.tolist() == [1, 1, 1, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+        assert np.array_equal(code.decode(cw), msg)
+
+    def test_corrects_minority_flips(self):
+        code = RepetitionCode(5)
+        cw = code.encode(np.array([1, 0]))
+        cw[[0, 3]] ^= 1  # two flips in the first group
+        cw[7] ^= 1  # one flip in the second
+        assert code.decode(cw).tolist() == [1, 0]
+
+    def test_fails_on_majority_flips(self):
+        code = RepetitionCode(3)
+        cw = code.encode(np.array([1]))
+        cw[[0, 1]] ^= 1
+        assert code.decode(cw).tolist() == [0]
+
+    def test_length_must_divide(self):
+        with pytest.raises(ValueError, match="multiple"):
+            RepetitionCode(3).decode(np.zeros(4, dtype=np.uint8))
+
+    def test_binary_enforced(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(3).encode(np.array([0, 2]))
+        with pytest.raises(ValueError):
+            RepetitionCode(3).decode(np.array([0, 1, 2]))
+
+
+class TestErrorModel:
+    def test_r1_identity(self):
+        assert RepetitionCode(1).decoded_error_probability(0.3) == 0.3
+
+    def test_reduces_error_below_half(self):
+        assert RepetitionCode(7).decoded_error_probability(0.2) < 0.2
+
+    def test_amplifies_error_above_half(self):
+        assert RepetitionCode(7).decoded_error_probability(0.7) > 0.7
+
+    def test_half_is_fixed_point(self):
+        assert RepetitionCode(9).decoded_error_probability(0.5) == pytest.approx(0.5)
+
+    def test_monotone_in_r_below_half(self):
+        errs = [
+            RepetitionCode(r).decoded_error_probability(0.25) for r in (3, 7, 15, 31)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_matches_monte_carlo(self):
+        code = RepetitionCode(5)
+        p = 0.3
+        rng = np.random.default_rng(0)
+        msg = np.zeros(20_000, dtype=np.uint8)
+        cw = code.encode(msg)
+        noisy = cw ^ (rng.random(cw.size) < p).astype(np.uint8)
+        empirical = code.decode(noisy).mean()
+        assert empirical == pytest.approx(
+            code.decoded_error_probability(p), rel=0.05
+        )
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(3).decoded_error_probability(1.5)

@@ -1,0 +1,60 @@
+"""Operating corners: construction and sweeps."""
+
+import pytest
+
+from repro.environment import (
+    OperatingConditions,
+    celsius,
+    temperature_sweep,
+    voltage_sweep,
+)
+from repro.transistor import T_REF_K, ptm90
+
+
+class TestConditions:
+    def test_nominal(self):
+        cond = OperatingConditions.nominal()
+        assert cond.temperature_k == T_REF_K
+        assert cond.vdd is None
+
+    def test_effective_vdd_default(self):
+        tech = ptm90()
+        assert OperatingConditions().effective_vdd(tech) == tech.vdd
+
+    def test_effective_vdd_override(self):
+        assert OperatingConditions(vdd=1.0).effective_vdd(ptm90()) == 1.0
+
+    def test_celsius_helper(self):
+        assert celsius(25.0) == pytest.approx(298.15)
+        assert celsius(-40.0) == pytest.approx(233.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingConditions(temperature_k=-1.0)
+        with pytest.raises(ValueError):
+            OperatingConditions(vdd=0.0)
+
+    def test_describe(self):
+        label = OperatingConditions(temperature_k=celsius(85), vdd=1.08).describe()
+        assert "85.0C" in label and "1.08V" in label
+        assert "nom" in OperatingConditions().describe()
+
+
+class TestSweeps:
+    def test_temperature_sweep_endpoints(self):
+        corners = temperature_sweep(-20, 85, steps=8)
+        assert len(corners) == 8
+        assert corners[0].temperature_k == pytest.approx(celsius(-20))
+        assert corners[-1].temperature_k == pytest.approx(celsius(85))
+
+    def test_voltage_sweep_relative(self):
+        tech = ptm90()
+        corners = voltage_sweep(tech, 0.9, 1.1, steps=5)
+        assert corners[0].vdd == pytest.approx(0.9 * tech.vdd)
+        assert corners[2].vdd == pytest.approx(tech.vdd)
+
+    def test_sweep_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            temperature_sweep(steps=1)
+        with pytest.raises(ValueError):
+            voltage_sweep(ptm90(), steps=1)

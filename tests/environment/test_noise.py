@@ -1,0 +1,87 @@
+"""Evaluation noise: jitter statistics, quantisation, voting."""
+
+import numpy as np
+import pytest
+
+from repro.environment import majority_vote, noisy_counts, noisy_frequencies
+from repro.transistor import ptm90
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return ptm90()
+
+
+class TestNoisyCounts:
+    def test_mean_count(self, tech):
+        freqs = np.full(20_000, 1e9)
+        counts = noisy_counts(freqs, 2e-5, tech, rng=0)
+        assert counts.mean() == pytest.approx(2e4, rel=1e-3)
+
+    def test_jitter_magnitude(self, tech):
+        freqs = np.full(50_000, 1e9)
+        counts = noisy_counts(freqs, 2e-5, tech, rng=0, quantize=False)
+        rel = counts / 2e4 - 1.0
+        assert rel.std() == pytest.approx(tech.eval_jitter, rel=0.05)
+
+    def test_quantisation_floors(self, tech):
+        counts = noisy_counts(np.array([1e9]), 2e-5, tech, rng=0)
+        assert counts[0] == np.floor(counts[0])
+
+    def test_validation(self, tech):
+        with pytest.raises(ValueError):
+            noisy_counts(np.array([1e9]), 0.0, tech)
+        with pytest.raises(ValueError):
+            noisy_counts(np.array([-1.0]), 1e-5, tech)
+
+    def test_seeded(self, tech):
+        f = np.full(10, 1e9)
+        assert np.array_equal(
+            noisy_counts(f, 1e-5, tech, rng=3), noisy_counts(f, 1e-5, tech, rng=3)
+        )
+
+
+class TestNoisyFrequencies:
+    def test_centred_on_truth(self, tech):
+        f = np.full(50_000, 1e9)
+        noisy = noisy_frequencies(f, tech, rng=0)
+        assert noisy.mean() == pytest.approx(1e9, rel=1e-4)
+        assert noisy.std() / 1e9 == pytest.approx(tech.eval_jitter, rel=0.05)
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        votes = np.array([[1, 0, 1], [1, 0, 1], [1, 0, 1]])
+        assert majority_vote(votes).tolist() == [1, 0, 1]
+
+    def test_majority_wins(self):
+        votes = np.array([[1, 0], [1, 1], [0, 0]])
+        assert majority_vote(votes).tolist() == [1, 0]
+
+    def test_tie_goes_to_one(self):
+        votes = np.array([[1, 0], [0, 1]])
+        assert majority_vote(votes).tolist() == [1, 1]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            majority_vote(np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            majority_vote(np.zeros((0, 4)))
+
+    def test_voting_cleans_noise(self, tech):
+        """Majority over 9 noisy reads recovers a near-tie bit reliably."""
+        rng = np.random.default_rng(0)
+        f_a, f_b = 1.0e9 * (1 + 1e-3), 1.0e9  # 2-sigma-ish separation
+        wins = 0
+        for trial in range(200):
+            reads = np.stack(
+                [
+                    (
+                        noisy_frequencies(np.array([f_a]), tech, rng=rng)
+                        > noisy_frequencies(np.array([f_b]), tech, rng=rng)
+                    ).astype(np.uint8)
+                    for _ in range(9)
+                ]
+            )
+            wins += int(majority_vote(reads)[0])
+        assert wins > 190

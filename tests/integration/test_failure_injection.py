@@ -1,0 +1,114 @@
+"""Failure injection: the framework must fail loudly, not silently.
+
+Each test drives a component into an invalid regime and checks that the
+error surfaces with an actionable message at the right layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import EventSimulator, Netlist, SimulationError
+from repro.core import ReadoutConfig, conventional_design
+from repro.ecc import BchCode, BchDecodingError
+from repro.environment import OperatingConditions
+from repro.keygen import FuzzyExtractor, KeyRecoveryError
+from repro.transistor import ptm90
+
+
+class TestReadoutOverflow:
+    def test_counter_overflow_surfaces_in_noisy_evaluation(self):
+        """A window too long for the counters must raise, not wrap."""
+        design = conventional_design(
+            n_ros=8, readout=ReadoutConfig(window_s=2e-4, counter_bits=16)
+        )
+        inst = design.sample_instances(1, rng=0)[0]
+        with pytest.raises(ValueError, match="wraps"):
+            inst.evaluate(noisy=True, rng=1)
+
+    def test_noiseless_evaluation_unaffected(self):
+        """The golden (analytic) path does not involve the counters."""
+        design = conventional_design(
+            n_ros=8, readout=ReadoutConfig(window_s=2e-4, counter_bits=16)
+        )
+        inst = design.sample_instances(1, rng=0)[0]
+        assert inst.golden_response().shape == (4,)
+
+
+class TestSupplyCollapse:
+    def test_supply_below_threshold_raises(self):
+        design = conventional_design(n_ros=8)
+        inst = design.sample_instances(1, rng=0)[0]
+        with pytest.raises(ValueError, match="overdrive"):
+            inst.frequencies(OperatingConditions(vdd=0.2))
+
+
+class TestAgedBeyondSaturation:
+    def test_extreme_aging_keeps_rings_functional(self):
+        """Even absurd missions leave positive overdrive (saturation cap)."""
+        from repro.aging import AgingSimulator, MissionProfile
+        from repro.circuit import conventional_cell
+
+        design = conventional_design(n_ros=8)
+        inst = design.sample_instances(1, rng=0)[0]
+        sim = AgingSimulator(
+            ptm90(),
+            conventional_cell(5),
+            MissionProfile(temperature_k=398.15),  # 125 C for 40 years
+        )
+        aged = sim.for_chip(inst.chip, rng=1).aged(40.0)
+        freqs = design.instantiate(aged).frequencies()
+        assert np.all(freqs > 0)
+
+
+class TestDecoderBeyondCapacity:
+    def test_detected_failure_propagates_to_key_recovery(self):
+        from repro.ecc import ConcatenatedCode, KeyCodec, RepetitionCode
+
+        codec = KeyCodec(
+            code=ConcatenatedCode(BchCode.design(5, 1), RepetitionCode(1)),
+            key_bits=16,
+        )
+        fx = FuzzyExtractor(codec)
+        rng = np.random.default_rng(0)
+        resp = rng.integers(0, 2, fx.response_bits).astype(np.uint8)
+        helper, key = fx.enroll(resp, rng=1)
+        correct = 0
+        harmless = 0  # detected failure or wrong key: both are safe
+        for seed in range(20):
+            noise = (np.random.default_rng(seed).random(resp.size) < 0.4).astype(
+                np.uint8
+            )
+            try:
+                recovered = fx.reproduce(resp ^ noise, helper)
+                if recovered == key:
+                    correct += 1
+                else:
+                    harmless += 1  # silent miscorrection -> wrong key, caught
+                    # downstream by any key-confirmation MAC
+            except KeyRecoveryError:
+                harmless += 1
+        # at 40 % raw noise a t=1 code must essentially never luck into the
+        # right key, and every bad outcome must be loud or wrong-key
+        assert correct <= 2
+        assert harmless >= 18
+
+
+class TestSimulatorGuards:
+    def test_unstable_settle_reports_instability(self):
+        net = Netlist()
+        net.add_input("en")
+        # en=1 makes the NAND invert its own output: a one-gate oscillator
+        net.gate("NAND2", ["en", "x"], "x", delay=1e-9)
+        sim = EventSimulator(net)
+        with pytest.raises(SimulationError, match="did not settle|unstable"):
+            sim.settle({"en": True}, max_events=1000)
+
+    def test_latch_loop_settles_fine(self):
+        """A two-inversion loop is a latch, not an oscillator — it must
+        settle without complaint."""
+        net = Netlist()
+        net.add_input("en")
+        net.gate("NAND2", ["en", "x"], "x2", delay=1e-9)
+        net.gate("INV", ["x2"], "x", delay=1e-9)
+        state = EventSimulator(net).settle({"en": True})
+        assert state["x"] != state["x2"]

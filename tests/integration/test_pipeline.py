@@ -1,0 +1,139 @@
+"""End-to-end pipelines: fabricate -> enrol -> age -> regenerate."""
+
+import numpy as np
+import pytest
+
+from repro import FuzzyExtractor, MissionProfile, aro_design, conventional_design, make_study
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+from repro.keygen import KeyRecoveryError, best_design
+from repro.ecc import standard_codes
+
+
+def extractor_for(design, p, palette):
+    """Size a key generator for the design at error rate p and build it."""
+    point = best_design(
+        p, design, key_bits=128, failure_target=1e-6, bch_palette=palette
+    )
+    return FuzzyExtractor(point.codec), point
+
+
+@pytest.fixture(scope="module")
+def palette():
+    return standard_codes(max_m=8, max_t=20)
+
+
+class TestAroKeyLifecycle:
+    def test_ten_year_key_survives(self, palette):
+        """The paper's bottom line, executed end to end: size the ARO key
+        generator for its measured error rate, enrol fresh chips, age them
+        ten years, regenerate — every key must come back."""
+        extractor, point = extractor_for(aro_design(), 0.125, palette)
+        design = aro_design(n_ros=point.n_ros)
+        study = make_study(design, n_chips=5, rng=11)
+
+        keys = {}
+        helpers = {}
+        for inst in study.instances:
+            resp = inst.golden_response()[: extractor.response_bits]
+            helper, key = extractor.enroll(resp, rng=inst.chip_id)
+            keys[inst.chip_id] = key
+            helpers[inst.chip_id] = helper
+
+        for inst in study.aged_instances(10.0):
+            resp = inst.golden_response()[: extractor.response_bits]
+            key = extractor.reproduce(resp, helpers[inst.chip_id])
+            assert key == keys[inst.chip_id]
+
+    def test_keys_unique_across_chips(self, palette):
+        extractor, point = extractor_for(aro_design(), 0.125, palette)
+        design = aro_design(n_ros=point.n_ros)
+        study = make_study(design, n_chips=5, rng=12)
+        keys = set()
+        for inst in study.instances:
+            resp = inst.golden_response()[: extractor.response_bits]
+            _, key = extractor.enroll(resp, rng=0)
+            keys.add(key)
+        assert len(keys) == 5
+
+
+class TestConventionalKeyLifecycle:
+    def test_underdesigned_ecc_loses_keys(self, palette):
+        """A conventional RO-PUF paired with an ECC sized for the *ARO's*
+        error rate must lose keys after ten years — the failure the paper
+        motivates with."""
+        extractor, point = extractor_for(aro_design(), 0.125, palette)
+        design = conventional_design(n_ros=point.n_ros)
+        study = make_study(design, n_chips=5, rng=13)
+
+        helpers, keys = {}, {}
+        for inst in study.instances:
+            resp = inst.golden_response()[: extractor.response_bits]
+            helper, key = extractor.enroll(resp, rng=inst.chip_id)
+            helpers[inst.chip_id], keys[inst.chip_id] = helper, key
+
+        losses = 0
+        for inst in study.aged_instances(10.0):
+            resp = inst.golden_response()[: extractor.response_bits]
+            try:
+                if extractor.reproduce(resp, helpers[inst.chip_id]) != keys[inst.chip_id]:
+                    losses += 1
+            except KeyRecoveryError:
+                losses += 1
+        assert losses >= 3  # most chips lose their key
+
+    def test_properly_sized_ecc_survives(self, palette):
+        """Sized for its own worst case, the conventional PUF also keeps
+        its keys — at a huge area cost (asserted in the keygen tests)."""
+        point = best_design(
+            0.45,
+            conventional_design(),
+            key_bits=128,
+            failure_target=1e-6,
+            bch_palette=palette,
+            repetitions=tuple(range(1, 640, 2)),
+            max_raw_bits=5_000_000,
+        )
+        extractor = FuzzyExtractor(point.codec)
+        design = conventional_design(n_ros=point.n_ros)
+        study = make_study(design, n_chips=3, rng=14)
+        for fresh, aged in zip(study.instances, study.aged_instances(10.0)):
+            resp = fresh.golden_response()[: extractor.response_bits]
+            helper, key = extractor.enroll(resp, rng=fresh.chip_id)
+            resp_aged = aged.golden_response()[: extractor.response_bits]
+            assert extractor.reproduce(resp_aged, helper) == key
+
+
+class TestMissionKnobs:
+    def test_hotter_mission_flips_more(self):
+        design = conventional_design(n_ros=64)
+        flips = []
+        for temp in (298.15, 358.15):
+            study = make_study(
+                design,
+                n_chips=6,
+                mission=MissionProfile(temperature_k=temp),
+                rng=15,
+            )
+            fresh = study.responses()
+            aged = study.responses(t_years=10.0)
+            flips.append(
+                sum(int(np.count_nonzero(f != a)) for f, a in zip(fresh, aged))
+            )
+        assert flips[1] > flips[0]
+
+    def test_aro_busier_mission_ages_more(self):
+        design = aro_design(n_ros=64)
+        flips = []
+        for duty in (1e-7, 1e-2):
+            study = make_study(
+                design,
+                n_chips=6,
+                mission=MissionProfile(eval_duty=duty),
+                rng=16,
+            )
+            fresh = study.responses()
+            aged = study.responses(t_years=10.0)
+            flips.append(
+                sum(int(np.count_nonzero(f != a)) for f, a in zip(fresh, aged))
+            )
+        assert flips[1] > flips[0]

@@ -1,0 +1,92 @@
+"""Cross-validation: the event-driven simulator against the analytic path.
+
+The Monte-Carlo experiments run entirely on the vectorised analytic model;
+these tests drive the *same devices* through the gate-level simulator and
+require agreement, including after aging — the structural ground truth for
+the whole evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import AgingSimulator, MissionProfile
+from repro.circuit import (
+    aro_cell,
+    conventional_cell,
+    measured_period,
+    ring_period,
+)
+from repro.transistor import ptm90, transition_delay
+from repro.variation import NMOS, PMOS, VariationModel
+
+
+def symmetrised_stage_delays(vth, tech):
+    """Per-stage mean of rise/fall delay — what one event-sim gate gets."""
+    t_fall = transition_delay(vth[:, NMOS], tech)
+    t_rise = transition_delay(vth[:, PMOS], tech)
+    return (0.5 * (t_rise + t_fall)).tolist()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return ptm90()
+
+
+@pytest.fixture(scope="module")
+def chip(tech):
+    return VariationModel(tech=tech, n_ros=4, n_stages=5).sample_chip(rng=21)
+
+
+class TestFreshSilicon:
+    @pytest.mark.parametrize("ro", [0, 1, 2, 3])
+    def test_conventional_period_agreement(self, tech, chip, ro):
+        cell = conventional_cell(5)
+        delays = symmetrised_stage_delays(chip.vth[ro], tech)
+        structural = measured_period(cell, delays)
+        analytic = 2 * (delays[0] * cell.stage0_penalty + sum(delays[1:]))
+        assert structural == pytest.approx(analytic, rel=1e-9)
+
+    def test_aro_period_agreement(self, tech, chip):
+        cell = aro_cell(5)
+        delays = symmetrised_stage_delays(chip.vth[0], tech)
+        structural = measured_period(cell, delays)
+        analytic = 2 * sum(d * 1.35 for d in delays)
+        assert structural == pytest.approx(analytic, rel=1e-9)
+
+    def test_frequency_ordering_preserved(self, tech, chip):
+        """The PUF consumes only comparisons: the structural simulator must
+        rank a pair of rings the same way the analytic model does."""
+        cell = conventional_cell(5)
+        analytic = ring_period(chip.vth, tech, stage0_penalty=cell.stage0_penalty)
+        structural = [
+            measured_period(cell, symmetrised_stage_delays(chip.vth[i], tech))
+            for i in range(chip.n_ros)
+        ]
+        assert np.argsort(analytic).tolist() == np.argsort(structural).tolist()
+
+
+class TestAgedSilicon:
+    def test_aged_ordering_preserved(self, tech, chip):
+        """Age the chip 10 years and re-check the structural agreement —
+        aging only moves thresholds, so the agreement must survive."""
+        cell = conventional_cell(5)
+        aging = AgingSimulator(tech, cell, MissionProfile()).for_chip(chip, rng=3)
+        aged = aging.aged(10.0)
+        analytic = ring_period(aged.vth, tech, stage0_penalty=cell.stage0_penalty)
+        structural = [
+            measured_period(cell, symmetrised_stage_delays(aged.vth[i], tech))
+            for i in range(aged.n_ros)
+        ]
+        assert np.argsort(analytic).tolist() == np.argsort(structural).tolist()
+
+    def test_aged_rings_structurally_slower(self, tech, chip):
+        cell = conventional_cell(5)
+        aging = AgingSimulator(tech, cell, MissionProfile()).for_chip(chip, rng=3)
+        aged = aging.aged(10.0)
+        fresh_period = measured_period(
+            cell, symmetrised_stage_delays(chip.vth[0], tech)
+        )
+        aged_period = measured_period(
+            cell, symmetrised_stage_delays(aged.vth[0], tech)
+        )
+        assert aged_period > fresh_period

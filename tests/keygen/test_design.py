@@ -1,0 +1,90 @@
+"""Key-generator design-space search."""
+
+import pytest
+
+from repro.core import aro_design, conventional_design
+from repro.ecc import standard_codes
+from repro.keygen import best_design, search_design_space
+
+
+@pytest.fixture(scope="module")
+def palette():
+    """Small palette keeps the search fast in unit tests."""
+    return standard_codes(max_m=8, max_t=20)
+
+
+class TestSearch:
+    def test_all_points_feasible(self, palette):
+        points = search_design_space(
+            0.08, aro_design(), bch_palette=palette, failure_target=1e-6
+        )
+        assert points
+        for pt in points[:20]:
+            assert pt.key_failure <= 1e-6
+            assert pt.codec.message_bits >= 128
+
+    def test_sorted_by_area(self, palette):
+        points = search_design_space(0.08, aro_design(), bch_palette=palette)
+        areas = [pt.total_area for pt in points]
+        assert areas == sorted(areas)
+
+    def test_higher_error_costs_more(self, palette):
+        cheap = best_design(0.05, aro_design(), bch_palette=palette)
+        pricey = best_design(0.20, aro_design(), bch_palette=palette)
+        assert pricey.total_area > cheap.total_area
+        assert pricey.raw_bits > cheap.raw_bits
+
+    def test_zero_error_needs_no_repetition(self, palette):
+        pt = best_design(0.0, aro_design(), bch_palette=palette)
+        assert pt.codec.code.inner.r == 1
+
+    def test_infeasible_raises(self, palette):
+        with pytest.raises(ValueError, match="no feasible"):
+            best_design(
+                0.45,
+                conventional_design(),
+                bch_palette=palette,
+                repetitions=(1, 3),
+            )
+
+    def test_parameter_validation(self, palette):
+        with pytest.raises(ValueError):
+            search_design_space(0.6, aro_design(), bch_palette=palette)
+        with pytest.raises(ValueError):
+            search_design_space(
+                0.1, aro_design(), bch_palette=palette, failure_target=0.0
+            )
+
+
+class TestDesignPoint:
+    def test_ro_count_supports_raw_bits(self, palette):
+        pt = best_design(0.08, aro_design(), bch_palette=palette)
+        design = aro_design().with_n_ros(pt.n_ros)
+        assert design.n_bits >= pt.raw_bits
+        # and it is tight: one RO fewer would not suffice
+        smaller = aro_design().with_n_ros(pt.n_ros - 1)
+        assert smaller.n_bits < pt.raw_bits
+
+    def test_describe_mentions_codec(self, palette):
+        pt = best_design(0.08, aro_design(), bch_palette=palette)
+        text = pt.describe()
+        assert "BCH" in text and "raw_bits" in text
+
+    def test_total_area_sums(self, palette):
+        pt = best_design(0.08, aro_design(), bch_palette=palette)
+        assert pt.total_area == pytest.approx(pt.puf_area + pt.ecc_area)
+
+
+class TestPaperComparison:
+    def test_aro_key_generator_much_smaller(self, palette):
+        """The headline direction: at the measured 10-year error rates the
+        conventional key generator costs several times the ARO one."""
+        conv = best_design(
+            0.32,
+            conventional_design(),
+            bch_palette=palette,
+            repetitions=tuple(range(1, 64, 2)),
+        )
+        aro = best_design(0.077, aro_design(), bch_palette=palette)
+        assert conv.total_area > 3 * aro.total_area
+        assert conv.raw_bits > 5 * aro.raw_bits

@@ -1,0 +1,121 @@
+"""Fuzzy extractor: key stability, security hygiene, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+from repro.keygen import FuzzyExtractor, KeyRecoveryError
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    codec = KeyCodec(
+        code=ConcatenatedCode(BchCode.design(6, 4), RepetitionCode(3)),
+        key_bits=128,
+    )
+    return FuzzyExtractor(codec)
+
+
+@pytest.fixture(scope="module")
+def response(extractor):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, extractor.response_bits).astype(np.uint8)
+
+
+class TestEnrol:
+    def test_key_width(self, extractor, response):
+        helper, key = extractor.enroll(response, rng=1)
+        assert len(key) == 16  # 128 bits
+        assert helper.n_bits == extractor.response_bits
+
+    def test_seeded_enrolment_reproducible(self, extractor, response):
+        h1, k1 = extractor.enroll(response, rng=1)
+        h2, k2 = extractor.enroll(response, rng=1)
+        assert k1 == k2
+        assert np.array_equal(h1.offset, h2.offset)
+
+    def test_key_is_chip_bound_not_seed_bound(self, extractor, response):
+        """The key is extracted from the response; re-enrolling with fresh
+        masking randomness changes the helper but not the key."""
+        h1, k1 = extractor.enroll(response, rng=1)
+        h2, k2 = extractor.enroll(response, rng=2)
+        assert k1 == k2
+        assert not np.array_equal(h1.offset, h2.offset)
+
+    def test_response_shape_checked(self, extractor):
+        with pytest.raises(ValueError, match="response bits"):
+            extractor.enroll(np.zeros(10, dtype=np.uint8))
+
+    def test_key_not_derivable_from_helper_alone(self, extractor, response):
+        """The offset must not equal the codeword or the response (a
+        smoke-level secrecy check: the XOR masks both)."""
+        helper, _ = extractor.enroll(response, rng=1)
+        assert not np.array_equal(helper.offset, response)
+        assert np.count_nonzero(helper.offset) > 0
+
+
+class TestReproduce:
+    def test_exact_response(self, extractor, response):
+        helper, key = extractor.enroll(response, rng=1)
+        assert extractor.reproduce(response, helper) == key
+
+    def test_noisy_response_recovers(self, extractor, response):
+        helper, key = extractor.enroll(response, rng=1)
+        rng = np.random.default_rng(5)
+        noise = (rng.random(response.size) < 0.03).astype(np.uint8)
+        assert extractor.reproduce(response ^ noise, helper) == key
+
+    def test_excess_noise_fails_loudly_or_differs(self, extractor, response):
+        helper, key = extractor.enroll(response, rng=1)
+        rng = np.random.default_rng(6)
+        outcomes = []
+        for _ in range(10):
+            noise = (rng.random(response.size) < 0.45).astype(np.uint8)
+            try:
+                outcomes.append(extractor.reproduce(response ^ noise, helper) == key)
+            except KeyRecoveryError:
+                outcomes.append(False)
+        assert not all(outcomes)
+
+    def test_wrong_codec_spec_rejected(self, extractor, response):
+        helper, _ = extractor.enroll(response, rng=1)
+        from repro.keygen import HelperData
+
+        fake = HelperData(offset=helper.offset, codec_spec="Rep(99) o BCH(7,4,t=1)")
+        with pytest.raises(ValueError, match="enrolled with codec"):
+            extractor.reproduce(response, fake)
+
+    def test_wrong_helper_length_rejected(self, extractor, response):
+        from repro.keygen import HelperData
+
+        fake = HelperData(
+            offset=np.zeros(10, dtype=np.uint8), codec_spec=str(extractor.codec)
+        )
+        with pytest.raises(ValueError, match="length"):
+            extractor.reproduce(response, fake)
+
+    def test_different_chips_different_keys(self, extractor):
+        """Same helper + another chip's response must not reproduce the key
+        (uniqueness of the enrolled secret)."""
+        rng = np.random.default_rng(7)
+        resp_a = rng.integers(0, 2, extractor.response_bits).astype(np.uint8)
+        resp_b = rng.integers(0, 2, extractor.response_bits).astype(np.uint8)
+        helper, key = extractor.enroll(resp_a, rng=1)
+        try:
+            other = extractor.reproduce(resp_b, helper)
+            assert other != key
+        except KeyRecoveryError:
+            pass  # also acceptable: decoder refuses
+
+
+class TestKeyBits:
+    def test_over_256_bits_rejected(self):
+        codec = KeyCodec(
+            code=ConcatenatedCode(BchCode.design(8, 10), RepetitionCode(1)),
+            key_bits=300,
+        )
+        fx = FuzzyExtractor(codec)
+        rng = np.random.default_rng(0)
+        resp = rng.integers(0, 2, fx.response_bits).astype(np.uint8)
+        with pytest.raises(ValueError, match="SHA-256"):
+            fx.enroll(resp, rng=1)

@@ -1,0 +1,40 @@
+"""Helper data: validation and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.keygen import HelperData
+
+
+class TestValidation:
+    def test_binary_enforced(self):
+        with pytest.raises(ValueError):
+            HelperData(offset=np.array([0, 1, 2]), codec_spec="c")
+
+    def test_rank_enforced(self):
+        with pytest.raises(ValueError):
+            HelperData(offset=np.zeros((2, 2)), codec_spec="c")
+
+    def test_dtype_normalised(self):
+        h = HelperData(offset=np.array([0, 1, 1], dtype=np.int64), codec_spec="c")
+        assert h.offset.dtype == np.uint8
+        assert h.n_bits == 3
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 93).astype(np.uint8)
+        h = HelperData(offset=bits, codec_spec="Rep(3) o BCH(31,16,t=3)")
+        blob = h.to_bytes()
+        back = HelperData.from_bytes(blob, n_bits=93, codec_spec=h.codec_spec)
+        assert np.array_equal(back.offset, bits)
+        assert back.codec_spec == h.codec_spec
+
+    def test_blob_length(self):
+        h = HelperData(offset=np.zeros(93, dtype=np.uint8), codec_spec="c")
+        assert len(h.to_bytes()) == 12  # ceil(93 / 8)
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(ValueError, match="short"):
+            HelperData.from_bytes(b"\x00", n_bits=93, codec_spec="c")

@@ -1,0 +1,115 @@
+"""Entropy accounting metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+from repro.metrics.entropy import (
+    EntropyReport,
+    collision_entropy_from_hd,
+    extractable_key_bits,
+    min_entropy_bits,
+    response_entropy,
+    shannon_bits,
+)
+
+
+class TestBitEntropies:
+    def test_fair_bit(self):
+        assert shannon_bits(0.5) == pytest.approx(1.0)
+        assert min_entropy_bits(0.5) == pytest.approx(1.0)
+
+    def test_deterministic_bit(self):
+        assert shannon_bits(0.0) == 0.0
+        assert shannon_bits(1.0) == 0.0
+        assert min_entropy_bits(1.0) == 0.0
+
+    def test_min_entropy_below_shannon(self):
+        for p in (0.1, 0.3, 0.45, 0.7, 0.9):
+            assert min_entropy_bits(p) <= shannon_bits(p) + 1e-12
+
+    def test_symmetry(self):
+        assert shannon_bits(0.3) == pytest.approx(shannon_bits(0.7))
+        assert min_entropy_bits(0.3) == pytest.approx(min_entropy_bits(0.7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shannon_bits(1.5)
+        with pytest.raises(ValueError):
+            min_entropy_bits(-0.1)
+
+
+class TestResponseEntropy:
+    def test_ideal_population(self):
+        rng = np.random.default_rng(0)
+        responses = rng.integers(0, 2, (400, 64))
+        report = response_entropy(responses)
+        assert report.n_bits == 64
+        assert report.min_entropy_per_bit > 0.8
+        assert report.total_min_entropy == pytest.approx(
+            64 * report.min_entropy_per_bit
+        )
+
+    def test_biased_population_loses_entropy(self):
+        rng = np.random.default_rng(1)
+        ideal = rng.integers(0, 2, (200, 64))
+        biased = (rng.random((200, 64)) < 0.8).astype(np.uint8)
+        assert (
+            response_entropy(biased).min_entropy_per_bit
+            < response_entropy(ideal).min_entropy_per_bit
+        )
+
+    def test_cloned_population_has_none(self):
+        responses = np.tile(np.arange(16) % 2, (10, 1))
+        assert response_entropy(responses).total_min_entropy == 0.0
+
+    def test_conventional_below_aro(self, conventional_study, aro_study):
+        """The systematic bias costs the conventional design key material."""
+        conv = response_entropy(conventional_study.responses())
+        aro = response_entropy(aro_study.responses())
+        assert conv.min_entropy_per_bit < aro.min_entropy_per_bit
+
+
+class TestExtractableKeyBits:
+    def test_ideal_material_supports_the_key(self):
+        codec = KeyCodec(
+            code=ConcatenatedCode(BchCode.design(7, 6), RepetitionCode(1)),
+            key_bits=128,
+        )
+        report = EntropyReport(
+            n_bits=codec.raw_bits,
+            shannon_per_bit=1.0,
+            min_entropy_per_bit=1.0,
+            total_min_entropy=float(codec.raw_bits),
+        )
+        budget = extractable_key_bits(report, codec)
+        # with full-entropy bits the budget is exactly k per block
+        assert budget == pytest.approx(codec.message_bits)
+        assert budget >= 128
+
+    def test_weak_material_is_flagged_unsound(self):
+        codec = KeyCodec(
+            code=ConcatenatedCode(BchCode.design(7, 6), RepetitionCode(3)),
+            key_bits=128,
+        )
+        report = EntropyReport(
+            n_bits=codec.raw_bits,
+            shannon_per_bit=0.35,
+            min_entropy_per_bit=0.25,
+            total_min_entropy=0.25 * codec.raw_bits,
+        )
+        assert extractable_key_bits(report, codec) < 0
+
+
+class TestCollisionEntropy:
+    def test_ideal_hd_gives_full_bits(self):
+        assert collision_entropy_from_hd(0.5, 128) == pytest.approx(128.0)
+
+    def test_correlated_population_loses_bits(self):
+        assert collision_entropy_from_hd(0.45, 128) < 128.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collision_entropy_from_hd(1.5, 128)
+        with pytest.raises(ValueError):
+            collision_entropy_from_hd(0.5, 0)

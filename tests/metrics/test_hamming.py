@@ -1,0 +1,79 @@
+"""Hamming-distance primitives."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    fractional_hd,
+    hamming_distance,
+    hd_matrix,
+    pairwise_fractional_hd,
+)
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance([0, 1, 1], [0, 1, 1]) == 0
+
+    def test_all_different(self):
+        assert hamming_distance([0, 1, 0], [1, 0, 1]) == 3
+
+    def test_symmetric(self):
+        a, b = [0, 1, 1, 0], [1, 1, 0, 0]
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            hamming_distance([0, 1], [0, 1, 1])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            hamming_distance([0, 2], [0, 1])
+
+
+class TestFractionalHd:
+    def test_half(self):
+        assert fractional_hd([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_hd([], [])
+
+
+class TestPairwise:
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        responses = rng.integers(0, 2, (6, 32))
+        dists = pairwise_fractional_hd(responses)
+        assert dists.shape == (15,)
+
+    def test_values(self):
+        responses = [[0, 0], [0, 1], [1, 1]]
+        dists = pairwise_fractional_hd(responses)
+        assert sorted(dists.tolist()) == [0.5, 0.5, 1.0]
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            pairwise_fractional_hd([[0, 1]])
+
+    def test_random_responses_near_half(self):
+        rng = np.random.default_rng(1)
+        responses = rng.integers(0, 2, (30, 256))
+        assert pairwise_fractional_hd(responses).mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestMatrix:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        responses = rng.integers(0, 2, (5, 16))
+        mat = hd_matrix(responses)
+        assert np.allclose(mat, mat.T)
+        assert not np.any(np.diag(mat))
+
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(3)
+        responses = rng.integers(0, 2, (4, 16))
+        mat = hd_matrix(responses)
+        flat = pairwise_fractional_hd(responses)
+        iu = np.triu_indices(4, k=1)
+        assert np.allclose(mat[iu], flat)

@@ -1,0 +1,50 @@
+"""Reliability metric: flip fractions over populations and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import flip_curve, flip_fraction, reliability
+
+
+class TestFlipFraction:
+    def test_no_flips(self):
+        assert flip_fraction([0, 1, 1], [0, 1, 1]) == 0.0
+
+    def test_some_flips(self):
+        assert flip_fraction([0, 1, 1, 0], [1, 1, 1, 0]) == 0.25
+
+
+class TestReliability:
+    def test_aggregates(self):
+        goldens = [np.array([0, 1, 1, 0]), np.array([1, 1, 0, 0])]
+        observed = [np.array([0, 1, 0, 0]), np.array([1, 1, 0, 0])]
+        report = reliability(goldens, observed)
+        assert report.per_chip.tolist() == [0.25, 0.0]
+        assert report.mean_flip_fraction == pytest.approx(0.125)
+        assert report.worst_flip_fraction == 0.25
+        assert report.percent() == pytest.approx(12.5)
+        assert report.mean_reliability == pytest.approx(0.875)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="pair up"):
+            reliability([np.zeros(4)], [])
+
+    def test_empty_population(self):
+        with pytest.raises(ValueError):
+            reliability([], [])
+
+    def test_single_chip_zero_std(self):
+        report = reliability([np.array([0, 1])], [np.array([1, 1])])
+        assert report.std_flip_fraction == 0.0
+
+
+class TestFlipCurve:
+    def test_one_report_per_point(self):
+        goldens = [np.array([0, 1, 1, 0])]
+        sweep = [
+            [np.array([0, 1, 1, 0])],
+            [np.array([1, 1, 1, 0])],
+            [np.array([1, 0, 1, 0])],
+        ]
+        reports = flip_curve(goldens, sweep)
+        assert [r.mean_flip_fraction for r in reports] == [0.0, 0.25, 0.5]

@@ -1,0 +1,59 @@
+"""Uniformity and bit-aliasing metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import bit_aliasing, uniformity, uniformity_of
+
+
+class TestUniformityOf:
+    def test_balanced(self):
+        assert uniformity_of([0, 1, 0, 1]) == 0.5
+
+    def test_all_ones(self):
+        assert uniformity_of([1, 1, 1]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniformity_of([])
+        with pytest.raises(ValueError):
+            uniformity_of([0, 2])
+
+
+class TestUniformity:
+    def test_population(self):
+        report = uniformity([[0, 1, 1, 1], [0, 0, 0, 1]])
+        assert report.per_chip.tolist() == [0.75, 0.25]
+        assert report.mean == 0.5
+        assert report.percent() == 50.0
+
+    def test_random_population_near_half(self):
+        rng = np.random.default_rng(0)
+        report = uniformity(rng.integers(0, 2, (30, 256)))
+        assert report.mean == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity([])
+
+
+class TestAliasing:
+    def test_per_bit(self):
+        responses = [[0, 1, 1], [0, 1, 0], [0, 1, 1]]
+        report = bit_aliasing(responses)
+        assert report.per_bit.tolist() == [0.0, 1.0, pytest.approx(2 / 3)]
+        assert report.worst_bias == 0.5
+
+    def test_ideal_population_low_bias(self):
+        rng = np.random.default_rng(1)
+        report = bit_aliasing(rng.integers(0, 2, (400, 64)))
+        assert abs(report.mean - 0.5) < 0.02
+        assert report.worst_bias < 0.12
+
+    def test_needs_two_chips(self):
+        with pytest.raises(ValueError):
+            bit_aliasing([[0, 1]])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            bit_aliasing([[0, 3], [1, 0]])

@@ -1,0 +1,64 @@
+"""Uniqueness metric and the HD histogram."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import hd_histogram, interchip_hd, uniqueness
+
+
+class TestUniqueness:
+    def test_ideal_population(self):
+        rng = np.random.default_rng(0)
+        responses = rng.integers(0, 2, (40, 128))
+        report = uniqueness(responses)
+        assert report.mean == pytest.approx(0.5, abs=0.02)
+        assert report.percent() == pytest.approx(100 * report.mean)
+        assert report.n_chips == 40
+        assert report.n_pairs == 40 * 39 // 2
+
+    def test_cloned_population(self):
+        responses = [np.array([0, 1, 1, 0])] * 5
+        report = uniqueness(responses)
+        assert report.mean == 0.0
+        assert report.maximum == 0.0
+
+    def test_correlated_population_below_half(self):
+        """Shared bias (same bit forced on every chip) drags the mean down."""
+        rng = np.random.default_rng(1)
+        responses = rng.integers(0, 2, (30, 128))
+        responses[:, :64] = 1  # half the bits identical everywhere
+        assert uniqueness(responses).mean == pytest.approx(0.25, abs=0.03)
+
+    def test_std_and_extremes(self):
+        rng = np.random.default_rng(2)
+        report = uniqueness(rng.integers(0, 2, (20, 64)))
+        assert 0 < report.std < 0.2
+        assert report.minimum <= report.mean <= report.maximum
+
+
+class TestHistogram:
+    def test_bins_cover_unit_interval(self):
+        rng = np.random.default_rng(0)
+        centers, counts = hd_histogram(rng.integers(0, 2, (20, 64)), bins=10)
+        assert centers.shape == (10,)
+        assert counts.sum() == 20 * 19 // 2
+        assert centers[0] == pytest.approx(0.05)
+        assert centers[-1] == pytest.approx(0.95)
+
+    def test_mass_concentrated_near_half(self):
+        rng = np.random.default_rng(3)
+        centers, counts = hd_histogram(rng.integers(0, 2, (30, 256)), bins=20)
+        peak_bin = centers[np.argmax(counts)]
+        assert abs(peak_bin - 0.5) < 0.08
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            hd_histogram([[0, 1], [1, 0]], bins=0)
+
+
+class TestInterchipHd:
+    def test_matches_report(self):
+        rng = np.random.default_rng(4)
+        responses = rng.integers(0, 2, (10, 32))
+        dists = interchip_hd(responses)
+        assert uniqueness(responses).mean == pytest.approx(dists.mean())

@@ -1,0 +1,76 @@
+"""Property-based tests: aging laws and device-model monotonicities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging import bti_shift, hci_shift
+from repro.transistor import drive_current, ptm90, transition_delay
+
+TECH = ptm90()
+
+duties = st.floats(0.0, 1.0)
+years = st.floats(0.0, 40.0)
+temps = st.floats(240.0, 400.0)
+vths = st.floats(0.05, 0.6)
+
+
+class TestBtiMonotonicity:
+    @given(d=duties, t1=years, t2=years)
+    def test_monotone_in_time(self, d, t1, t2):
+        lo, hi = sorted((t1, t2))
+        a = float(bti_shift(d, lo, TECH.nbti))
+        b = float(bti_shift(d, hi, TECH.nbti))
+        assert a <= b + 1e-15
+
+    @given(d1=duties, d2=duties, t=years)
+    def test_monotone_in_duty(self, d1, d2, t):
+        lo, hi = sorted((d1, d2))
+        a = float(bti_shift(lo, t, TECH.nbti))
+        b = float(bti_shift(hi, t, TECH.nbti))
+        assert a <= b + 1e-15
+
+    @given(d=duties, t=years, temp=temps)
+    def test_bounded_by_saturation(self, d, t, temp):
+        shift = float(
+            bti_shift(d, t, TECH.nbti, prefactor=10.0, temperature_k=temp)
+        )
+        assert 0.0 <= shift <= TECH.nbti.max_shift
+
+    @given(d=duties, t=years)
+    def test_pbti_never_exceeds_nbti(self, d, t):
+        nbti = float(bti_shift(d, t, TECH.nbti))
+        pbti = float(bti_shift(d, t, TECH.nbti, pbti=True))
+        assert pbti <= nbti + 1e-15
+
+
+class TestHciMonotonicity:
+    @given(n1=st.floats(0, 1e18), n2=st.floats(0, 1e18))
+    def test_monotone_in_transitions(self, n1, n2):
+        lo, hi = sorted((n1, n2))
+        assert float(hci_shift(lo, TECH.hci)) <= float(hci_shift(hi, TECH.hci)) + 1e-15
+
+    @given(n=st.floats(0, 1e20))
+    def test_pmos_never_exceeds_nmos(self, n):
+        assert float(hci_shift(n, TECH.hci, pmos=True)) <= float(
+            hci_shift(n, TECH.hci)
+        )
+
+
+class TestDeviceMonotonicity:
+    @given(v1=vths, v2=vths)
+    def test_current_decreases_with_vth(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        assert float(drive_current(hi, TECH)) <= float(drive_current(lo, TECH))
+
+    @given(v=vths)
+    def test_delay_current_reciprocity(self, v):
+        """delay * current == c_load * vdd (the model's defining identity)."""
+        d = float(transition_delay(v, TECH))
+        i = float(drive_current(v, TECH))
+        assert d * i == pytest.approx(TECH.c_load * TECH.vdd, rel=1e-12)
+
+    @given(v=vths, temp=temps)
+    def test_delay_positive_at_all_corners(self, v, temp):
+        assert float(transition_delay(v, TECH, temperature_k=temp)) > 0

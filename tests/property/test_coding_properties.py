@@ -1,0 +1,121 @@
+"""Property-based tests: coding-theory round trips under random errors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+
+BCH = BchCode.design(5, 3)  # (31, 16, t=3)
+CONCAT = ConcatenatedCode(outer=BCH, inner=RepetitionCode(3))
+
+
+def bits(n):
+    return st.lists(st.integers(0, 1), min_size=n, max_size=n).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    )
+
+
+def error_positions(n, max_errors):
+    return st.lists(
+        st.integers(0, n - 1), min_size=0, max_size=max_errors, unique=True
+    )
+
+
+class TestBchProperties:
+    @given(msg=bits(BCH.k))
+    @settings(max_examples=40)
+    def test_encode_decode_identity(self, msg):
+        cw = BCH.encode(msg)
+        corrected, n = BCH.decode(cw)
+        assert n == 0
+        assert np.array_equal(corrected, cw)
+
+    @given(msg=bits(BCH.k), errs=error_positions(BCH.n, BCH.t))
+    @settings(max_examples=60)
+    def test_corrects_any_pattern_up_to_t(self, msg, errs):
+        cw = BCH.encode(msg)
+        rx = cw.copy()
+        rx[errs] ^= 1
+        corrected, found = BCH.decode(rx)
+        assert np.array_equal(corrected, cw)
+        assert found == len(errs)
+
+    @given(m1=bits(BCH.k), m2=bits(BCH.k))
+    @settings(max_examples=40)
+    def test_linearity(self, m1, m2):
+        assert np.array_equal(
+            BCH.encode(m1) ^ BCH.encode(m2), BCH.encode(m1 ^ m2)
+        )
+
+    @given(msg=bits(BCH.k))
+    @settings(max_examples=40)
+    def test_systematic_extraction(self, msg):
+        assert np.array_equal(BCH.extract_message(BCH.encode(msg)), msg)
+
+
+class TestRepetitionProperties:
+    @given(msg=bits(8))
+    @settings(max_examples=40)
+    def test_roundtrip(self, msg):
+        code = RepetitionCode(5)
+        assert np.array_equal(code.decode(code.encode(msg)), msg)
+
+    @given(msg=bits(4), flips=error_positions(4 * 5, 4))
+    @settings(max_examples=60)
+    def test_sub_majority_flips_per_group_corrected(self, msg, flips):
+        code = RepetitionCode(5)
+        cw = code.encode(msg)
+        groups = {}
+        for f in flips:
+            groups.setdefault(f // 5, []).append(f)
+        safe = [f for g, fs in groups.items() if len(fs) <= code.t for f in fs]
+        rx = cw.copy()
+        rx[safe] ^= 1
+        assert np.array_equal(code.decode(rx), msg)
+
+
+class TestConcatenatedProperties:
+    @given(msg=bits(CONCAT.k))
+    @settings(max_examples=30)
+    def test_roundtrip(self, msg):
+        assert np.array_equal(CONCAT.decode_message(CONCAT.encode(msg)), msg)
+
+    @given(msg=bits(CONCAT.k), errs=error_positions(CONCAT.n, 3))
+    @settings(max_examples=40)
+    def test_scattered_errors_corrected(self, msg, errs):
+        """Up to three scattered raw flips can at worst flip three outer
+        bits — within the outer code's t=3."""
+        cw = CONCAT.encode(msg)
+        rx = cw.copy()
+        rx[errs] ^= 1
+        assert np.array_equal(CONCAT.decode_message(rx), msg)
+
+    @given(msg=bits(CONCAT.k), errs=error_positions(CONCAT.n, 3))
+    @settings(max_examples=40)
+    def test_correct_returns_nearest_codeword(self, msg, errs):
+        cw = CONCAT.encode(msg)
+        rx = cw.copy()
+        rx[errs] ^= 1
+        assert np.array_equal(CONCAT.correct(rx), cw)
+
+
+class TestKeyCodecProperties:
+    CODEC = KeyCodec(code=CONCAT, key_bits=32)
+
+    @given(msg=bits(KeyCodec(code=CONCAT, key_bits=32).message_bits))
+    @settings(max_examples=20)
+    def test_roundtrip(self, msg):
+        assert np.array_equal(self.CODEC.decode(self.CODEC.encode(msg)), msg)
+
+    @given(p=st.floats(0.0, 0.49))
+    def test_failure_probability_is_probability(self, p):
+        assert 0.0 <= self.CODEC.key_failure_probability(p) <= 1.0
+
+    @given(p=st.floats(0.0, 0.3), q=st.floats(0.0, 0.3))
+    def test_failure_monotone(self, p, q):
+        lo, hi = sorted((p, q))
+        assert self.CODEC.key_failure_probability(
+            lo
+        ) <= self.CODEC.key_failure_probability(hi) + 1e-12

@@ -1,0 +1,59 @@
+"""Property-based tests: fuzzy extractor round trips and helper data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import BchCode, ConcatenatedCode, KeyCodec, RepetitionCode
+from repro.keygen import FuzzyExtractor, HelperData
+
+CODEC = KeyCodec(
+    code=ConcatenatedCode(outer=BchCode.design(5, 2), inner=RepetitionCode(3)),
+    key_bits=32,
+)
+EXTRACTOR = FuzzyExtractor(CODEC)
+N = EXTRACTOR.response_bits
+
+
+def bits(n):
+    return st.lists(st.integers(0, 1), min_size=n, max_size=n).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    )
+
+
+class TestExtractorRoundTrip:
+    @given(resp=bits(N), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_clean_roundtrip(self, resp, seed):
+        helper, key = EXTRACTOR.enroll(resp, rng=seed)
+        assert EXTRACTOR.reproduce(resp, helper) == key
+
+    @given(
+        resp=bits(N),
+        seed=st.integers(0, 2**31 - 1),
+        errs=st.lists(st.integers(0, N - 1), max_size=2, unique=True),
+    )
+    @settings(max_examples=30)
+    def test_scattered_flip_roundtrip(self, resp, seed, errs):
+        """Up to two scattered raw flips are always within Rep(3)+BCH(t=2)
+        correction power."""
+        helper, key = EXTRACTOR.enroll(resp, rng=seed)
+        noisy = resp.copy()
+        noisy[errs] ^= 1
+        assert EXTRACTOR.reproduce(noisy, helper) == key
+
+    @given(resp=bits(N), seed1=st.integers(0, 1000), seed2=st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_key_independent_of_mask(self, resp, seed1, seed2):
+        _, k1 = EXTRACTOR.enroll(resp, rng=seed1)
+        _, k2 = EXTRACTOR.enroll(resp, rng=seed2)
+        assert k1 == k2
+
+
+class TestHelperDataProperties:
+    @given(offset=bits(93))
+    @settings(max_examples=30)
+    def test_serialisation_roundtrip(self, offset):
+        h = HelperData(offset=offset, codec_spec="spec")
+        back = HelperData.from_bytes(h.to_bytes(), n_bits=93, codec_spec="spec")
+        assert np.array_equal(back.offset, offset)

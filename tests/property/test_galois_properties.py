@@ -1,0 +1,95 @@
+"""Property-based tests: GF(2^m) field axioms and polynomial algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import GF2m, poly_degree, poly_mod_gf2, poly_mul_gf2, poly_trim
+
+FIELD = GF2m(6)  # 64 elements: big enough to be interesting, fast to test
+
+elements = st.integers(min_value=0, max_value=FIELD.size - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD.size - 1)
+polys = st.lists(st.integers(0, 1), min_size=1, max_size=24).map(
+    lambda bits: np.array(bits, dtype=np.uint8)
+)
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_addition_commutes(self, a, b):
+        assert FIELD.add(a, b) == FIELD.add(b, a)
+
+    @given(a=elements, b=elements)
+    def test_multiplication_commutes(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_multiplication_associates(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributivity(self, a, b, c):
+        left = FIELD.mul(a, FIELD.add(b, c))
+        right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+        assert left == right
+
+    @given(a=elements)
+    def test_additive_inverse_is_self(self, a):
+        assert FIELD.add(a, a) == 0
+
+    @given(a=nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(a=nonzero, b=nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert FIELD.div(FIELD.mul(a, b), b) == a
+
+    @given(a=nonzero)
+    def test_fermat(self, a):
+        assert FIELD.pow(a, FIELD.order) == 1
+
+    @given(a=nonzero, e=st.integers(-200, 200))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        base = a if e >= 0 else FIELD.inv(a)
+        for _ in range(abs(e)):
+            expected = FIELD.mul(expected, base)
+        assert FIELD.pow(a, e) == expected
+
+
+class TestPolynomialAlgebra:
+    @given(a=polys, b=polys)
+    def test_multiplication_commutes(self, a, b):
+        assert poly_mul_gf2(a, b).tolist() == poly_mul_gf2(b, a).tolist()
+
+    @given(a=polys, b=polys)
+    def test_degree_of_product(self, a, b):
+        da, db = poly_degree(a), poly_degree(b)
+        dp = poly_degree(poly_mul_gf2(a, b))
+        if da < 0 or db < 0:
+            assert dp == -1
+        else:
+            assert dp == da + db
+
+    @given(a=polys, m=polys)
+    def test_mod_reduces_degree(self, a, m):
+        if poly_degree(m) < 1:
+            return  # constant/zero modulus is degenerate
+        rem = poly_mod_gf2(a, m)
+        assert poly_degree(rem) < poly_degree(m)
+
+    @given(a=polys, m=polys)
+    def test_exact_multiples_reduce_to_zero(self, a, m):
+        if poly_degree(m) < 1:
+            return
+        product = poly_mul_gf2(a, m)
+        assert not poly_mod_gf2(product, m).any()
+
+    @given(a=polys)
+    def test_trim_idempotent(self, a):
+        once = poly_trim(a)
+        twice = poly_trim(once)
+        assert once.tolist() == twice.tolist()

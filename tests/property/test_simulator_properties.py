@@ -1,0 +1,100 @@
+"""Property-based tests: event simulator and selection invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import EventSimulator, Netlist
+from repro.core import select_stable_pairs
+
+
+class TestInertialBufferChain:
+    @given(
+        edges=st.lists(
+            st.tuples(st.floats(1e-9, 1e-6), st.booleans()),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_toggles_never_exceed_input_toggles(self, edges):
+        """A buffer filters pulses; it can never invent transitions."""
+        net = Netlist()
+        net.add_input("in")
+        net.gate("BUF", ["in"], "out", delay=5e-9)
+        sim = EventSimulator(net)
+        events = sorted(
+            (t, "in", v) for (t, v) in edges
+        )
+        result = sim.run({"in": False}, t_end=1e-3, input_events=events)
+        assert (
+            result.waveforms["out"].n_toggles
+            <= result.waveforms["in"].n_toggles
+        )
+
+    @given(
+        delay=st.floats(1e-10, 1e-7),
+        gap=st.floats(1e-10, 1e-6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pulse_passes_iff_wider_than_delay(self, delay, gap):
+        net = Netlist()
+        net.add_input("in")
+        net.gate("BUF", ["in"], "out", delay=delay)
+        sim = EventSimulator(net)
+        result = sim.run(
+            {"in": False},
+            t_end=1.0,
+            input_events=[(1e-6, "in", True), (1e-6 + gap, "in", False)],
+        )
+        toggles = result.waveforms["out"].n_toggles
+        if gap > delay * 1.0001:
+            assert toggles == 2
+        elif gap < delay * 0.9999:
+            assert toggles == 0
+
+
+class TestInverterChainParity:
+    @given(n=st.integers(1, 8), value=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_settled_output_has_correct_parity(self, n, value):
+        net = Netlist()
+        net.add_input("in")
+        prev = "in"
+        for i in range(n):
+            net.gate("INV", [prev], f"n{i}", delay=1e-9)
+            prev = f"n{i}"
+        state = EventSimulator(net).settle({"in": value})
+        expected = bool(value) if n % 2 == 0 else not bool(value)
+        assert state[prev] == expected
+
+
+class TestSelectionProperties:
+    freq_arrays = st.integers(2, 6).flatmap(
+        lambda groups: st.lists(
+            st.floats(0.5e9, 2.0e9, allow_nan=False),
+            min_size=groups * 4,
+            max_size=groups * 4,
+        )
+    )
+
+    @given(freqs=freq_arrays)
+    @settings(max_examples=50)
+    def test_selected_gap_is_group_maximum(self, freqs):
+        freqs = np.asarray(freqs)
+        pairing = select_stable_pairs(freqs, k=4)
+        for g, (a, b) in enumerate(pairing.pair_table):
+            group = freqs[g * 4 : (g + 1) * 4]
+            assert abs(freqs[a] - freqs[b]) == pytest.approx(
+                group.max() - group.min()
+            )
+
+    @given(freqs=freq_arrays)
+    @settings(max_examples=50)
+    def test_pairs_disjoint_and_in_range(self, freqs):
+        freqs = np.asarray(freqs)
+        pairing = select_stable_pairs(freqs, k=4)
+        flat = [i for pair in pairing.pair_table for i in pair]
+        assert len(set(flat)) == len(flat)
+        assert all(0 <= i < freqs.size for i in flat)

@@ -1,0 +1,89 @@
+"""Sorting modeling attack."""
+
+import numpy as np
+import pytest
+
+from repro.core import conventional_design
+from repro.protocol import (
+    attack_curve,
+    build_attack_model,
+    harvest_crps,
+    sorting_attack,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return conventional_design(n_ros=32).sample_instances(1, rng=0)[0]
+
+
+@pytest.fixture(scope="module")
+def table(instance):
+    return harvest_crps(instance, 40, rng=1)
+
+
+class TestModel:
+    def test_edges_match_observations(self, instance, table):
+        model = build_attack_model(table, 32)
+        assert model.n_comparisons > 0
+        # every observed edge u -> v must mean f_v > f_u
+        freqs = instance.frequencies()
+        for u, v in model.graph.edges:
+            assert freqs[v] > freqs[u]
+
+    def test_coverage_grows_with_crps(self, table):
+        small = build_attack_model(
+            type(table)(
+                challenges=table.challenges[:2],
+                responses=table.responses[:2],
+                chip_id=0,
+            ),
+            32,
+        )
+        big = build_attack_model(table, 32)
+        assert big.known_order_fraction() > small.known_order_fraction()
+
+    def test_derived_predictions_are_correct(self, instance, table):
+        """Any bit the transitive closure decides must match silicon."""
+        model = build_attack_model(table, 32)
+        freqs = instance.frequencies()
+        checked = 0
+        for a in range(32):
+            for b in range(a + 1, 32):
+                bit, derived = model.predict_bit(a, b, rng=0)
+                if derived:
+                    assert bit == int(freqs[a] > freqs[b])
+                    checked += 1
+        assert checked > 50
+
+
+class TestAttack:
+    def test_accuracy_improves_with_training_data(self, instance, table):
+        train_small, test = table.split(4)
+        train_big = type(table)(
+            challenges=table.challenges[:24],
+            responses=table.responses[:24],
+            chip_id=0,
+        )
+        acc_small = sorting_attack(train_small, test, 32, rng=2)
+        # test on challenges disjoint from the big training set
+        test_big = type(table)(
+            challenges=table.challenges[24:],
+            responses=table.responses[24:],
+            chip_id=0,
+        )
+        acc_big = sorting_attack(train_big, test_big, 32, rng=2)
+        assert acc_big > acc_small
+
+    def test_rich_disclosure_breaks_the_puf(self, instance, table):
+        train, test = table.split(32)
+        assert sorting_attack(train, test, 32, rng=3) > 0.9
+
+    def test_attack_curve_shape(self, instance):
+        rows = attack_curve(instance, train_sizes=(1, 8, 24), n_test=8, rng=4)
+        assert [n for n, _, _ in rows] == [1, 8, 24]
+        coverages = [cov for _, _, cov in rows]
+        assert coverages == sorted(coverages)
+        for _, acc, cov in rows:
+            assert 0.0 <= acc <= 1.0
+            assert 0.0 <= cov <= 1.0

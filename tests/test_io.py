@@ -1,0 +1,73 @@
+"""Population persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import conventional_design, make_study
+from repro.io import load_chip, load_population, save_chip, save_population
+from repro.variation import ChipPopulation, VariationModel
+from repro.transistor import ptm90
+
+
+@pytest.fixture(scope="module")
+def population():
+    model = VariationModel(tech=ptm90(), n_ros=16, n_stages=5)
+    return model.sample_population(3, rng=8)
+
+
+class TestRoundTrip:
+    def test_population(self, population, tmp_path):
+        path = tmp_path / "pop.npz"
+        save_population(population, path)
+        loaded = load_population(path)
+        assert len(loaded) == 3
+        for orig, back in zip(population, loaded):
+            assert np.array_equal(orig.vth, back.vth)
+            assert np.array_equal(orig.positions, back.positions)
+            assert np.array_equal(orig.tc_scale, back.tc_scale)
+            assert orig.chip_id == back.chip_id
+
+    def test_single_chip(self, population, tmp_path):
+        path = tmp_path / "chip.npz"
+        save_chip(population[1], path)
+        back = load_chip(path)
+        assert np.array_equal(back.vth, population[1].vth)
+        assert back.chip_id == 1
+
+    def test_reloaded_chips_continue_experiments(self, tmp_path):
+        """A reloaded chip must produce the exact same responses."""
+        design = conventional_design(n_ros=16)
+        study = make_study(design, n_chips=1, rng=4)
+        golden = study.instances[0].golden_response()
+
+        path = tmp_path / "chip.npz"
+        save_chip(study.instances[0].chip, path)
+        rebuilt = design.instantiate(load_chip(path))
+        assert np.array_equal(rebuilt.golden_response(), golden)
+
+
+class TestErrors:
+    def test_empty_population_refused(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_population(ChipPopulation(), tmp_path / "x.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_population(tmp_path / "nope.npz")
+
+    def test_load_chip_from_multichip_archive(self, population, tmp_path):
+        path = tmp_path / "pop.npz"
+        save_population(population, path)
+        with pytest.raises(ValueError, match="load_population"):
+            load_chip(path)
+
+    def test_version_check(self, population, tmp_path):
+        path = tmp_path / "pop.npz"
+        save_population(population, path)
+        # tamper with the version marker
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.array([99])
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format 99"):
+            load_population(path)

@@ -1,0 +1,89 @@
+"""Technology cards: registry, immutability, derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.transistor import (
+    AreaTable,
+    TechnologyCard,
+    get_technology,
+    ptm45,
+    ptm90,
+    register,
+)
+
+
+class TestRegistry:
+    def test_ptm90_registered(self):
+        assert get_technology("ptm90").name == "ptm90"
+
+    def test_ptm45_registered(self):
+        assert get_technology("ptm45").name == "ptm45"
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="ptm90"):
+            get_technology("ptm180")
+
+    def test_register_adds_lookup(self):
+        card = ptm90().replace(name="custom-node")
+        register(card)
+        assert get_technology("custom-node") is card
+
+
+class TestCard:
+    def test_cards_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ptm90().vdd = 0.9
+
+    def test_replace_returns_new_card(self):
+        base = ptm90()
+        low_v = base.replace(vdd=1.0)
+        assert low_v.vdd == 1.0
+        assert base.vdd == 1.2
+
+    def test_gate_overdrive(self):
+        card = ptm90()
+        assert card.gate_overdrive == pytest.approx(card.vdd - card.vth_n)
+
+    def test_45nm_is_scaled_down(self):
+        big, small = ptm90(), ptm45()
+        assert small.vdd < big.vdd
+        assert small.area.inverter < big.area.inverter
+        assert small.variation.sigma_intra_die > big.variation.sigma_intra_die
+
+    def test_default_thresholds_leave_overdrive(self):
+        for card in (ptm90(), ptm45()):
+            assert card.vdd - card.vth_n > 0.5
+            assert card.vdd - card.vth_p > 0.5
+
+
+class TestAreaTable:
+    def test_scaled_scales_every_entry(self):
+        base = AreaTable()
+        half = base.scaled(0.5)
+        for f in dataclasses.fields(AreaTable):
+            assert getattr(half, f.name) == pytest.approx(
+                0.5 * getattr(base, f.name)
+            )
+
+    def test_flip_flop_bigger_than_inverter(self):
+        area = AreaTable()
+        assert area.dff > area.inverter
+        assert area.counter_bit > area.dff
+
+
+class TestCalibration:
+    """The frozen constants must keep their documented relationships."""
+
+    def test_systematic_is_about_half_of_intra_die(self):
+        var = ptm90().variation
+        assert 0.3 < var.sigma_systematic / var.sigma_intra_die < 0.7
+
+    def test_nbti_exponent_is_reaction_diffusion(self):
+        assert ptm90().nbti.n == pytest.approx(1.0 / 6.0)
+
+    def test_bti_saturation_leaves_overdrive(self):
+        card = ptm90()
+        worst_vth = card.vth_p + card.nbti.max_shift + 5 * card.variation.sigma_intra_die
+        assert card.vdd - worst_vth > 0.1

@@ -1,0 +1,114 @@
+"""Spatial variation fields: determinism, normalisation, cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.variation import (
+    SYMMETRIC_RESIDUAL,
+    LayoutStyle,
+    correlated_field,
+    effective_systematic,
+    grid_positions,
+    systematic_field,
+)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return grid_positions(64)
+
+
+class TestSystematicField:
+    def test_deterministic(self, positions):
+        a = systematic_field(positions, 0.01)
+        b = systematic_field(positions, 0.01)
+        assert np.array_equal(a, b)
+
+    def test_normalised_to_sigma(self, positions):
+        field = systematic_field(positions, 0.01)
+        assert field.std() == pytest.approx(0.01)
+        assert field.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_scales_linearly_with_sigma(self, positions):
+        assert np.allclose(
+            systematic_field(positions, 0.02),
+            2 * systematic_field(positions, 0.01),
+        )
+
+    def test_zero_sigma_is_zero(self, positions):
+        assert not np.any(systematic_field(positions, 0.0))
+
+    def test_single_position_no_gradient(self):
+        assert systematic_field(np.array([[0.0, 0.0]]), 0.01)[0] == 0.0
+
+    def test_smooth_over_neighbours(self):
+        """At the paper's 16x16 array scale, adjacent slots see offsets
+        much closer than the field's overall spread (pairing neighbours is
+        what keeps conventional bits usable)."""
+        field = systematic_field(grid_positions(256), 0.01)
+        neighbour_diff = np.abs(np.diff(field[:16]))  # one grid row
+        assert neighbour_diff.max() < 0.01
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            systematic_field(np.zeros(5), 0.01)
+        with pytest.raises(ValueError):
+            systematic_field(np.zeros((5, 3)), 0.01)
+
+    def test_rejects_negative_sigma(self, positions):
+        with pytest.raises(ValueError):
+            systematic_field(positions, -0.01)
+
+
+class TestCorrelatedField:
+    def test_seeded_reproducibility(self, positions):
+        a = correlated_field(positions, 0.01, 4.0, rng=5)
+        b = correlated_field(positions, 0.01, 4.0, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, positions):
+        a = correlated_field(positions, 0.01, 4.0, rng=5)
+        b = correlated_field(positions, 0.01, 4.0, rng=6)
+        assert not np.array_equal(a, b)
+
+    def test_marginal_sigma(self, positions):
+        draws = np.stack(
+            [correlated_field(positions, 0.01, 4.0, rng=i) for i in range(200)]
+        )
+        assert draws.std() == pytest.approx(0.01, rel=0.1)
+
+    def test_neighbours_strongly_correlated(self, positions):
+        draws = np.stack(
+            [correlated_field(positions, 1.0, 4.0, rng=i) for i in range(300)]
+        )
+        corr = np.corrcoef(draws[:, 0], draws[:, 1])[0, 1]
+        assert corr > 0.8  # distance 1 at correlation length 4
+
+    def test_distant_points_weakly_correlated(self, positions):
+        draws = np.stack(
+            [correlated_field(positions, 1.0, 1.0, rng=i) for i in range(300)]
+        )
+        corr = np.corrcoef(draws[:, 0], draws[:, 63])[0, 1]
+        assert abs(corr) < 0.25
+
+    def test_zero_sigma_short_circuits(self, positions):
+        assert not np.any(correlated_field(positions, 0.0, 4.0, rng=1))
+
+    def test_parameter_validation(self, positions):
+        with pytest.raises(ValueError):
+            correlated_field(positions, -1.0, 4.0)
+        with pytest.raises(ValueError):
+            correlated_field(positions, 1.0, 0.0)
+
+
+class TestLayoutCancellation:
+    def test_conventional_exposes_full_field(self, positions):
+        raw = systematic_field(positions, 0.01)
+        eff = effective_systematic(positions, 0.01, LayoutStyle.CONVENTIONAL)
+        assert np.array_equal(raw, eff)
+
+    def test_symmetric_cancels_to_residual(self, positions):
+        raw = systematic_field(positions, 0.01)
+        eff = effective_systematic(positions, 0.01, LayoutStyle.SYMMETRIC)
+        assert np.allclose(eff, SYMMETRIC_RESIDUAL * raw)
+        assert eff.std() < 0.1 * raw.std()

@@ -1,0 +1,42 @@
+"""Calibration driver: evaluate anchor metrics for candidate constants.
+
+Used during development to pick the technology-card constants that land
+the mechanistic simulation on the paper's anchors (32%/7.7% flips,
+45%/49.67% uniqueness).  Kept in the repo so the calibration is auditable
+and re-runnable.
+"""
+import dataclasses
+import sys
+import numpy as np
+
+from repro.transistor.technology import ptm90, NbtiParameters, VariationParameters
+from repro.aging.schedule import MissionProfile
+from repro.core import conventional_design, aro_design, make_study
+from repro.metrics import uniqueness, reliability
+
+
+def evaluate(a_mean, a_cv, sigma_sys, eval_duty, pbti=0.02, cap=0.30, sigma_intra=0.020, n_chips=40, n_ros=256, seed=3):
+    tech = ptm90()
+    tech = tech.replace(
+        nbti=dataclasses.replace(tech.nbti, a_mean=a_mean, a_cv=a_cv, pbti_factor=pbti, max_shift=cap),
+        variation=dataclasses.replace(tech.variation, sigma_systematic=sigma_sys, sigma_intra_die=sigma_intra),
+    )
+    mission = MissionProfile(eval_duty=eval_duty)
+    out = {}
+    for factory in (conventional_design, aro_design):
+        design = factory(n_ros=n_ros, tech=tech)
+        study = make_study(design, n_chips=n_chips, mission=mission, rng=seed)
+        goldens = study.responses()
+        aged = study.responses(t_years=10.0)
+        u = uniqueness(goldens)
+        r = reliability(goldens, aged)
+        out[design.name] = (u.percent(), r.percent())
+    return out
+
+
+if __name__ == "__main__":
+    a_mean, a_cv, sigma_sys, duty, pbti = (float(x) for x in sys.argv[1:6])
+    res = evaluate(a_mean, a_cv, sigma_sys, duty, pbti)
+    for name, (u, f) in res.items():
+        print(f"{name}: uniq={u:.2f}% flips10y={f:.2f}%")
+    print("targets: conv uniq~45, aro uniq~49.67, conv flips~32, aro flips~7.7")
