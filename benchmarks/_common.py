@@ -10,6 +10,10 @@ Each ``bench_*.py`` module regenerates one table or figure of the paper
 * ``test_perf_*`` benchmarks the experiment's hot kernel with
   pytest-benchmark (small, representative, repeatable).
 
+Passing ``values`` to :func:`emit` additionally writes the headline
+numbers to ``benchmarks/results/<name>.json`` so that result sets from
+two checkouts can be diffed mechanically with ``tools/bench_compare.py``.
+
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
@@ -17,13 +21,53 @@ Run everything with::
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Mapping, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def emit(
+    name: str,
+    text: str,
+    values: Optional[Mapping[str, float]] = None,
+) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    ``values`` is an optional flat mapping of headline metrics (timings in
+    seconds, percentages, counts — any scalar a regression check should
+    watch); when given it is written alongside the table as
+    ``<name>.json`` for :mod:`tools.bench_compare`.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if values is not None:
+        payload = {"name": name, "values": {k: float(v) for k, v in values.items()}}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     print(f"\n{text}\n")
+
+
+def emit_benchmark_stats(name: str, benchmark) -> None:
+    """Persist a pytest-benchmark fixture's timing stats as JSON.
+
+    Call after the ``benchmark(...)`` run; records the statistics that
+    matter for regression tracking (min is the least noisy on shared CI
+    boxes, mean/stddev document the spread).
+    """
+    stats = benchmark.stats.stats
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": name,
+        "values": {
+            "min_s": float(stats.min),
+            "mean_s": float(stats.mean),
+            "stddev_s": float(stats.stddev),
+            "rounds": float(stats.rounds),
+        },
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

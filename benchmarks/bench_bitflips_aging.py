@@ -11,7 +11,7 @@ import pytest
 from _common import emit
 from repro.analysis import DEFAULT_YEARS, ExperimentConfig, aging_bitflips
 from repro.analysis.render import render_e2
-from repro.core import conventional_design, make_study
+from repro.core import conventional_design, make_batch_study
 
 PAPER_CONV_10Y = 32.0
 PAPER_ARO_10Y = 7.7
@@ -46,9 +46,15 @@ class TestTable:
 
 
 class TestPerf:
-    def test_perf_golden_response(self, benchmark, result):
-        """Hot kernel: one 128-bit golden response from a 256-RO chip."""
-        study = make_study(conventional_design(), n_chips=1, rng=0)
-        inst = study.instances[0]
-        bits = benchmark(inst.golden_response)
-        assert bits.shape == (128,)
+    def test_perf_population_aged_responses(self, benchmark, result):
+        """Hot kernel: all 50 chips' aged golden responses in one batched
+        pass (memos cleared per round so every round does the real work)."""
+        study = make_batch_study(conventional_design(), n_chips=50, rng=0)
+
+        def kernel():
+            study._freq_memo.clear()
+            study.aging._memo.clear()
+            return study.responses(t_years=10.0)
+
+        bits = benchmark(kernel)
+        assert bits.shape == (50, 128)

@@ -12,7 +12,7 @@ import pytest
 from _common import emit
 from repro.analysis import ExperimentConfig, environmental_reliability
 from repro.analysis.render import render_e5
-from repro.core import conventional_design, make_study
+from repro.core import conventional_design, make_batch_study, voted_response
 
 
 @pytest.fixture(scope="module")
@@ -48,9 +48,15 @@ class TestTable:
 
 class TestPerf:
     def test_perf_voted_noisy_evaluation(self, benchmark, result):
-        study = make_study(conventional_design(), n_chips=1, rng=0)
-        inst = study.instances[0]
+        """Hot kernel: a 5-vote noisy enrolment of the whole population
+        through the chip-axis-aware readout datapath."""
+        study = make_batch_study(conventional_design(), n_chips=50, rng=0)
+        design = study.design
+        pairs = design.pairing.pairs(design.n_ros)
+        freqs = study.frequencies()
         bits = benchmark(
-            lambda: inst.evaluate(noisy=True, votes=5, rng=3)
+            lambda: voted_response(
+                freqs, pairs, design.tech, design.readout, votes=5, rng=3
+            )
         )
-        assert bits.shape == (128,)
+        assert bits.shape == (50, 128)

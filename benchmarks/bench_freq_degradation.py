@@ -13,8 +13,7 @@ import pytest
 from _common import emit
 from repro.analysis import DEFAULT_YEARS, ExperimentConfig, frequency_degradation
 from repro.analysis.render import render_e1
-from repro.circuit import chip_frequencies
-from repro.core import conventional_design, make_study
+from repro.core import conventional_design, make_batch_study
 
 
 @pytest.fixture(scope="module")
@@ -40,16 +39,16 @@ class TestTable:
 
 
 class TestPerf:
-    def test_perf_aged_chip_retiming(self, benchmark, result):
-        """Hot kernel: age one 256-RO chip 10 years and recompute every
-        oscillator frequency."""
-        study = make_study(conventional_design(), n_chips=1, rng=0)
-        aging = study.agings[0]
-        design = study.design
+    def test_perf_population_aged_retiming(self, benchmark, result):
+        """Hot kernel: age the whole 50-chip population 10 years and
+        re-time all 12 800 oscillators in one batched pass (memos cleared
+        per round so every round does the real work)."""
+        study = make_batch_study(conventional_design(), n_chips=50, rng=0)
 
         def kernel():
-            aged = aging.aged(10.0)
-            return chip_frequencies(aged, design.tech)
+            study._freq_memo.clear()
+            study.aging._memo.clear()
+            return study.frequencies(t_years=10.0)
 
         freqs = benchmark(kernel)
-        assert freqs.shape == (256,)
+        assert freqs.shape == (50, 256)

@@ -1,0 +1,107 @@
+"""Population-batch engine vs per-chip loop (the PR's headline speedup).
+
+Times the full E2-style aging sweep — golden responses plus reliability
+at every default year point — at paper scale (50 chips x 256 ROs) twice:
+once through the per-chip :class:`~repro.core.factory.Study` loop and
+once through the batched :class:`~repro.core.population.BatchStudy`
+engine.  Asserts the two paths agree bit-for-bit on every response and
+reliability report, and that the batched engine is at least 10x faster.
+
+The sweep timing uses best-of-N wall clock (min is the least noisy
+statistic on shared boxes); the memos are cleared per round so every
+round pays the full evaluation cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.analysis import DEFAULT_YEARS
+from repro.core import (
+    aro_design,
+    conventional_design,
+    make_batch_study,
+    make_study,
+)
+from repro.metrics.reliability import reliability
+
+N_CHIPS = 50
+SEED = 20140324
+SPEEDUP_FLOOR = 10.0
+
+
+def _sweep_per_chip(study, years):
+    goldens = study.responses()
+    return goldens, [
+        reliability(goldens, study.responses(t_years=t)) for t in years
+    ]
+
+
+def _sweep_batched(batch, years):
+    batch._freq_memo.clear()
+    batch.aging._memo.clear()
+    goldens = batch.responses()
+    return goldens, [
+        reliability(goldens, batch.responses(t_years=t)) for t in years
+    ]
+
+
+def _best_of(fn, rounds):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.mark.slow
+class TestPopulationEngine:
+    @pytest.fixture(scope="class", params=["ro-puf", "aro-puf"])
+    def case(self, request):
+        design = conventional_design() if request.param == "ro-puf" else aro_design()
+        study = make_study(design, n_chips=N_CHIPS, rng=SEED)
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        return request.param, design, study, batch
+
+    def test_bit_identical_sweep(self, case):
+        """Every golden response and reliability report matches exactly."""
+        name, design, study, batch = case
+        years = list(DEFAULT_YEARS)
+        g_old, r_old = _sweep_per_chip(study, years)
+        g_new, r_new = _sweep_batched(batch, years)
+        assert np.array_equal(np.vstack(g_old), g_new)
+        for a, b in zip(r_old, r_new):
+            assert a.mean_flip_fraction == b.mean_flip_fraction
+            assert np.array_equal(a.per_chip, b.per_chip)
+
+    def test_speedup_floor(self, case):
+        """The batched sweep is at least 10x faster than the per-chip loop."""
+        name, design, study, batch = case
+        years = list(DEFAULT_YEARS)
+        # warm both paths (first batched call pays buffer page faults)
+        _sweep_per_chip(study, years)
+        _sweep_batched(batch, years)
+        t_old = _best_of(lambda: _sweep_per_chip(study, years), rounds=5)
+        t_new = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        speedup = t_old / t_new
+        emit(
+            f"population_speedup_{name}",
+            f"E2 aging sweep, {N_CHIPS} chips x {study.design.n_ros} ROs, "
+            f"{len(years)} year points ({name})\n"
+            f"  per-chip loop : {t_old * 1e3:8.2f} ms\n"
+            f"  batched engine: {t_new * 1e3:8.2f} ms\n"
+            f"  speedup       : {speedup:8.2f} x",
+            values={
+                "per_chip_s": t_old,
+                "batched_s": t_new,
+                "speedup": speedup,
+            },
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: batched sweep only {speedup:.2f}x faster "
+            f"({t_old * 1e3:.2f} ms vs {t_new * 1e3:.2f} ms), "
+            f"need >= {SPEEDUP_FLOOR}x"
+        )

@@ -34,12 +34,15 @@ from ._rng import DEFAULT_SEED, as_generator, spawn
 from .aging import AgingSimulator, IdlePolicy, MissionProfile
 from .analysis import ExperimentConfig
 from .core import (
+    BatchStudy,
+    PopulationView,
     PufDesign,
     RoPufInstance,
     Study,
     aro_design,
     conventional_design,
     design_by_name,
+    make_batch_study,
     make_study,
 )
 from .environment import OperatingConditions, celsius
@@ -51,6 +54,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AgingSimulator",
+    "BatchStudy",
     "Chip",
     "ChipPopulation",
     "DEFAULT_SEED",
@@ -60,6 +64,7 @@ __all__ = [
     "LayoutStyle",
     "MissionProfile",
     "OperatingConditions",
+    "PopulationView",
     "PufDesign",
     "RoPufInstance",
     "Study",
@@ -73,6 +78,7 @@ __all__ = [
     "conventional_design",
     "design_by_name",
     "get_technology",
+    "make_batch_study",
     "make_study",
     "ptm45",
     "ptm90",

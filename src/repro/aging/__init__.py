@@ -9,7 +9,7 @@ from .schedule import (
     burn_in_mission,
     typical_mission,
 )
-from .simulator import AgingSimulator, ChipAging
+from .simulator import AgingSimulator, ChipAging, PopulationAging
 from .stress import StressProfile, compute_stress, default_idle_policy
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "IdlePolicy",
     "MissionProfile",
     "PMOS_HCI_FACTOR",
+    "PopulationAging",
     "SECONDS_PER_YEAR",
     "StressProfile",
     "bti_shift",

@@ -8,12 +8,19 @@ back a :class:`ChipAging` that can produce a consistent aged
 degradation trajectory of every device is monotone and self-consistent
 across time points, which is what lets experiments sweep 0.5 .. 10 years
 and get smooth bit-flip curves.
+
+:class:`PopulationAging` is the batched companion: one object holding the
+prefactors of a whole population as ``(n_chips, n_ros, n_stages, 2)``
+tensors, evaluating the threshold-shift field of every chip in a single
+vectorised pass per time point.  Its deltas are bit-identical to the
+per-chip :meth:`ChipAging.delta` under the same sampled prefactors.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -145,3 +152,295 @@ class AgingSimulator:
             self.for_chip(chip, child)
             for chip, child in zip(population, children)
         ]
+
+    def population_aging(
+        self, population: ChipPopulation, rng: RngLike = None
+    ) -> "PopulationAging":
+        """Batched trajectory of the whole population (see
+        :class:`PopulationAging`).  Consumes the RNG exactly like
+        :meth:`for_population`, so the same seed yields the same prefactors
+        on both paths.
+        """
+        return PopulationAging.sample(self, population, rng)
+
+
+class PopulationAging:
+    """Vectorised aging trajectories of a whole chip population.
+
+    Where :class:`ChipAging` evaluates the NBTI/HCI closed form for one
+    chip per call, this class stacks every chip's per-device prefactors
+    into ``(n_chips, n_ros, n_stages, 2)`` tensors and evaluates the
+    threshold-shift field of the *entire population* in one numpy pass
+    per time point.
+
+    The time-independent pieces of the closed form — the duty factors, the
+    Arrhenius temperature acceleration and the prefactor products — are
+    folded into two coefficient tensors at construction, so each
+    :meth:`delta` call only evaluates the ``t``-dependent power laws (tiny
+    ``(n_stages, 2)`` arrays) and two broadcast multiply/clip chains over
+    the population tensor.  The per-element operation grouping matches
+    :meth:`ChipAging.delta` exactly, so deltas are **bit-identical** to
+    the per-chip path.
+
+    Repeated queries at the same time point (golden responses, metric
+    re-use) hit an LRU memo; memoised arrays are returned read-only.
+    """
+
+    #: number of distinct time points kept in the delta memo
+    MEMO_SIZE = 16
+
+    def __init__(
+        self,
+        tech: TechnologyCard,
+        stress: StressProfile,
+        mission: MissionProfile,
+        nbti_a: np.ndarray,
+        hci_b: np.ndarray,
+    ):
+        nbti_a = np.asarray(nbti_a, dtype=float)
+        hci_b = np.asarray(hci_b, dtype=float)
+        if nbti_a.ndim != 4 or nbti_a.shape[-1] != 2:
+            raise ValueError(
+                "nbti_a must have shape (n_chips, n_ros, n_stages, 2), "
+                f"got {nbti_a.shape}"
+            )
+        if hci_b.shape != nbti_a.shape:
+            raise ValueError(
+                f"hci_b shape {hci_b.shape} does not match nbti_a {nbti_a.shape}"
+            )
+        if nbti_a.shape[2] != stress.n_stages:
+            raise ValueError(
+                f"prefactors carry {nbti_a.shape[2]} stages but the stress "
+                f"profile has {stress.n_stages}"
+            )
+        self.tech = tech
+        self.stress = stress
+        self.mission = mission
+        self.nbti_a = nbti_a
+        self.hci_b = hci_b
+
+        # ---- time-independent factors, folded once -------------------
+        # ChipAging.delta computes, per element,
+        #   ((scale * a) * k_T) * (duty * t) ** n          (BTI)
+        #   (scale * b) * ((tpy * t) / N_ref) ** m         (HCI)
+        # and we reproduce exactly that grouping so the batched delta is
+        # bit-identical to the per-chip one.
+        params = tech.nbti
+        k_t = nbti.temperature_acceleration(mission.temperature_k, params)
+        bti_coeff = np.empty_like(nbti_a)
+        bti_coeff[..., PMOS] = (1.0 * nbti_a[..., PMOS]) * k_t
+        bti_coeff[..., NMOS] = (params.pbti_factor * nbti_a[..., NMOS]) * k_t
+        hci_coeff = np.empty_like(hci_b)
+        hci_coeff[..., PMOS] = hci.PMOS_HCI_FACTOR * hci_b[..., PMOS]
+        hci_coeff[..., NMOS] = 1.0 * hci_b[..., NMOS]
+        self._bti_coeff = bti_coeff
+        self._hci_coeff = hci_coeff
+
+        # per-device stress shaped for broadcast against the population
+        # tensor: PMOS rows take the NBTI duty, NMOS rows the PBTI duty.
+        n_stages = stress.n_stages
+        duty = np.empty((1, 1, n_stages, 2))
+        duty[0, 0, :, PMOS] = stress.nbti_duty[:, PMOS]
+        duty[0, 0, :, NMOS] = stress.pbti_duty[:, NMOS]
+        tpy = np.empty((1, 1, n_stages, 2))
+        tpy[0, 0, :, PMOS] = stress.transitions_per_year[:, PMOS]
+        tpy[0, 0, :, NMOS] = stress.transitions_per_year[:, NMOS]
+        self._duty = duty
+        self._tpy = tpy
+        # per-(stage, polarity) coefficient maxima: lets delta evaluation
+        # prove a clip is a no-op from a 10-element check and skip the
+        # population-sized minimum pass (bitwise identical either way)
+        self._bti_max = self._bti_coeff.max(axis=(0, 1))
+        self._hci_max = self._hci_coeff.max(axis=(0, 1))
+        # fully-factored stress directions for the frequency path:
+        #   delta(t) = t**n * bti_dir + t**m * hci_dir   (clips aside)
+        # pulling the duty/transition powers out of the time loop.  This
+        # regroups the closed form (ULP-level drift), so only
+        # subtract_delta_into uses it — delta() keeps the exact grouping.
+        self._bti_dir = bti_coeff * self._duty ** tech.nbti.n
+        self._hci_dir = (
+            hci_coeff * (self._tpy / tech.hci.ref_transitions) ** tech.hci.m
+        )
+        self._bti_dir_max = float(self._bti_dir.max())
+        self._hci_dir_max = float(self._hci_dir.max())
+        self._memo: "OrderedDict[float, np.ndarray]" = OrderedDict()
+
+    # ---- construction ------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        simulator: AgingSimulator,
+        population: ChipPopulation,
+        rng: RngLike = None,
+    ) -> "PopulationAging":
+        """Sample every chip's prefactors into one stacked tensor.
+
+        Mirrors :meth:`AgingSimulator.for_population` draw for draw (one
+        spawned child generator per chip, NBTI before HCI), so the same
+        seed produces the same device prefactors on both paths.
+        """
+        chips = list(population)
+        if not chips:
+            raise ValueError("population is empty")
+        for chip in chips:
+            if chip.n_stages != simulator.cell.n_stages:
+                raise ValueError(
+                    f"chip has {chip.n_stages} stages but the cell expects "
+                    f"{simulator.cell.n_stages}"
+                )
+        children = spawn(rng, len(chips))
+        a_rows, b_rows = [], []
+        for chip, child in zip(chips, children):
+            gen = as_generator(child)
+            a_rows.append(
+                nbti.sample_prefactors(chip.vth.shape, simulator.tech.nbti, gen)
+            )
+            b_rows.append(
+                hci.sample_prefactors(chip.vth.shape, simulator.tech.hci, gen)
+            )
+        return cls(
+            tech=simulator.tech,
+            stress=simulator.stress,
+            mission=simulator.mission,
+            nbti_a=np.stack(a_rows),
+            hci_b=np.stack(b_rows),
+        )
+
+    @classmethod
+    def from_agings(cls, agings: Sequence[ChipAging]) -> "PopulationAging":
+        """Stack existing per-chip trajectories (they must share one
+        simulator, i.e. one technology/stress/mission)."""
+        agings = list(agings)
+        if not agings:
+            raise ValueError("need at least one ChipAging")
+        first = agings[0]
+        return cls(
+            tech=first.tech,
+            stress=first.stress,
+            mission=first.mission,
+            nbti_a=np.stack([a.nbti_a for a in agings]),
+            hci_b=np.stack([a.hci_b for a in agings]),
+        )
+
+    # ---- geometry ----------------------------------------------------
+
+    @property
+    def n_chips(self) -> int:
+        return self.nbti_a.shape[0]
+
+    @property
+    def n_ros(self) -> int:
+        return self.nbti_a.shape[1]
+
+    @property
+    def n_stages(self) -> int:
+        return self.nbti_a.shape[2]
+
+    # ---- evaluation --------------------------------------------------
+
+    def delta(self, t_years: float) -> np.ndarray:
+        """Population threshold-shift field after ``t_years`` (volts).
+
+        Shape ``(n_chips, n_ros, n_stages, 2)``; row ``i`` is bit-identical
+        to ``ChipAging.delta(t_years)`` of chip ``i``.  The returned array
+        is memoised and read-only — copy before mutating.
+        """
+        t = float(t_years)
+        cached = self._memo.get(t)
+        if cached is not None:
+            self._memo.move_to_end(t)
+            return cached
+
+        delta = self.delta_into(t, np.empty_like(self.nbti_a))
+        delta.flags.writeable = False
+        self._memo[t] = delta
+        if len(self._memo) > self.MEMO_SIZE:
+            self._memo.popitem(last=False)
+        return delta
+
+    def delta_into(self, t_years: float, out: np.ndarray) -> np.ndarray:
+        """:meth:`delta` evaluated into a caller-owned buffer (no memo).
+
+        The hot loop of a year sweep calls this with one persistent buffer
+        so that no population-sized array is allocated (and page-faulted)
+        per grid point.  Returns ``out``.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        t = float(t_years)
+        # t-dependent power laws on the tiny (1, 1, n_stages, 2) stress
+        # arrays; everything population-sized below is multiply/clip/add.
+        pow_bti = np.power(self._duty * t, self.tech.nbti.n)
+        pow_hci = np.power(
+            (self._tpy * t) / self.tech.hci.ref_transitions, self.tech.hci.m
+        )
+        np.multiply(self._bti_coeff, pow_bti, out=out)
+        if (self._bti_max * pow_bti[0, 0] > self.tech.nbti.max_shift).any():
+            np.minimum(out, self.tech.nbti.max_shift, out=out)
+        hci_part = self._hci_coeff * pow_hci
+        if (self._hci_max * pow_hci[0, 0] > self.tech.hci.max_shift).any():
+            np.minimum(hci_part, self.tech.hci.max_shift, out=hci_part)
+        np.add(out, hci_part, out=out)
+        return out
+
+    def cached_delta(self, t_years: float) -> Optional[np.ndarray]:
+        """The memoised delta for ``t_years`` if one exists, else None."""
+        return self._memo.get(float(t_years))
+
+    def subtract_delta_into(
+        self,
+        t_years: float,
+        od: np.ndarray,
+        scratch: np.ndarray,
+        rows: slice = slice(None),
+    ) -> np.ndarray:
+        """``od -= delta(t_years)[rows]`` with the fewest memory passes.
+
+        The hot kernel of the batched frequency sweep.  The BTI and HCI
+        terms are subtracted separately from factored direction tensors
+        (one scalar multiply + one subtract each), which regroups the
+        closed form relative to :meth:`delta` — results differ from
+        subtracting :meth:`delta` only in the last few ULPs, so callers
+        that need the bit-exact per-chip grouping use :meth:`delta`
+        instead.  Clips are applied exactly: a cheap maximum check proves
+        when the population cannot reach the cap and the clip pass is
+        skipped.
+
+        ``rows`` selects a chip-axis block, letting the caller chunk the
+        evaluation so the work buffers stay cache-resident.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        t = float(t_years)
+        # Factored closed form: delta(t) = t**n * bti_dir + t**m * hci_dir
+        # (clips aside), so the hot loop pays two *scalar* broadcasts
+        # instead of two (n_stages, 2) broadcasts — measurably cheaper.
+        bti_t = t ** self.tech.nbti.n
+        hci_t = t ** self.tech.hci.m
+        np.multiply(self._bti_dir[rows], bti_t, out=scratch)
+        if self._bti_dir_max * bti_t > self.tech.nbti.max_shift:
+            np.minimum(scratch, self.tech.nbti.max_shift, out=scratch)
+        od -= scratch
+        np.multiply(self._hci_dir[rows], hci_t, out=scratch)
+        if self._hci_dir_max * hci_t > self.tech.hci.max_shift:
+            np.minimum(scratch, self.tech.hci.max_shift, out=scratch)
+        od -= scratch
+        return od
+
+    def delta_grid(self, years: Sequence[float]) -> np.ndarray:
+        """Deltas over a full year grid, shape
+        ``(len(years), n_chips, n_ros, n_stages, 2)``."""
+        return np.stack([self.delta(t) for t in years])
+
+    def chip_aging(self, index: int, chip: Chip) -> ChipAging:
+        """Per-chip :class:`ChipAging` view of row ``index`` (thin slice,
+        no re-sampling) bound to ``chip``."""
+        return ChipAging(
+            chip=chip,
+            tech=self.tech,
+            stress=self.stress,
+            mission=self.mission,
+            nbti_a=self.nbti_a[index],
+            hci_b=self.hci_b[index],
+        )

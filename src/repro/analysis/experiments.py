@@ -22,6 +22,8 @@ from ..core.aro_puf import aro_design
 from ..core.base import PufDesign
 from ..core.factory import Study, make_study
 from ..core.pairing import DistantPairing, NeighborPairing
+from ..core.population import BatchStudy, make_batch_study
+from ..core.readout import compare_pairs, voted_response
 from ..core.ro_puf import conventional_design
 from ..core.selection import select_stable_pairs, selection_margins
 from ..environment.conditions import OperatingConditions, celsius
@@ -62,6 +64,13 @@ class ExperimentConfig:
             design, self.n_chips, mission=self.mission, rng=self.seed
         )
 
+    def batch_study_for(self, design: PufDesign) -> BatchStudy:
+        """Batched counterpart of :meth:`study_for` (same seed, same
+        silicon: responses are bit-identical to the per-chip path)."""
+        return make_batch_study(
+            design, self.n_chips, mission=self.mission, rng=self.seed
+        )
+
 
 # ----------------------------------------------------------------------
 # E1 — RO frequency degradation over time
@@ -86,14 +95,12 @@ def frequency_degradation(
     series: Dict[str, Series] = {}
     fresh: Dict[str, float] = {}
     for name, design in config.designs().items():
-        study = config.study_for(design)
-        f0 = np.stack([inst.frequencies() for inst in study.instances])
+        study = config.batch_study_for(design)
+        f0 = study.frequencies()
         fresh[name] = float(f0.mean() / 1e9)
         s = Series(name=name)
         for t in years:
-            ft = np.stack(
-                [inst.frequencies() for inst in study.aged_instances(t)]
-            )
+            ft = study.frequencies(t_years=t)
             loss = (f0 - ft) / f0
             s.add(t, 100.0 * float(loss.mean()), 100.0 * float(loss.std()))
         series[name] = s
@@ -129,7 +136,7 @@ def aging_bitflips(
     series: Dict[str, Series] = {}
     finals: Dict[str, ReliabilityReport] = {}
     for name, design in config.designs().items():
-        study = config.study_for(design)
+        study = config.batch_study_for(design)
         goldens = study.responses()
         s = Series(name=name)
         last_report = None
@@ -164,7 +171,7 @@ def uniqueness_experiment(
     reports: Dict[str, UniquenessReport] = {}
     histograms: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     for name, design in config.designs().items():
-        study = config.study_for(design)
+        study = config.batch_study_for(design)
         goldens = study.responses()
         reports[name] = uniqueness(goldens)
         histograms[name] = hd_histogram(goldens, bins=bins)
@@ -233,43 +240,57 @@ def environmental_reliability(
 
     Golden responses are enrolled with majority voting at the nominal
     corner; regeneration is a single noisy evaluation at each corner.
+
+    The expensive part — re-timing every oscillator of every chip at
+    every corner — runs through the batched engine (one frequency tensor
+    per corner); only the cheap counter-noise draws stay per chip, with
+    the same per-chip seeds as the per-instance path.
     """
     config = config or ExperimentConfig()
     temp_series: Dict[str, Series] = {}
     volt_series: Dict[str, Series] = {}
     for name, design in config.designs().items():
-        study = config.study_for(design)
+        study = config.batch_study_for(design)
+        pairs = design.pairing.pairs(design.n_ros)
+        f_nominal = study.frequencies()
         goldens = [
-            inst.evaluate(noisy=True, votes=votes, rng=config.seed + i)
-            for i, inst in enumerate(study.instances)
+            voted_response(
+                f_nominal[i],
+                pairs,
+                design.tech,
+                design.readout,
+                votes=votes,
+                rng=config.seed + i,
+            )
+            for i in range(study.n_chips)
         ]
+
+        def corner_report(cond: OperatingConditions, seed_base: int):
+            f_corner = study.frequencies(conditions=cond)
+            observed = [
+                compare_pairs(
+                    f_corner[i],
+                    pairs,
+                    design.tech,
+                    design.readout,
+                    noisy=True,
+                    rng=seed_base + i,
+                )
+                for i in range(study.n_chips)
+            ]
+            return reliability(goldens, observed)
+
         s_t = Series(name=name)
         for idx, temp_c in enumerate(temperatures_c):
             cond = OperatingConditions(temperature_k=celsius(temp_c))
-            observed = [
-                inst.evaluate(
-                    conditions=cond,
-                    noisy=True,
-                    rng=config.seed + 1000 + 100 * idx + i,
-                )
-                for i, inst in enumerate(study.instances)
-            ]
-            report = reliability(goldens, observed)
+            report = corner_report(cond, config.seed + 1000 + 100 * idx)
             s_t.add(temp_c, report.percent(), 100.0 * report.std_flip_fraction)
         temp_series[name] = s_t
 
         s_v = Series(name=name)
         for idx, rel in enumerate(vdd_rel):
             cond = OperatingConditions(vdd=design.tech.vdd * rel)
-            observed = [
-                inst.evaluate(
-                    conditions=cond,
-                    noisy=True,
-                    rng=config.seed + 5000 + 100 * idx + i,
-                )
-                for i, inst in enumerate(study.instances)
-            ]
-            report = reliability(goldens, observed)
+            report = corner_report(cond, config.seed + 5000 + 100 * idx)
             s_v.add(rel, report.percent(), 100.0 * report.std_flip_fraction)
         volt_series[name] = s_v
     return EnvironmentalResult(

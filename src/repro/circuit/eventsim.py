@@ -45,26 +45,42 @@ class Waveform:
         self.times.append(time)
         self.values.append(value)
 
+    def _arrays(self):
+        """Cached numpy views of the history, rebuilt only when it grew.
+
+        Queries (``value_at``/``edges``) are hot after long oscillator
+        runs; converting the Python lists on every call dominates them.
+        The cache key is the history length, which only ever grows.
+        """
+        cache = getattr(self, "_array_cache", None)
+        if cache is None or cache[0] != len(self.times):
+            cache = (
+                len(self.times),
+                np.asarray(self.times, dtype=float),
+                np.asarray(self.values, dtype=bool),
+            )
+            self._array_cache = cache
+        return cache[1], cache[2]
+
     def value_at(self, time: float) -> bool:
         """Node value at ``time`` (initial transition applies at its time)."""
         if not self.times:
             raise SimulationError("node never took a value")
-        idx = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        times, values = self._arrays()
+        idx = int(np.searchsorted(times, time, side="right")) - 1
         if idx < 0:
             raise SimulationError(f"no value recorded at or before t={time}")
-        return self.values[idx]
+        return bool(values[idx])
 
     def edges(self, rising: bool = True, after: float = 0.0) -> List[float]:
         """Times of rising (or falling) edges strictly after ``after``."""
-        out = []
-        for prev, cur, t in zip(self.values, self.values[1:], self.times[1:]):
-            if t <= after:
-                continue
-            if rising and (not prev) and cur:
-                out.append(t)
-            elif (not rising) and prev and (not cur):
-                out.append(t)
-        return out
+        times, values = self._arrays()
+        if len(times) < 2:
+            return []
+        prev, cur = values[:-1], values[1:]
+        mask = (~prev & cur) if rising else (prev & ~cur)
+        mask &= times[1:] > after
+        return times[1:][mask].tolist()
 
     @property
     def n_toggles(self) -> int:

@@ -10,18 +10,26 @@ from .pairing import (
     PairingScheme,
     RandomDisjointPairing,
 )
+from .population import (
+    BatchStudy,
+    PopulationView,
+    batch_frequencies_from_overdrive,
+    make_batch_study,
+)
 from .readout import ReadoutConfig, compare_pairs, voted_response
 from .selection import StaticPairing, select_stable_pairs, selection_margins
 from .ro_puf import CONVENTIONAL_IDLE_POLICY, conventional_design
 
 __all__ = [
     "ARO_IDLE_POLICY",
+    "BatchStudy",
     "CONVENTIONAL_IDLE_POLICY",
     "ChainPairing",
     "DESIGNS",
     "DistantPairing",
     "NeighborPairing",
     "PairingScheme",
+    "PopulationView",
     "PufDesign",
     "RandomDisjointPairing",
     "ReadoutConfig",
@@ -29,11 +37,13 @@ __all__ = [
     "StaticPairing",
     "Study",
     "aro_design",
+    "batch_frequencies_from_overdrive",
     "compare_pairs",
     "conventional_design",
     "design_by_name",
     "select_stable_pairs",
     "selection_margins",
+    "make_batch_study",
     "make_study",
     "voted_response",
 ]

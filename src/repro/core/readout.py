@@ -67,16 +67,22 @@ def compare_pairs(
     Noiseless mode compares true frequencies directly (the analytic
     "infinite window" golden measurement); noisy mode pushes both
     oscillators through the jittered, quantised counter model.
+
+    ``frequencies`` may carry leading batch axes (e.g. a chip axis of
+    shape ``(n_chips, n_ros)`` from a
+    :class:`~repro.core.population.BatchStudy`); oscillators are indexed
+    along the last axis and the result keeps the batch shape,
+    ``(..., n_bits)``.
     """
     frequencies = np.asarray(frequencies, dtype=float)
     pairs = np.asarray(pairs)
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError("pairs must have shape (n_bits, 2)")
-    if np.any(pairs < 0) or np.any(pairs >= frequencies.shape[0]):
+    if np.any(pairs < 0) or np.any(pairs >= frequencies.shape[-1]):
         raise ValueError("pair indices out of range")
 
-    f_a = frequencies[pairs[:, 0]]
-    f_b = frequencies[pairs[:, 1]]
+    f_a = frequencies[..., pairs[:, 0]]
+    f_b = frequencies[..., pairs[:, 1]]
     if not noisy:
         return (f_a > f_b).astype(np.uint8)
 
@@ -96,7 +102,11 @@ def voted_response(
     votes: int = 1,
     rng: RngLike = None,
 ) -> np.ndarray:
-    """Majority-voted noisy response over ``votes`` repeated windows."""
+    """Majority-voted noisy response over ``votes`` repeated windows.
+
+    Like :func:`compare_pairs`, ``frequencies`` may carry leading batch
+    axes; the vote is taken per bit across the repeated windows.
+    """
     if votes < 1:
         raise ValueError("votes must be at least 1")
     if votes == 1:

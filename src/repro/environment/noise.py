@@ -71,13 +71,14 @@ def noisy_frequencies(
 def majority_vote(responses: np.ndarray) -> np.ndarray:
     """Bitwise majority over repeated response evaluations.
 
-    ``responses`` has shape ``(n_repeats, n_bits)`` with 0/1 entries; the
-    result is the per-bit majority (ties broken towards 1, so use an odd
-    repeat count for unambiguous enrolment).
+    ``responses`` has shape ``(n_repeats, n_bits)`` with 0/1 entries —
+    or ``(n_repeats, ..., n_bits)`` for batched (chip-axis) responses;
+    the result is the per-bit majority over the first axis (ties broken
+    towards 1, so use an odd repeat count for unambiguous enrolment).
     """
     responses = np.asarray(responses)
-    if responses.ndim != 2:
-        raise ValueError("responses must have shape (n_repeats, n_bits)")
+    if responses.ndim < 2:
+        raise ValueError("responses must have shape (n_repeats, ..., n_bits)")
     if responses.size == 0:
         raise ValueError("responses is empty")
     return (responses.mean(axis=0) >= 0.5).astype(np.uint8)

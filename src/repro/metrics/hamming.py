@@ -30,6 +30,22 @@ def fractional_hd(a, b) -> float:
     return hamming_distance(a, b) / a.size
 
 
+def _upper_triangle_hd(mat: np.ndarray):
+    """Fractional HDs over the strict upper triangle of a response matrix.
+
+    ``mat`` is a validated ``(n, width)`` bit matrix; returns
+    ``(iu, ju, vals)`` where ``vals[k]`` is the fractional HD between rows
+    ``iu[k]`` and ``ju[k]`` — the XOR-on-the-upper-triangle kernel shared
+    by :func:`pairwise_fractional_hd` and :func:`hd_matrix`.
+    """
+    n, width = mat.shape
+    if width == 0:
+        raise ValueError("responses are empty")
+    iu, ju = np.triu_indices(n, k=1)
+    vals = (mat[iu] ^ mat[ju]).sum(axis=1) / width
+    return iu, ju, vals
+
+
 def pairwise_fractional_hd(responses: Sequence) -> np.ndarray:
     """Fractional HDs between all unordered pairs of responses.
 
@@ -39,26 +55,17 @@ def pairwise_fractional_hd(responses: Sequence) -> np.ndarray:
     inter-chip uniqueness statistic.
     """
     mat = np.stack([_as_bits(r) for r in responses])
-    n, width = mat.shape
-    if n < 2:
+    if mat.shape[0] < 2:
         raise ValueError("need at least two responses")
-    if width == 0:
-        raise ValueError("responses are empty")
-    # XOR via broadcasting on the upper triangle
-    iu, ju = np.triu_indices(n, k=1)
-    diffs = mat[iu] ^ mat[ju]
-    return diffs.sum(axis=1) / width
+    _, _, vals = _upper_triangle_hd(mat)
+    return vals
 
 
 def hd_matrix(responses: Sequence) -> np.ndarray:
     """Full symmetric matrix of pairwise fractional HDs (zero diagonal)."""
     mat = np.stack([_as_bits(r) for r in responses])
-    n, width = mat.shape
-    if width == 0:
-        raise ValueError("responses are empty")
-    out = np.zeros((n, n))
-    iu, ju = np.triu_indices(n, k=1)
-    vals = (mat[iu] ^ mat[ju]).sum(axis=1) / width
+    iu, ju, vals = _upper_triangle_hd(mat)
+    out = np.zeros((mat.shape[0],) * 2)
     out[iu, ju] = vals
     out[ju, iu] = vals
     return out

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Diff two benchmark result sets and flag regressions.
+
+Compares the machine-readable ``*.json`` artefacts that
+``benchmarks/_common.emit`` / ``emit_benchmark_stats`` drop into
+``benchmarks/results/`` — typically one directory from the baseline
+checkout and one from the candidate::
+
+    python tools/bench_compare.py baseline/results benchmarks/results
+
+Every metric shared by both sets is compared; a metric whose value grew
+by more than the threshold (default 20 %) is a **regression** (all
+tracked metrics — timings, flip percentages — are better when smaller).
+Exit status is 1 when any regression is found, so the script can gate CI.
+
+Only the standard library is used: the script must run on a bare
+interpreter without the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Iterable, List, Tuple
+
+
+def load_results(path: pathlib.Path) -> Dict[str, float]:
+    """Flatten one result set into ``{"file:metric": value}``.
+
+    ``path`` is either a directory of ``*.json`` files or a single file.
+    Files that are not benchmark artefacts (no ``values`` mapping) are
+    skipped rather than fatal, so the results directory can hold other
+    droppings.
+    """
+    if path.is_dir():
+        files: Iterable[pathlib.Path] = sorted(path.glob("*.json"))
+    elif path.is_file():
+        files = [path]
+    else:
+        raise FileNotFoundError(f"no such file or directory: {path}")
+
+    metrics: Dict[str, float] = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        values = payload.get("values") if isinstance(payload, dict) else None
+        if not isinstance(values, dict):
+            continue
+        name = payload.get("name", file.stem)
+        for key, value in values.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"{name}:{key}"] = float(value)
+    return metrics
+
+
+def compare(
+    old: Dict[str, float], new: Dict[str, float], threshold: float
+) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
+    """Pair up the two sets.
+
+    Returns ``(rows, only_old, only_new)`` where each row is
+    ``(metric, old_value, new_value, relative_change)``.
+    """
+    rows = []
+    for key in sorted(set(old) & set(new)):
+        a, b = old[key], new[key]
+        if a == 0.0:
+            change = 0.0 if b == 0.0 else float("inf")
+        else:
+            change = (b - a) / abs(a)
+        rows.append((key, a, b, change))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    return rows, only_old, only_new
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two benchmark result sets, flag >threshold regressions"
+    )
+    parser.add_argument("baseline", type=pathlib.Path, help="baseline results dir/file")
+    parser.add_argument("candidate", type=pathlib.Path, help="candidate results dir/file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative growth that counts as a regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = load_results(args.baseline)
+        new = load_results(args.candidate)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not old or not new:
+        print("error: one of the result sets holds no benchmark metrics", file=sys.stderr)
+        return 2
+
+    rows, only_old, only_new = compare(old, new, args.threshold)
+    if not rows:
+        print("error: the result sets share no metrics", file=sys.stderr)
+        return 2
+
+    width = max(len(key) for key, *_ in rows)
+    regressions = []
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}  {'change':>8}")
+    for key, a, b, change in rows:
+        flag = ""
+        if change > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append(key)
+        elif change < -args.threshold:
+            flag = "  improved"
+        print(f"{key:<{width}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}{flag}")
+
+    for key in only_old:
+        print(f"note: {key} only in baseline")
+    for key in only_new:
+        print(f"note: {key} only in candidate")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
