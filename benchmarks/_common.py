@@ -13,6 +13,13 @@ Each ``bench_*.py`` module regenerates one table or figure of the paper
 Passing ``values`` to :func:`emit` additionally writes the headline
 numbers to ``benchmarks/results/<name>.json`` so that result sets from
 two checkouts can be diffed mechanically with ``tools/bench_compare.py``.
+Every JSON artefact carries a :class:`repro.telemetry.RunManifest`
+(provenance: package version, git SHA, numpy/platform) so a results
+directory stays auditable long after the checkout is gone; passing
+``counters`` (e.g. from a ``telemetry.session()`` around the measured
+run) records the *work done* — kernel invocations, memo hit rates — next
+to the timings, letting ``bench_compare`` explain a speed diff instead of
+just flagging it.
 
 Run everything with::
 
@@ -23,30 +30,62 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_manifest_cache: Optional[Dict[str, Any]] = None
+
+
+def run_manifest() -> Dict[str, Any]:
+    """The harness-wide provenance record (collected once per session)."""
+    global _manifest_cache
+    if _manifest_cache is None:
+        from repro.telemetry import RunManifest
+
+        _manifest_cache = RunManifest.collect(
+            config={"harness": "benchmarks"}
+        ).to_dict()
+    return _manifest_cache
+
+
+def _write_payload(
+    name: str,
+    values: Mapping[str, float],
+    counters: Optional[Mapping[str, float]] = None,
+) -> None:
+    payload: Dict[str, Any] = {
+        "name": name,
+        "values": {k: float(v) for k, v in values.items()},
+        "manifest": run_manifest(),
+    }
+    if counters:
+        payload["counters"] = {k: float(v) for k, v in counters.items()}
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def emit(
     name: str,
     text: str,
     values: Optional[Mapping[str, float]] = None,
+    counters: Optional[Mapping[str, float]] = None,
 ) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
     ``values`` is an optional flat mapping of headline metrics (timings in
     seconds, percentages, counts — any scalar a regression check should
     watch); when given it is written alongside the table as
-    ``<name>.json`` for :mod:`tools.bench_compare`.
+    ``<name>.json`` for :mod:`tools.bench_compare`, together with the run
+    manifest.  ``counters`` is an optional telemetry counter snapshot
+    (work-done metrics), diffed informationally by ``bench_compare``
+    rather than regression-gated.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if values is not None:
-        payload = {"name": name, "values": {k: float(v) for k, v in values.items()}}
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
+        _write_payload(name, values, counters)
     print(f"\n{text}\n")
 
 
@@ -59,15 +98,12 @@ def emit_benchmark_stats(name: str, benchmark) -> None:
     """
     stats = benchmark.stats.stats
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "name": name,
-        "values": {
+    _write_payload(
+        name,
+        {
             "min_s": float(stats.min),
             "mean_s": float(stats.mean),
             "stddev_s": float(stats.stddev),
             "rounds": float(stats.rounds),
         },
-    }
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -10,6 +10,13 @@ reliability report, and that the batched engine is at least 10x faster.
 The sweep timing uses best-of-N wall clock (min is the least noisy
 statistic on shared boxes); the memos are cleared per round so every
 round pays the full evaluation cost.
+
+``TestTelemetryOverhead`` guards the observability budget: the batched
+sweep with *no tracer installed* (the default, single-branch disabled
+path) must stay within a few percent of itself with telemetry fully
+enabled, and the headline speedup artefact records the work-done
+counters (kernel blocks, memo traffic) so ``tools/bench_compare.py``
+can diff work alongside wall time.
 """
 
 import time
@@ -18,6 +25,7 @@ import numpy as np
 import pytest
 
 from _common import emit
+from repro import telemetry
 from repro.analysis import DEFAULT_YEARS
 from repro.core import (
     aro_design,
@@ -87,6 +95,10 @@ class TestPopulationEngine:
         t_old = _best_of(lambda: _sweep_per_chip(study, years), rounds=5)
         t_new = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
         speedup = t_old / t_new
+        # one instrumented pass (outside the timing) snapshots the work
+        # done, so the artefact records kernel traffic next to wall time
+        with telemetry.session() as tracer:
+            _sweep_batched(batch, years)
         emit(
             f"population_speedup_{name}",
             f"E2 aging sweep, {N_CHIPS} chips x {study.design.n_ros} ROs, "
@@ -99,9 +111,59 @@ class TestPopulationEngine:
                 "batched_s": t_new,
                 "speedup": speedup,
             },
+            counters=tracer.counters,
         )
         assert speedup >= SPEEDUP_FLOOR, (
             f"{name}: batched sweep only {speedup:.2f}x faster "
             f"({t_old * 1e3:.2f} ms vs {t_new * 1e3:.2f} ms), "
             f"need >= {SPEEDUP_FLOOR}x"
+        )
+
+
+@pytest.mark.slow
+class TestTelemetryOverhead:
+    """The disabled-tracer instrumentation must be (near) free.
+
+    The instrumented call sites in the frequency/aging kernels pay one
+    module-attribute load and one branch when no tracer is installed.
+    This benchmark measures the E2 batched sweep with telemetry disabled
+    versus fully enabled, emits both numbers, and asserts the *enabled*
+    tax stays moderate — the disabled path's absolute cost is pinned by
+    ``TestPopulationEngine.test_speedup_floor`` holding the >= 10x bar
+    on the identical sweep.
+    """
+
+    #: generous bound: collection (spans + counters) may cost this much
+    ENABLED_OVERHEAD_CEILING = 0.25
+
+    def test_disabled_path_overhead(self):
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+        _sweep_batched(batch, years)  # warm buffers and caches
+
+        t_disabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        tracer = telemetry.install(telemetry.Tracer())
+        try:
+            t_enabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        finally:
+            telemetry.uninstall()
+        overhead = t_enabled / t_disabled - 1.0
+        emit(
+            "telemetry_overhead",
+            f"E2 batched sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  telemetry disabled: {t_disabled * 1e3:8.2f} ms\n"
+            f"  telemetry enabled : {t_enabled * 1e3:8.2f} ms\n"
+            f"  enabled overhead  : {100.0 * overhead:8.2f} %",
+            values={
+                "disabled_s": t_disabled,
+                "enabled_s": t_enabled,
+                "enabled_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.ENABLED_OVERHEAD_CEILING, (
+            f"telemetry-enabled sweep costs {overhead:+.1%} over disabled "
+            f"({t_enabled * 1e3:.2f} ms vs {t_disabled * 1e3:.2f} ms); "
+            f"ceiling is {self.ENABLED_OVERHEAD_CEILING:.0%}"
         )

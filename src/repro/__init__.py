@@ -28,8 +28,10 @@ Package map (bottom-up):
 * :mod:`repro.keygen` — fuzzy extractor and key-generator design space
 * :mod:`repro.protocol` — CRP authentication and modeling-attack analysis
 * :mod:`repro.analysis` — the paper's evaluation suite (E1 .. E11)
+* :mod:`repro.telemetry` — tracing spans, kernel counters, run manifests
 """
 
+from . import telemetry
 from ._rng import DEFAULT_SEED, as_generator, spawn
 from .aging import AgingSimulator, IdlePolicy, MissionProfile
 from .analysis import ExperimentConfig
@@ -83,4 +85,5 @@ __all__ = [
     "ptm45",
     "ptm90",
     "spawn",
+    "telemetry",
 ]

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .._rng import RngLike, as_generator, spawn
 from ..circuit.cells import CellDescriptor
 from ..transistor.technology import TechnologyCard
@@ -291,14 +292,15 @@ class PopulationAging:
                 )
         children = spawn(rng, len(chips))
         a_rows, b_rows = [], []
-        for chip, child in zip(chips, children):
-            gen = as_generator(child)
-            a_rows.append(
-                nbti.sample_prefactors(chip.vth.shape, simulator.tech.nbti, gen)
-            )
-            b_rows.append(
-                hci.sample_prefactors(chip.vth.shape, simulator.tech.hci, gen)
-            )
+        with telemetry.span("aging.sample_prefactors", n_chips=len(chips)):
+            for chip, child in zip(chips, children):
+                gen = as_generator(child)
+                a_rows.append(
+                    nbti.sample_prefactors(chip.vth.shape, simulator.tech.nbti, gen)
+                )
+                b_rows.append(
+                    hci.sample_prefactors(chip.vth.shape, simulator.tech.hci, gen)
+                )
         return cls(
             tech=simulator.tech,
             stress=simulator.stress,
@@ -350,7 +352,9 @@ class PopulationAging:
         cached = self._memo.get(t)
         if cached is not None:
             self._memo.move_to_end(t)
+            telemetry.count("aging.delta_memo_hits")
             return cached
+        telemetry.count("aging.delta_memo_misses")
 
         delta = self.delta_into(t, np.empty_like(self.nbti_a))
         delta.flags.writeable = False
@@ -369,6 +373,9 @@ class PopulationAging:
         if t_years < 0:
             raise ValueError("t_years must be non-negative")
         t = float(t_years)
+        sp = telemetry.start_span(
+            "aging.delta", t_years=t, n_chips=self.n_chips
+        )
         # t-dependent power laws on the tiny (1, 1, n_stages, 2) stress
         # arrays; everything population-sized below is multiply/clip/add.
         pow_bti = np.power(self._duty * t, self.tech.nbti.n)
@@ -377,11 +384,18 @@ class PopulationAging:
         )
         np.multiply(self._bti_coeff, pow_bti, out=out)
         if (self._bti_max * pow_bti[0, 0] > self.tech.nbti.max_shift).any():
+            telemetry.count("aging.clip_applied")
             np.minimum(out, self.tech.nbti.max_shift, out=out)
+        else:
+            telemetry.count("aging.clip_skipped")
         hci_part = self._hci_coeff * pow_hci
         if (self._hci_max * pow_hci[0, 0] > self.tech.hci.max_shift).any():
+            telemetry.count("aging.clip_applied")
             np.minimum(hci_part, self.tech.hci.max_shift, out=hci_part)
+        else:
+            telemetry.count("aging.clip_skipped")
         np.add(out, hci_part, out=out)
+        telemetry.end_span(sp)
         return out
 
     def cached_delta(self, t_years: float) -> Optional[np.ndarray]:
@@ -413,6 +427,7 @@ class PopulationAging:
         if t_years < 0:
             raise ValueError("t_years must be non-negative")
         t = float(t_years)
+        telemetry.count("aging.subtract_blocks")
         # Factored closed form: delta(t) = t**n * bti_dir + t**m * hci_dir
         # (clips aside), so the hot loop pays two *scalar* broadcasts
         # instead of two (n_stages, 2) broadcasts — measurably cheaper.
@@ -420,11 +435,17 @@ class PopulationAging:
         hci_t = t ** self.tech.hci.m
         np.multiply(self._bti_dir[rows], bti_t, out=scratch)
         if self._bti_dir_max * bti_t > self.tech.nbti.max_shift:
+            telemetry.count("aging.clip_applied")
             np.minimum(scratch, self.tech.nbti.max_shift, out=scratch)
+        else:
+            telemetry.count("aging.clip_skipped")
         od -= scratch
         np.multiply(self._hci_dir[rows], hci_t, out=scratch)
         if self._hci_dir_max * hci_t > self.tech.hci.max_shift:
+            telemetry.count("aging.clip_applied")
             np.minimum(scratch, self.tech.hci.max_shift, out=scratch)
+        else:
+            telemetry.count("aging.clip_skipped")
         od -= scratch
         return od
 

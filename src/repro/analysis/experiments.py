@@ -11,11 +11,13 @@ Everything is seeded: the same config reproduces the same tables.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .._rng import DEFAULT_SEED
 from ..aging.schedule import IdlePolicy, MissionProfile
 from ..core.aro_puf import aro_design
@@ -34,6 +36,29 @@ from ..metrics.reliability import ReliabilityReport, reliability
 from ..metrics.uniformity import UniformityReport, uniformity
 from ..metrics.uniqueness import UniquenessReport, hd_histogram, uniqueness
 from .sweep import DEFAULT_YEARS, Series
+
+
+def _staged(name: str):
+    """Wrap an experiment entry point in a telemetry span.
+
+    Disabled-tracer cost is one branch per experiment call; with a tracer
+    installed every experiment shows up as one top-level stage in the
+    ``--trace`` tree, with the engine's fabrication/kernel spans nested
+    beneath it.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            sp = telemetry.start_span(name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                telemetry.end_span(sp)
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -86,6 +111,7 @@ class FrequencyDegradationResult:
     fresh_frequency_ghz: Dict[str, float]
 
 
+@_staged("experiment.e1")
 def frequency_degradation(
     config: Optional[ExperimentConfig] = None,
     years: Sequence[float] = DEFAULT_YEARS,
@@ -127,6 +153,7 @@ class BitflipResult:
         return {name: s.y_at(10.0) for name, s in self.series.items() if 10.0 in s.x}
 
 
+@_staged("experiment.e2")
 def aging_bitflips(
     config: Optional[ExperimentConfig] = None,
     years: Sequence[float] = DEFAULT_YEARS,
@@ -163,6 +190,7 @@ class UniquenessResult:
     histograms: Dict[str, Tuple[np.ndarray, np.ndarray]]
 
 
+@_staged("experiment.e3")
 def uniqueness_experiment(
     config: Optional[ExperimentConfig] = None, bins: int = 25
 ) -> UniquenessResult:
@@ -193,6 +221,7 @@ class RandomnessResult:
     entropy: Dict[str, "EntropyReport"]
 
 
+@_staged("experiment.e4")
 def randomness_experiment(
     config: Optional[ExperimentConfig] = None,
 ) -> RandomnessResult:
@@ -229,6 +258,7 @@ class EnvironmentalResult:
     voltage_series: Dict[str, Series]
 
 
+@_staged("experiment.e5")
 def environmental_reliability(
     config: Optional[ExperimentConfig] = None,
     temperatures_c: Sequence[float] = (-20.0, 0.0, 25.0, 45.0, 65.0, 85.0),
@@ -334,6 +364,7 @@ class AreaResult:
 WIDE_REPETITIONS = tuple(list(range(1, 160, 2)) + list(range(161, 640, 10)))
 
 
+@_staged("experiment.e6")
 def ecc_area_experiment(
     policies: Sequence[Tuple[str, float, float]] = (
         ("mean 10-year aging", 0.32, 0.077),
@@ -405,6 +436,7 @@ class DutyAblationResult:
     policy_rows: List[Tuple[str, float]]
 
 
+@_staged("experiment.e7")
 def duty_ablation(
     config: Optional[ExperimentConfig] = None,
     duties: Sequence[float] = (1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2),
@@ -464,6 +496,7 @@ class LayoutAblationResult:
     pairing_rows: List[Tuple[str, float]]
 
 
+@_staged("experiment.e8")
 def layout_ablation(
     config: Optional[ExperimentConfig] = None,
     sys_multipliers: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 3.0),
@@ -537,6 +570,7 @@ class MaskingAblationResult:
     t_years: float
 
 
+@_staged("experiment.e9")
 def masking_ablation(
     config: Optional[ExperimentConfig] = None,
     ks: Sequence[int] = (2, 4, 8, 16),
@@ -626,6 +660,7 @@ def masking_ablation(
 # ----------------------------------------------------------------------
 
 
+@_staged("experiment.e10")
 def authentication_experiment(
     config: Optional[ExperimentConfig] = None,
     years: Sequence[float] = (0.0, 2.0, 5.0, 10.0),
@@ -672,6 +707,7 @@ class AttackResult:
     n_ros: int
 
 
+@_staged("experiment.e11")
 def attack_experiment(
     config: Optional[ExperimentConfig] = None,
     train_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
@@ -720,6 +756,7 @@ class StageAblationResult:
     t_years: float
 
 
+@_staged("experiment.e12")
 def stage_ablation(
     config: Optional[ExperimentConfig] = None,
     stage_counts: Sequence[int] = (3, 5, 7, 9, 13),

@@ -6,11 +6,23 @@ Usage::
     python -m repro.cli run e2 --chips 50 --ros 256
     python -m repro.cli run e6
     python -m repro.cli run all --chips 25 --out results.txt
+    python -m repro.cli run e2 --trace
+    python -m repro.cli run e2 --profile --metrics-out metrics.json
 
 ``run`` executes the experiment(s) at the requested Monte-Carlo scale and
 prints the same paper-style tables the benchmark harness produces (the
 benchmark harness additionally asserts the paper-anchored bands and times
 the kernels — use ``pytest benchmarks/ --benchmark-only`` for that).
+
+Telemetry flags (``run`` and ``report``):
+
+* ``--trace`` prints the nested span tree (wall time per engine stage)
+  and the kernel counters after the tables;
+* ``--profile`` additionally samples per-span peak traced memory
+  (tracemalloc) — slower, opt-in;
+* ``--metrics-out PATH`` writes spans + counters + a complete
+  :class:`~repro.telemetry.RunManifest` (seed, git SHA, numpy/platform
+  versions) as JSON, the artefact CI's smoke step validates.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
+from . import telemetry
 from .analysis import experiments as exp
 from .analysis import render
 
@@ -99,10 +112,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    telemetry_args = argparse.ArgumentParser(add_help=False)
+    tgroup = telemetry_args.add_argument_group("telemetry")
+    tgroup.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the nested span tree and kernel counters after the run",
+    )
+    tgroup.add_argument(
+        "--profile",
+        action="store_true",
+        help="like --trace, plus per-span peak traced memory (slower)",
+    )
+    tgroup.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write spans + counters + run manifest to PATH as JSON",
+    )
+
     sub.add_parser("list", help="list the available experiments")
 
     report = sub.add_parser(
-        "report", help="run experiments and write a Markdown report"
+        "report",
+        help="run experiments and write a Markdown report",
+        parents=[telemetry_args],
     )
     report.add_argument(
         "--experiments",
@@ -118,11 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", default="REPORT.md", help="output file (default REPORT.md)"
     )
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all')",
+        parents=[telemetry_args],
+    )
     run.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id from DESIGN.md section 4",
+        help="experiment id from DESIGN.md section 4 (see 'list'), or 'all'",
     )
     run.add_argument(
         "--chips", type=int, default=50, help="Monte-Carlo chips (default 50)"
@@ -142,6 +179,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _unknown_experiment_error(unknown) -> int:
+    """Print a helpful unknown-id message; returns the exit status."""
+    ids = ", ".join(sorted(EXPERIMENTS))
+    if isinstance(unknown, str):
+        unknown = [unknown]
+    names = ", ".join(repr(u) for u in unknown)
+    print(
+        f"error: unknown experiment id {names}\n"
+        f"valid ids: {ids} (or 'all'); see 'python -m repro.cli list'",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", False)
+        or getattr(args, "profile", False)
+        or getattr(args, "metrics_out", None)
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace, config) -> None:
+    """Uninstall the tracer and emit the requested views of the run."""
+    tracer = telemetry.uninstall()
+    if tracer is None:
+        return
+    if args.trace or args.profile:
+        print("\n── telemetry: span tree " + "─" * 40)
+        print(telemetry.render_span_tree(tracer))
+        print("\n── telemetry: counters " + "─" * 41)
+        print(telemetry.render_counters(tracer))
+    if args.metrics_out:
+        manifest = telemetry.RunManifest.collect(
+            seed=config.seed,
+            config={
+                "command": args.command,
+                "n_chips": config.n_chips,
+                "n_ros": config.n_ros,
+                "experiment": getattr(args, "experiment", None)
+                or getattr(args, "experiments", None),
+            },
+            argv=sys.argv,
+        )
+        path = telemetry.write_metrics(args.metrics_out, tracer, manifest)
+        print(f"metrics written to {path}")
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -151,34 +236,43 @@ def main(argv: Optional[list] = None) -> int:
             print(f"{key.ljust(width)}  {EXPERIMENTS[key][1]}")
         return 0
 
-    if args.command == "report":
-        from .analysis.report import ALL_EXPERIMENTS, generate_report
-
-        kwargs = {"n_chips": args.chips, "n_ros": args.ros}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        config = exp.ExperimentConfig(**kwargs)
-        selected = args.experiments or list(ALL_EXPERIMENTS)
-        generate_report(config, experiments=selected, path=args.path)
-        print(f"report written to {args.path}")
-        return 0
-
     kwargs = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:
         kwargs["seed"] = args.seed
     config = exp.ExperimentConfig(**kwargs)
 
-    selected = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    chunks = []
-    for key in selected:
-        runner, _ = EXPERIMENTS[key]
-        chunks.append(runner(config))
-    text = "\n\n".join(chunks)
-    print(text)
-    if args.out is not None:
-        args.out.write(text + "\n")
-        args.out.close()
-    return 0
+    if _telemetry_wanted(args):
+        telemetry.install(telemetry.Tracer(memory=args.profile))
+
+    try:
+        if args.command == "report":
+            from .analysis.report import ALL_EXPERIMENTS, generate_report
+
+            selected = args.experiments or list(ALL_EXPERIMENTS)
+            unknown = [key for key in selected if key not in EXPERIMENTS]
+            if unknown:
+                return _unknown_experiment_error(unknown)
+            generate_report(config, experiments=selected, path=args.path)
+            print(f"report written to {args.path}")
+            return 0
+
+        if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+            return _unknown_experiment_error(args.experiment)
+        selected = (
+            sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        )
+        chunks = []
+        for key in selected:
+            runner, _ = EXPERIMENTS[key]
+            chunks.append(runner(config))
+        text = "\n\n".join(chunks)
+        print(text)
+        if args.out is not None:
+            args.out.write(text + "\n")
+            args.out.close()
+        return 0
+    finally:
+        _finish_telemetry(args, config)
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from .._rng import RngLike, spawn
 from ..aging.schedule import IdlePolicy, MissionProfile
 from ..aging.simulator import AgingSimulator, ChipAging, PopulationAging
@@ -277,7 +278,16 @@ class BatchStudy:
         cached = self._freq_memo.get(key)
         if cached is not None:
             self._freq_memo.move_to_end(key)
+            telemetry.count("batch.corner_memo_hits")
             return cached
+        telemetry.count("batch.corner_memo_misses")
+        sp = telemetry.start_span(
+            "batch.frequencies",
+            t_years=t,
+            temperature_k=cond.temperature_k,
+            n_chips=self.view.n_chips,
+            n_ros=self.view.n_ros,
+        )
 
         tech = self.design.tech
         vdd = cond.effective_vdd(tech)
@@ -302,6 +312,8 @@ class BatchStudy:
         od_buf, scratch_buf = self._work_buffers()
         neg_alpha = -tech.alpha
         w_flat = np.ascontiguousarray(weights.reshape(-1))
+        n_blocks = -(-n_chips // od_buf.shape[0])
+        telemetry.count("freq.kernel_blocks", n_blocks)
         with np.errstate(invalid="ignore", divide="ignore"):
             for start in range(0, n_chips, od_buf.shape[0]):
                 stop = min(start + od_buf.shape[0], n_chips)
@@ -337,6 +349,7 @@ class BatchStudy:
                     out=period[rows].reshape(-1),
                 )
         if not np.isfinite(period).all():
+            telemetry.end_span(sp)
             raise ValueError(
                 "non-positive gate overdrive: the supply cannot turn on every "
                 "device at this corner (vdd too low or thresholds too high)"
@@ -346,6 +359,7 @@ class BatchStudy:
         self._freq_memo[key] = freqs
         if len(self._freq_memo) > self.MEMO_SIZE:
             self._freq_memo.popitem(last=False)
+        telemetry.end_span(sp)
         return freqs
 
     def responses(
@@ -360,6 +374,7 @@ class BatchStudy:
         Shape ``(n_chips, n_bits)`` uint8; row ``i`` is bit-identical to
         ``Study.responses(challenge, t_years)[i]`` under the same seed.
         """
+        telemetry.count("batch.response_passes")
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
         freqs = self.frequencies(t_years, conditions)
         return compare_pairs(freqs, pairs, self.design.tech, self.design.readout)
@@ -438,14 +453,15 @@ def make_batch_study(
     """
     fab_rng, aging_rng = spawn(rng, 2)
     mission = mission or MissionProfile()
-    population = design.variation_model().sample_population(n_chips, fab_rng)
-    simulator = AgingSimulator(
-        design.tech, design.cell, mission, idle_policy=idle_policy
-    )
-    aging = simulator.population_aging(population, aging_rng)
-    return BatchStudy(
-        design=design,
-        view=PopulationView.from_chips(population),
-        aging=aging,
-        mission=mission,
-    )
+    with telemetry.span("fabricate.batch_study", n_chips=n_chips, n_ros=design.n_ros):
+        population = design.variation_model().sample_population(n_chips, fab_rng)
+        simulator = AgingSimulator(
+            design.tech, design.cell, mission, idle_policy=idle_policy
+        )
+        aging = simulator.population_aging(population, aging_rng)
+        return BatchStudy(
+            design=design,
+            view=PopulationView.from_chips(population),
+            aging=aging,
+            mission=mission,
+        )

@@ -23,6 +23,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .galois import GF2m, poly_degree, poly_lcm_gf2, poly_mod_gf2
 
 
@@ -214,32 +215,39 @@ class BchCode:
         inherent property of bounded-distance decoding that the key-failure
         model accounts for.
         """
+        telemetry.count("ecc.bch_decodes")
         rec = _as_bits(received, self.n, "received")
         full = np.zeros(self.n_full, dtype=np.uint8)
         full[: self.n] = rec  # shortened positions beyond n are known zeros
         syndromes = self._syndromes(full)
         if not any(syndromes):
+            telemetry.count("ecc.bch_clean_words")
             return rec.copy(), 0
         sigma = self._berlekamp_massey(syndromes)
         n_errors = len(sigma) - 1
         if n_errors > self.t:
+            telemetry.count("ecc.bch_decode_failures")
             raise BchDecodingError(
                 f"locator degree {n_errors} exceeds correction power t={self.t}"
             )
         roots = self._chien_search(sigma)
         if roots.size != n_errors:
+            telemetry.count("ecc.bch_decode_failures")
             raise BchDecodingError(
                 f"found {roots.size} error locations for a degree-{n_errors} "
                 "locator; received word is uncorrectable"
             )
         if np.any(roots >= self.n):
+            telemetry.count("ecc.bch_decode_failures")
             raise BchDecodingError(
                 "error located in the shortened (always-zero) prefix"
             )
         corrected = rec.copy()
         corrected[roots] ^= 1
         if not self.is_codeword(corrected):
+            telemetry.count("ecc.bch_decode_failures")
             raise BchDecodingError("correction did not land on a codeword")
+        telemetry.count("ecc.bch_corrected_bits", n_errors)
         return corrected, int(n_errors)
 
 

@@ -30,6 +30,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .._rng import RngLike, as_generator
 from ..ecc.bch import BchDecodingError
 from ..ecc.concatenated import KeyCodec
@@ -66,6 +67,7 @@ class FuzzyExtractor:
 
     def enroll(self, response, rng: RngLike = None) -> Tuple[HelperData, bytes]:
         """One-time enrolment: returns (public helper data, secret key)."""
+        telemetry.count("keygen.enrolls")
         resp = self._check_response(response)
         gen = as_generator(rng)
         message = gen.integers(0, 2, self.codec.message_bits).astype(np.uint8)
@@ -89,9 +91,11 @@ class FuzzyExtractor:
         try:
             codeword = self.codec.correct(shifted)
         except BchDecodingError as exc:
+            telemetry.count("keygen.reproduce_failures")
             raise KeyRecoveryError(
                 f"response drifted beyond the correction power: {exc}"
             ) from exc
+        telemetry.count("keygen.reproduce_ok")
         recovered = helper.offset ^ codeword
         return _key_from_bits(recovered, self.key_bits)
 

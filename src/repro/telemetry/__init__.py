@@ -1,0 +1,72 @@
+"""repro.telemetry — tracing spans, kernel metrics and run manifests.
+
+A zero-dependency observability layer for the Monte-Carlo engine:
+
+* :class:`Tracer` / :class:`Span` — nestable wall-time (and optional
+  memory) spans with typed counters and gauges;
+* :class:`RunManifest` — the provenance tuple (seed, config, package
+  version, git SHA, numpy/platform versions) attached to every artefact;
+* :func:`render_span_tree` / :func:`write_metrics` — terminal and JSON
+  exports, consumed by the CLI's ``--trace`` / ``--metrics-out`` flags
+  and the benchmark harness.
+
+The library is instrumented through the module-level single-branch API
+(:func:`start_span` / :func:`end_span` / :func:`count` / :func:`gauge`):
+with no tracer installed these are one attribute load and one branch, so
+the instrumented kernels stay within the <2 % overhead budget measured
+by ``benchmarks/bench_population.py``.  Enable collection with::
+
+    from repro import telemetry
+
+    with telemetry.session() as tracer:
+        study.responses(t_years=10.0)
+        print(telemetry.render_span_tree(tracer))
+        print(tracer.counters)
+"""
+
+from .manifest import MANIFEST_SCHEMA, RunManifest, git_sha, validate_manifest
+from .tracer import (
+    Span,
+    Tracer,
+    active,
+    count,
+    enabled,
+    end_span,
+    gauge,
+    install,
+    session,
+    span,
+    start_span,
+    uninstall,
+)
+from .export import (
+    METRICS_FORMAT,
+    render_counters,
+    render_span_tree,
+    trace_to_dict,
+    write_metrics,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "METRICS_FORMAT",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "active",
+    "count",
+    "enabled",
+    "end_span",
+    "gauge",
+    "git_sha",
+    "install",
+    "render_counters",
+    "render_span_tree",
+    "session",
+    "span",
+    "start_span",
+    "trace_to_dict",
+    "uninstall",
+    "validate_manifest",
+    "write_metrics",
+]

@@ -1,0 +1,114 @@
+"""Trace export: span trees for humans, spans+counters+manifest for tools.
+
+Two consumers, two formats:
+
+* :func:`render_span_tree` — the ``--trace`` terminal view: an indented
+  tree with per-span wall time, share of the parent, and the hottest
+  attributes (and peak traced memory under ``--profile``);
+* :func:`trace_to_dict` / :func:`write_metrics` — the ``--metrics-out``
+  artefact: one JSON object holding the nested spans, the counter and
+  gauge maps, and the :class:`~repro.telemetry.manifest.RunManifest`,
+  validated by the same schema CI's smoke step checks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .manifest import RunManifest
+from .tracer import Span, Tracer
+
+PathLike = Union[str, pathlib.Path]
+
+#: format version of the --metrics-out payload, bumped on layout changes
+METRICS_FORMAT = 1
+
+
+def _fmt_duration(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:8.3f} s "
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:8.3f} ms"
+    return f"{ns / 1e3:8.3f} us"
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f} MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f} KiB"
+    return f"{n} B"
+
+
+def _render_span(
+    span: Span, lines: List[str], indent: int, parent_ns: Optional[int]
+) -> None:
+    dur = span.duration_ns
+    share = ""
+    if parent_ns:
+        share = f" ({100.0 * dur / parent_ns:5.1f}%)"
+    attrs = ""
+    if span.attrs:
+        inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+        attrs = f"  [{inner}]"
+    mem = ""
+    if span.mem_peak_bytes is not None:
+        mem = f"  peak={_fmt_bytes(span.mem_peak_bytes)}"
+    lines.append(
+        f"{_fmt_duration(dur)}{share:>9}  {'  ' * indent}{span.name}{attrs}{mem}"
+    )
+    for child in span.children:
+        _render_span(child, lines, indent + 1, dur)
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """The indented per-span wall-time tree ``--trace`` prints."""
+    lines: List[str] = []
+    for root in tracer.roots:
+        _render_span(root, lines, 0, None)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def render_counters(tracer: Tracer) -> str:
+    """Counters and gauges as aligned ``name  value`` rows."""
+    rows = [(k, v, "counter") for k, v in sorted(tracer.counters.items())]
+    rows += [(k, v, "gauge") for k, v in sorted(tracer.gauges.items())]
+    if not rows:
+        return "(no counters recorded)"
+    width = max(len(name) for name, _, _ in rows)
+    return "\n".join(
+        f"{name:<{width}}  {value:>14g}  ({kind})" for name, value, kind in rows
+    )
+
+
+def trace_to_dict(
+    tracer: Tracer, manifest: Optional[RunManifest] = None
+) -> Dict[str, Any]:
+    """The complete ``--metrics-out`` payload as a JSON-ready dict."""
+    payload: Dict[str, Any] = {
+        "format": METRICS_FORMAT,
+        "spans": [root.to_dict() for root in tracer.roots],
+        "counters": dict(sorted(tracer.counters.items())),
+        "gauges": dict(sorted(tracer.gauges.items())),
+    }
+    rss = tracer.peak_rss_kb()
+    if rss is not None:
+        payload["peak_rss_kb"] = rss
+    if manifest is not None:
+        payload["manifest"] = manifest.to_dict()
+    return payload
+
+
+def write_metrics(
+    path: PathLike, tracer: Tracer, manifest: Optional[RunManifest] = None
+) -> pathlib.Path:
+    """Write the spans+counters+manifest artefact to ``path`` (JSON)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = trace_to_dict(tracer, manifest)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

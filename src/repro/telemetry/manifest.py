@@ -1,0 +1,174 @@
+"""Run manifests: the provenance record attached to every experiment run.
+
+Long-horizon PUF measurement campaigns are only auditable when every
+artefact says exactly how it was produced.  :class:`RunManifest` captures
+the full reproducibility tuple — RNG seed, experiment configuration,
+package version, git commit, numpy version, python/platform — in one
+JSON-serialisable object that the CLI writes next to its metrics and the
+benchmark harness embeds in every ``benchmarks/results/*.json`` artefact.
+
+Only the standard library is used (the git SHA comes from one
+``git rev-parse`` subprocess with a short timeout and falls back to
+``None`` outside a checkout), so collecting a manifest never makes a run
+fail.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+#: JSON-schema-style description of a serialised manifest.  Kept as plain
+#: data (not a jsonschema dependency) and enforced by
+#: :func:`validate_manifest`, which CI's smoke step runs against the
+#: CLI's ``--metrics-out`` artefact.
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "created_utc",
+        "seed",
+        "config",
+        "package",
+        "package_version",
+        "git_sha",
+        "numpy_version",
+        "python_version",
+        "platform",
+        "argv",
+    ],
+    "properties": {
+        "created_utc": {"type": "string"},
+        "seed": {"type": ["integer", "null"]},
+        "config": {"type": "object"},
+        "package": {"type": "string"},
+        "package_version": {"type": "string"},
+        "git_sha": {"type": ["string", "null"]},
+        "numpy_version": {"type": ["string", "null"]},
+        "python_version": {"type": "string"},
+        "platform": {"type": "string"},
+        "argv": {"type": "array"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def git_sha(repo_dir: Optional[pathlib.Path] = None) -> Optional[str]:
+    """The current checkout's commit SHA, or ``None`` when unavailable."""
+    if repo_dir is None:
+        repo_dir = pathlib.Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to re-run (or audit) one experiment run."""
+
+    created_utc: str
+    seed: Optional[int]
+    config: Dict[str, Any] = field(default_factory=dict)
+    package: str = "repro"
+    package_version: str = ""
+    git_sha: Optional[str] = None
+    numpy_version: Optional[str] = None
+    python_version: str = ""
+    platform: str = ""
+    argv: list = field(default_factory=list)
+
+    @classmethod
+    def collect(
+        cls,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        argv: Optional[list] = None,
+    ) -> "RunManifest":
+        """Capture the current process's provenance tuple.
+
+        ``config`` is any JSON-ready mapping describing the run (the CLI
+        passes its resolved argument namespace; benchmarks pass their
+        scale constants).
+        """
+        from .. import __version__
+
+        try:
+            import numpy
+
+            numpy_version: Optional[str] = numpy.__version__
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            numpy_version = None
+        return cls(
+            created_utc=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            seed=None if seed is None else int(seed),
+            config=dict(config or {}),
+            package="repro",
+            package_version=__version__,
+            git_sha=git_sha(),
+            numpy_version=numpy_version,
+            python_version=sys.version.split()[0],
+            platform=platform.platform(),
+            argv=list(sys.argv if argv is None else argv),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its :meth:`to_dict` form (validated)."""
+        validate_manifest(data)
+        return cls(**{k: data[k] for k in MANIFEST_SCHEMA["required"]})
+
+
+def validate_manifest(data: Any) -> None:
+    """Check ``data`` against :data:`MANIFEST_SCHEMA`.
+
+    Raises :class:`ValueError` naming every violation at once, so a CI
+    failure message is actionable in one read.
+    """
+    problems = []
+    if not isinstance(data, dict):
+        raise ValueError(f"manifest must be a JSON object, got {type(data).__name__}")
+    for key in MANIFEST_SCHEMA["required"]:
+        if key not in data:
+            problems.append(f"missing required field {key!r}")
+    for key, spec in MANIFEST_SCHEMA["properties"].items():
+        if key not in data:
+            continue
+        allowed = spec["type"]
+        if isinstance(allowed, str):
+            allowed = [allowed]
+        if not any(_TYPE_CHECKS[t](data[key]) for t in allowed):
+            problems.append(
+                f"field {key!r} has type {type(data[key]).__name__}, "
+                f"expected {' | '.join(allowed)}"
+            )
+    if problems:
+        raise ValueError("invalid manifest: " + "; ".join(problems))

@@ -1,0 +1,321 @@
+"""Process-local tracer: nestable spans, typed counters and gauges.
+
+The design goal is a *near-zero-cost disabled path*: when no tracer is
+installed (the default), every instrumentation site in the library pays a
+single module-attribute load plus one ``is None`` branch — no allocation,
+no clock read, no dictionary update.  The hot-path idiom is::
+
+    from .. import telemetry
+
+    sp = telemetry.start_span("batch.frequencies", corner="nominal")
+    try:
+        ...  # the instrumented work
+    finally:
+        telemetry.end_span(sp)
+
+    telemetry.count("batch.corner_memo_hits")
+
+``start_span`` returns ``None`` when disabled and ``end_span(None)`` /
+``count`` return immediately, so the instrumented code never changes
+shape between the two modes.  For code that prefers ``with`` blocks (cold
+paths, experiment stages) the installed :class:`Tracer` also provides a
+:meth:`Tracer.span` context manager.
+
+Spans record wall time via :func:`time.perf_counter_ns`; a tracer created
+with ``memory=True`` additionally samples :mod:`tracemalloc` (traced peak
+per span) and the process peak RSS, for memory profiles of the population
+kernels.  Counters are monotonically accumulated floats; gauges keep the
+last written value.  Everything lives on the tracer instance — there is
+no global mutable state beyond the single "installed tracer" slot — so
+tests can create, install and discard tracers freely.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed (and optionally memory-profiled) region of a trace.
+
+    Spans form a tree: every span started while another is active becomes
+    a child of that active span.  Timing uses ``perf_counter_ns`` so the
+    clock is monotonic and immune to wall-clock adjustments.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "parent",
+        "children",
+        "start_ns",
+        "end_ns",
+        "mem_peak_bytes",
+        "_mem_start_bytes",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.parent: Optional["Span"] = None
+        self.children: List["Span"] = []
+        self.start_ns: int = 0
+        self.end_ns: Optional[int] = None
+        self.mem_peak_bytes: Optional[int] = None
+        self._mem_start_bytes: Optional[int] = None
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (to *now* if the span is still open)."""
+        end = self.end_ns if self.end_ns is not None else time.perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this span and its subtree."""
+        d: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            d["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        if self.mem_peak_bytes is not None:
+            d["mem_peak_bytes"] = self.mem_peak_bytes
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_ns is None else f"{self.duration_s * 1e3:.3f} ms"
+        return f"<Span {self.name!r} {state} children={len(self.children)}>"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a span attribute to a JSON-serialisable scalar."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalars
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class Tracer:
+    """Collects spans, counters and gauges for one run.
+
+    Parameters
+    ----------
+    memory:
+        When true, spans additionally record their :mod:`tracemalloc`
+        peak (the tracer starts/stops tracemalloc around its lifetime if
+        it was not already running).  Costs ~2-4x on allocation-heavy
+        code, so it is opt-in (the CLI's ``--profile``).
+    """
+
+    def __init__(self, *, memory: bool = False):
+        self.memory = memory
+        self.roots: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self._stack: List[Span] = []
+        self._owns_tracemalloc = False
+        if memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_tracemalloc = True
+
+    # ---- spans -------------------------------------------------------
+
+    def start_span(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the currently active span."""
+        span = Span(name, attrs or None)
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        if self.memory:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
+            span._mem_start_bytes = tracemalloc.get_traced_memory()[0]
+        span.start_ns = time.perf_counter_ns()
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close ``span`` (and any forgotten descendants still open)."""
+        end_ns = time.perf_counter_ns()
+        if span.end_ns is not None:
+            raise ValueError(f"span {span.name!r} already ended")
+        if span not in self._stack:
+            raise ValueError(f"span {span.name!r} is not on the active stack")
+        # unwind to (and including) the span — tolerates a child the
+        # instrumented code forgot to close on an exception path
+        while self._stack:
+            top = self._stack.pop()
+            top.end_ns = end_ns
+            if self.memory:
+                import tracemalloc
+
+                current, peak = tracemalloc.get_traced_memory()
+                base = top._mem_start_bytes or 0
+                top.mem_peak_bytes = max(0, peak - base)
+            if top is span:
+                break
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("stage"):`` convenience wrapper."""
+        sp = self.start_span(name, **attrs)
+        try:
+            yield sp
+        finally:
+            self.end_span(sp)
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # ---- counters / gauges -------------------------------------------
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` onto counter ``name`` (monotone)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the most recent value of gauge ``name``."""
+        self.gauges[name] = float(value)
+
+    # ---- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """End any still-open spans and release tracemalloc if owned."""
+        while self._stack:
+            self.end_span(self._stack[-1])
+        if self._owns_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    def peak_rss_kb(self) -> Optional[float]:
+        """Process peak RSS in KiB (``ru_maxrss``), if the platform has it."""
+        try:
+            import resource
+        except ImportError:  # pragma: no cover - non-POSIX
+            return None
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        import sys
+
+        if sys.platform == "darwin":  # pragma: no cover - platform-specific
+            return peak / 1024.0
+        return float(peak)
+
+
+# ----------------------------------------------------------------------
+# the installed-tracer slot and the single-branch hot-path API
+# ----------------------------------------------------------------------
+
+#: the one process-local tracer, or None (disabled).  Instrumentation
+#: sites read this through the helpers below; tests and the CLI install
+#: and remove tracers via install()/uninstall()/session().
+_active: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when telemetry is disabled."""
+    return _active
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-local tracer (returns it)."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("a tracer is already installed; uninstall() first")
+    _active = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove and return the installed tracer (no-op when disabled)."""
+    global _active
+    tracer, _active = _active, None
+    if tracer is not None:
+        tracer.close()
+    return tracer
+
+
+@contextmanager
+def session(*, memory: bool = False) -> Iterator[Tracer]:
+    """Install a fresh :class:`Tracer` for the duration of a block."""
+    tracer = install(Tracer(memory=memory))
+    try:
+        yield tracer
+    finally:
+        uninstall()
+
+
+def start_span(name: str, **attrs: Any) -> Optional[Span]:
+    """Open a span on the installed tracer; ``None`` when disabled.
+
+    The disabled path is one global load and one branch — cheap enough
+    for per-grid-point call sites (not per-element ones).
+    """
+    t = _active
+    if t is None:
+        return None
+    return t.start_span(name, **attrs)
+
+
+def end_span(span: Optional[Span]) -> None:
+    """Close a span from :func:`start_span` (no-op for ``None``)."""
+    if span is None:
+        return
+    t = _active
+    if t is not None:
+        t.end_span(span)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Accumulate onto a counter of the installed tracer (no-op when
+    disabled)."""
+    t = _active
+    if t is not None:
+        t.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the installed tracer (no-op when disabled)."""
+    t = _active
+    if t is not None:
+        t.gauge(name, value)
+
+
+def enabled() -> bool:
+    """True when a tracer is installed."""
+    return _active is not None
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """``with telemetry.span("stage"):`` — traced when enabled, a plain
+    no-op context otherwise.  For cold call sites; the hot paths use the
+    start/end pair to keep the disabled cost to a single branch."""
+    sp = start_span(name, **attrs)
+    try:
+        yield sp
+    finally:
+        end_span(sp)

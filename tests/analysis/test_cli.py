@@ -16,9 +16,17 @@ class TestParser:
         assert args.chips == 50
         assert args.ros == 256
 
-    def test_unknown_experiment_rejected(self, capsys):
+    def test_unknown_experiment_exits_nonzero_with_message(self, capsys):
+        code = main(["run", "e99"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id 'e99'" in err
+        assert "e2" in err  # the message lists the valid ids
+
+    def test_unknown_report_experiment_exits_nonzero(self, capsys):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "e99"])
+            # argparse still rejects ids outside its choices up front
+            build_parser().parse_args(["report", "--experiments", "e99"])
 
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
@@ -59,3 +67,68 @@ class TestMain:
         main(["run", "e8", "--chips", "3", "--ros", "16", "--seed", "9"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestTelemetryFlags:
+    def test_trace_prints_span_tree_and_counters(self, capsys):
+        code = main(["run", "e3", "--chips", "3", "--ros", "16", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment.e3" in out
+        assert "fabricate.batch_study" in out
+        assert "batch.corner_memo_misses" in out
+
+    def test_trace_leaves_no_tracer_installed(self, capsys):
+        from repro import telemetry
+
+        main(["run", "e3", "--chips", "3", "--ros", "16", "--trace"])
+        assert telemetry.active() is None
+
+    def test_metrics_out_writes_valid_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_manifest
+
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "e2",
+                "--chips",
+                "3",
+                "--ros",
+                "16",
+                "--seed",
+                "11",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["spans"], "expected recorded spans"
+        assert payload["counters"].get("batch.response_passes", 0) > 0
+        validate_manifest(payload["manifest"])
+        assert payload["manifest"]["seed"] == 11
+        assert payload["manifest"]["config"]["n_chips"] == 3
+
+    def test_profile_records_span_memory(self, capsys):
+        code = main(["run", "e3", "--chips", "3", "--ros", "16", "--profile"])
+        assert code == 0
+        assert "peak=" in capsys.readouterr().out
+
+    def test_tables_unchanged_by_tracing(self, capsys):
+        main(["run", "e3", "--chips", "3", "--ros", "16"])
+        plain = capsys.readouterr().out
+        main(["run", "e3", "--chips", "3", "--ros", "16", "--trace"])
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain.rstrip("\n").split("\n")[0])
+        assert plain.split("── telemetry")[0].strip() in traced
+
+    def test_unknown_id_with_metrics_out_still_cleans_up(self, tmp_path, capsys):
+        from repro import telemetry
+
+        out = tmp_path / "m.json"
+        code = main(["run", "e99", "--metrics-out", str(out)])
+        assert code == 2
+        assert telemetry.active() is None

@@ -1,0 +1,102 @@
+"""RunManifest: collection, JSON schema round-trip, validation errors."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    git_sha,
+    validate_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return RunManifest.collect(seed=42, config={"n_chips": 4, "n_ros": 16})
+
+
+class TestCollect:
+    def test_captures_package_version(self, manifest):
+        assert manifest.package == "repro"
+        assert manifest.package_version == __version__
+
+    def test_captures_environment(self, manifest):
+        import numpy
+
+        assert manifest.numpy_version == numpy.__version__
+        assert manifest.python_version
+        assert manifest.platform
+
+    def test_seed_and_config_pass_through(self, manifest):
+        assert manifest.seed == 42
+        assert manifest.config == {"n_chips": 4, "n_ros": 16}
+
+    def test_seed_optional(self):
+        m = RunManifest.collect()
+        assert m.seed is None
+
+    def test_git_sha_in_this_checkout(self, manifest):
+        # the test suite runs inside the repository, so a SHA must resolve
+        sha = git_sha()
+        assert sha is not None and len(sha) == 40
+        assert manifest.git_sha == sha
+
+    def test_git_sha_outside_checkout(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, manifest):
+        rebuilt = RunManifest.from_dict(manifest.to_dict())
+        assert rebuilt == manifest
+
+    def test_json_round_trip(self, manifest):
+        rebuilt = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert rebuilt == manifest
+
+    def test_to_dict_is_json_ready(self, manifest):
+        json.dumps(manifest.to_dict())  # must not raise
+
+    def test_to_dict_matches_schema(self, manifest):
+        validate_manifest(manifest.to_dict())
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_manifest(["not", "a", "dict"])
+
+    def test_missing_field_named_in_error(self, manifest):
+        data = manifest.to_dict()
+        del data["seed"]
+        with pytest.raises(ValueError, match="'seed'"):
+            validate_manifest(data)
+
+    def test_wrong_type_named_in_error(self, manifest):
+        data = manifest.to_dict()
+        data["config"] = "not-a-mapping"
+        with pytest.raises(ValueError, match="'config'"):
+            validate_manifest(data)
+
+    def test_all_problems_reported_at_once(self, manifest):
+        data = manifest.to_dict()
+        del data["argv"]
+        data["seed"] = "forty-two"
+        with pytest.raises(ValueError) as err:
+            validate_manifest(data)
+        assert "'argv'" in str(err.value) and "'seed'" in str(err.value)
+
+    def test_nullables_accept_null(self, manifest):
+        data = manifest.to_dict()
+        data["git_sha"] = None
+        data["numpy_version"] = None
+        data["seed"] = None
+        validate_manifest(data)
+
+    def test_schema_covers_every_required_field(self):
+        assert set(MANIFEST_SCHEMA["required"]) <= set(
+            MANIFEST_SCHEMA["properties"]
+        )

@@ -1,0 +1,203 @@
+"""Tracer core: span nesting, timing monotonicity, counters, no-op path."""
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Span, Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """Every test starts and ends with no installed tracer."""
+    telemetry.uninstall()
+    yield
+    telemetry.uninstall()
+
+
+class TestSpanNesting:
+    def test_children_attach_to_active_span(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                with tr.span("grandchild"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        assert [r.name for r in tr.roots] == ["root"]
+        root = tr.roots[0]
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_multiple_roots(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.name for r in tr.roots] == ["a", "b"]
+
+    def test_start_end_pairs_match_context_manager(self):
+        tr = Tracer()
+        outer = tr.start_span("outer")
+        inner = tr.start_span("inner")
+        tr.end_span(inner)
+        tr.end_span(outer)
+        assert outer.children == [inner]
+        assert inner.parent is outer
+
+    def test_end_unwinds_forgotten_children(self):
+        tr = Tracer()
+        outer = tr.start_span("outer")
+        tr.start_span("forgotten")
+        tr.end_span(outer)  # must close the forgotten child too
+        assert outer.end_ns is not None
+        assert outer.children[0].end_ns is not None
+        assert tr.active_span is None
+
+    def test_double_end_rejected(self):
+        tr = Tracer()
+        sp = tr.start_span("x")
+        tr.end_span(sp)
+        with pytest.raises(ValueError, match="already ended"):
+            tr.end_span(sp)
+
+    def test_attrs_recorded(self):
+        tr = Tracer()
+        with tr.span("s", t_years=10.0, corner="nominal") as sp:
+            pass
+        assert sp.attrs == {"t_years": 10.0, "corner": "nominal"}
+
+
+class TestSpanTiming:
+    def test_duration_positive_and_monotone(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                time.sleep(0.001)
+        assert inner.duration_ns > 0
+        assert outer.duration_ns >= inner.duration_ns
+        assert outer.duration_s == pytest.approx(outer.duration_ns / 1e9)
+
+    def test_child_interval_inside_parent(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_open_span_duration_grows(self):
+        tr = Tracer()
+        sp = tr.start_span("open")
+        d1 = sp.duration_ns
+        d2 = sp.duration_ns
+        assert d2 >= d1
+        tr.end_span(sp)
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.roots[0].end_ns is not None
+        assert tr.active_span is None
+
+
+class TestCounters:
+    def test_counts_accumulate(self):
+        tr = Tracer()
+        tr.count("hits")
+        tr.count("hits")
+        tr.count("hits", 3)
+        assert tr.counters == {"hits": 5.0}
+
+    def test_gauge_keeps_last_value(self):
+        tr = Tracer()
+        tr.gauge("rss", 10.0)
+        tr.gauge("rss", 7.5)
+        assert tr.gauges == {"rss": 7.5}
+
+    def test_module_level_count_routes_to_installed(self):
+        tr = telemetry.install(Tracer())
+        telemetry.count("a", 2)
+        telemetry.gauge("g", 1.0)
+        assert tr.counters == {"a": 2.0}
+        assert tr.gauges == {"g": 1.0}
+
+
+class TestDisabledPath:
+    def test_module_api_is_noop_without_tracer(self):
+        assert not telemetry.enabled()
+        assert telemetry.active() is None
+        assert telemetry.start_span("x") is None
+        telemetry.end_span(None)  # must not raise
+        telemetry.count("x")
+        telemetry.gauge("x", 1.0)
+        with telemetry.span("y") as sp:
+            assert sp is None
+
+    def test_uninstall_without_install_is_noop(self):
+        assert telemetry.uninstall() is None
+
+    def test_double_install_rejected(self):
+        telemetry.install(Tracer())
+        with pytest.raises(RuntimeError, match="already installed"):
+            telemetry.install(Tracer())
+
+    def test_session_installs_and_removes(self):
+        with telemetry.session() as tr:
+            assert telemetry.active() is tr
+            telemetry.count("inside")
+        assert telemetry.active() is None
+        assert tr.counters == {"inside": 1.0}
+
+    def test_uninstall_closes_open_spans(self):
+        tr = telemetry.install(Tracer())
+        telemetry.start_span("left-open")
+        telemetry.uninstall()
+        assert tr.roots[0].end_ns is not None
+
+
+class TestMemoryMode:
+    def test_spans_record_peak_bytes(self):
+        with telemetry.session(memory=True) as tr:
+            with tr.span("alloc"):
+                blob = bytearray(256 * 1024)
+                del blob
+        sp = tr.roots[0]
+        assert sp.mem_peak_bytes is not None
+        # tracemalloc's accounting may be a few bytes shy of the nominal size
+        assert sp.mem_peak_bytes >= 200 * 1024
+
+    def test_non_memory_spans_have_no_peak(self):
+        with telemetry.session() as tr:
+            with tr.span("plain"):
+                pass
+        assert tr.roots[0].mem_peak_bytes is None
+
+    def test_peak_rss_reported_on_posix(self):
+        tr = Tracer()
+        rss = tr.peak_rss_kb()
+        assert rss is None or rss > 0
+
+
+class TestSpanToDict:
+    def test_tree_serialises(self):
+        tr = Tracer()
+        with tr.span("root", k=1):
+            with tr.span("leaf"):
+                pass
+        d = tr.roots[0].to_dict()
+        assert d["name"] == "root"
+        assert d["attrs"] == {"k": 1}
+        assert d["duration_ns"] > 0
+        assert [c["name"] for c in d["children"]] == ["leaf"]
+
+    def test_numpy_attrs_coerced(self):
+        np = pytest.importorskip("numpy")
+        sp = Span("s", {"t": np.float64(1.5), "n": np.int64(3)})
+        d = sp.to_dict()
+        assert d["attrs"] == {"t": 1.5, "n": 3}
+        assert isinstance(d["attrs"]["t"], float)

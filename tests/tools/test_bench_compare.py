@@ -1,0 +1,102 @@
+"""tools/bench_compare.py: regression diffing and the --json contract."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _write_results(path, name, values, counters=None):
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"name": name, "values": values}
+    if counters is not None:
+        payload["counters"] = counters
+    (path / f"{name}.json").write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def result_dirs(tmp_path):
+    old = tmp_path / "baseline"
+    new = tmp_path / "candidate"
+    _write_results(
+        old, "bench", {"time_s": 1.0, "flips": 10.0}, {"kernel_blocks": 30.0}
+    )
+    _write_results(
+        new, "bench", {"time_s": 1.1, "flips": 10.0}, {"kernel_blocks": 60.0}
+    )
+    return old, new
+
+
+class TestLoadResults:
+    def test_values_section(self, result_dirs):
+        old, _ = result_dirs
+        assert bench_compare.load_results(old) == {
+            "bench:time_s": 1.0,
+            "bench:flips": 10.0,
+        }
+
+    def test_counters_section(self, result_dirs):
+        old, _ = result_dirs
+        assert bench_compare.load_results(old, section="counters") == {
+            "bench:kernel_blocks": 30.0
+        }
+
+    def test_non_artefact_files_skipped(self, tmp_path):
+        (tmp_path / "junk.json").write_text('{"not": "an artefact"}')
+        (tmp_path / "bad.json").write_text("{{{")
+        assert bench_compare.load_results(tmp_path) == {}
+
+
+class TestMain:
+    def test_no_regression_exit_zero(self, result_dirs, capsys):
+        old, new = result_dirs
+        assert bench_compare.main([str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "kernel_blocks" in out  # counters diffed informationally
+
+    def test_regression_exit_one(self, result_dirs, capsys):
+        old, new = result_dirs
+        code = bench_compare.main([str(old), str(new), "--threshold", "0.05"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_counter_growth_is_not_a_regression(self, result_dirs, capsys):
+        # kernel_blocks doubled, but only `values` metrics gate the exit
+        old, new = result_dirs
+        assert bench_compare.main([str(old), str(new), "--threshold", "0.5"]) == 0
+
+    def test_json_output_contract(self, result_dirs, tmp_path, capsys):
+        old, new = result_dirs
+        out = tmp_path / "diff" / "report.json"
+        code = bench_compare.main(
+            [str(old), str(new), "--threshold", "0.05", "--json", str(out)]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["threshold"] == 0.05
+        assert payload["regressions"] == ["bench:time_s"]
+        by_metric = {row["metric"]: row for row in payload["rows"]}
+        assert by_metric["bench:time_s"]["regression"] is True
+        assert by_metric["bench:time_s"]["change"] == pytest.approx(0.1)
+        assert by_metric["bench:flips"]["regression"] is False
+        counters = {row["metric"]: row for row in payload["counters"]}
+        assert counters["bench:kernel_blocks"]["change"] == pytest.approx(1.0)
+
+    def test_json_written_even_without_regressions(self, result_dirs, tmp_path):
+        old, new = result_dirs
+        out = tmp_path / "diff.json"
+        assert bench_compare.main([str(old), str(new), "--json", str(out)]) == 0
+        assert json.loads(out.read_text())["regressions"] == []
+
+    def test_missing_dir_exit_two(self, tmp_path, capsys):
+        assert bench_compare.main([str(tmp_path / "nope"), str(tmp_path)]) == 2

@@ -1,0 +1,76 @@
+"""tools/validate_metrics.py: the CI smoke validator's contract."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+
+_SPEC = importlib.util.spec_from_file_location(
+    "validate_metrics",
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "validate_metrics.py",
+)
+validate_metrics = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(validate_metrics)
+
+
+@pytest.fixture(scope="module")
+def metrics_file(tmp_path_factory):
+    """A real artefact, produced exactly the way CI's smoke step does."""
+    path = tmp_path_factory.mktemp("metrics") / "m.json"
+    code = cli_main(
+        ["run", "e2", "--chips", "3", "--ros", "16", "--metrics-out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestValidatePayload:
+    def test_real_artefact_is_clean(self, metrics_file):
+        payload = json.loads(metrics_file.read_text())
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_missing_manifest_flagged(self, metrics_file):
+        payload = json.loads(metrics_file.read_text())
+        del payload["manifest"]
+        assert any(
+            "manifest" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_bad_span_flagged(self, metrics_file):
+        payload = json.loads(metrics_file.read_text())
+        payload["spans"][0]["duration_ns"] = -1
+        assert any(
+            "duration_ns" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_non_numeric_counter_flagged(self, metrics_file):
+        payload = json.loads(metrics_file.read_text())
+        payload["counters"]["bogus"] = "three"
+        assert any(
+            "bogus" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+
+class TestMain:
+    def test_valid_file_exit_zero(self, metrics_file, capsys):
+        assert validate_metrics.main([str(metrics_file)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_invalid_json_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{{{")
+        assert validate_metrics.main([str(bad)]) == 1
+
+    def test_missing_file_exit_one(self, tmp_path, capsys):
+        assert validate_metrics.main([str(tmp_path / "nope.json")]) == 1
+
+    def test_schema_violation_exit_one(self, metrics_file, tmp_path, capsys):
+        payload = json.loads(metrics_file.read_text())
+        payload["manifest"].pop("seed")
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(payload))
+        assert validate_metrics.main([str(broken)]) == 1
+        assert "seed" in capsys.readouterr().err

@@ -11,7 +11,11 @@ checkout and one from the candidate::
 Every metric shared by both sets is compared; a metric whose value grew
 by more than the threshold (default 20 %) is a **regression** (all
 tracked metrics — timings, flip percentages — are better when smaller).
-Exit status is 1 when any regression is found, so the script can gate CI.
+Telemetry ``counters`` sections (work-done metrics: kernel invocations,
+memo hit rates) are diffed and printed as well, but informationally —
+doing *more work* is not by itself a regression.  Exit status is 1 when
+any regression is found, so the script can gate CI; ``--json PATH``
+additionally writes the full diff machine-readably for CI to consume.
 
 Only the standard library is used: the script must run on a bare
 interpreter without the package installed.
@@ -26,13 +30,16 @@ import sys
 from typing import Dict, Iterable, List, Tuple
 
 
-def load_results(path: pathlib.Path) -> Dict[str, float]:
-    """Flatten one result set into ``{"file:metric": value}``.
+def load_results(
+    path: pathlib.Path, section: str = "values"
+) -> Dict[str, float]:
+    """Flatten one result set's ``section`` into ``{"file:metric": value}``.
 
     ``path`` is either a directory of ``*.json`` files or a single file.
-    Files that are not benchmark artefacts (no ``values`` mapping) are
-    skipped rather than fatal, so the results directory can hold other
-    droppings.
+    ``section`` is ``"values"`` (regression-gated headline metrics) or
+    ``"counters"`` (informational work-done metrics).  Files that are not
+    benchmark artefacts (no such mapping) are skipped rather than fatal,
+    so the results directory can hold other droppings.
     """
     if path.is_dir():
         files: Iterable[pathlib.Path] = sorted(path.glob("*.json"))
@@ -47,7 +54,7 @@ def load_results(path: pathlib.Path) -> Dict[str, float]:
             payload = json.loads(file.read_text())
         except (OSError, json.JSONDecodeError):
             continue
-        values = payload.get("values") if isinstance(payload, dict) else None
+        values = payload.get(section) if isinstance(payload, dict) else None
         if not isinstance(values, dict):
             continue
         name = payload.get("name", file.stem)
@@ -90,11 +97,20 @@ def main(argv=None) -> int:
         default=0.20,
         help="relative growth that counts as a regression (default 0.20)",
     )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write the diff (rows, counters, regressions) as JSON",
+    )
     args = parser.parse_args(argv)
 
     try:
         old = load_results(args.baseline)
         new = load_results(args.candidate)
+        old_counters = load_results(args.baseline, section="counters")
+        new_counters = load_results(args.candidate, section="counters")
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -106,6 +122,7 @@ def main(argv=None) -> int:
     if not rows:
         print("error: the result sets share no metrics", file=sys.stderr)
         return 2
+    counter_rows, _, _ = compare(old_counters, new_counters, args.threshold)
 
     width = max(len(key) for key, *_ in rows)
     regressions = []
@@ -119,10 +136,43 @@ def main(argv=None) -> int:
             flag = "  improved"
         print(f"{key:<{width}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}{flag}")
 
+    if counter_rows:
+        cwidth = max(len(key) for key, *_ in counter_rows)
+        print("\nwork done (telemetry counters, informational):")
+        for key, a, b, change in counter_rows:
+            print(f"{key:<{cwidth}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}")
+
     for key in only_old:
         print(f"note: {key} only in baseline")
     for key in only_new:
         print(f"note: {key} only in candidate")
+
+    if args.json is not None:
+        payload = {
+            "threshold": args.threshold,
+            "rows": [
+                {
+                    "metric": key,
+                    "baseline": a,
+                    "candidate": b,
+                    "change": change,
+                    "regression": change > args.threshold,
+                }
+                for key, a, b, change in rows
+            ],
+            "counters": [
+                {"metric": key, "baseline": a, "candidate": b, "change": change}
+                for key, a, b, change in counter_rows
+            ],
+            "only_baseline": only_old,
+            "only_candidate": only_new,
+            "regressions": sorted(
+                key for key, _, _, change in rows if change > args.threshold
+            ),
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"json diff written to {args.json}")
 
     if regressions:
         print(

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Validate a ``--metrics-out`` artefact: CI's telemetry smoke check.
+
+Usage::
+
+    python -m repro.cli run e2 --chips 4 --ros 16 --metrics-out /tmp/m.json
+    python tools/validate_metrics.py /tmp/m.json
+
+Checks that the file is valid JSON, carries the expected top-level
+sections (``format``, ``spans``, ``counters``, ``gauges``), that every
+span subtree is well-formed (name + non-negative duration), and that the
+embedded manifest satisfies :data:`repro.telemetry.MANIFEST_SCHEMA`.
+Exit status 0 on success, 1 on any violation — wired into CI so a
+regression in the telemetry pipeline fails the build, not a user's
+measurement campaign.
+
+Needs the package importable (run with ``PYTHONPATH=src`` from the repo
+root, or after ``pip install -e .``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _check_span(span, problems, path="spans"):
+    if not isinstance(span, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: span has no name")
+        name = "?"
+    duration = span.get("duration_ns")
+    if not isinstance(duration, int) or duration < 0:
+        problems.append(f"{path}/{name}: missing or negative duration_ns")
+    for i, child in enumerate(span.get("children", [])):
+        _check_span(child, problems, f"{path}/{name}[{i}]")
+
+
+def validate_payload(payload) -> list:
+    """All problems found in one ``--metrics-out`` payload (empty = ok)."""
+    from repro.telemetry import METRICS_FORMAT, validate_manifest
+
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("format") != METRICS_FORMAT:
+        problems.append(
+            f"format is {payload.get('format')!r}, expected {METRICS_FORMAT}"
+        )
+    for section in ("spans", "counters", "gauges"):
+        if section not in payload:
+            problems.append(f"missing section {section!r}")
+    for i, span in enumerate(payload.get("spans", [])):
+        _check_span(span, problems, f"spans[{i}]")
+    for section in ("counters", "gauges"):
+        for key, value in (payload.get(section) or {}).items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{section}[{key!r}] is not numeric")
+    if "manifest" not in payload:
+        problems.append("missing section 'manifest'")
+    else:
+        try:
+            validate_manifest(payload["manifest"])
+        except ValueError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate a repro.cli --metrics-out JSON artefact"
+    )
+    parser.add_argument("path", type=pathlib.Path, help="metrics JSON file")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.path.read_text())
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    counters = payload.get("counters") or {}
+    print(
+        f"ok: {args.path} — {len(payload.get('spans', []))} root span(s), "
+        f"{len(counters)} counter(s), manifest valid "
+        f"(git {str(payload['manifest'].get('git_sha'))[:8]})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
