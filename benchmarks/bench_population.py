@@ -167,3 +167,60 @@ class TestTelemetryOverhead:
             f"({t_enabled * 1e3:.2f} ms vs {t_disabled * 1e3:.2f} ms); "
             f"ceiling is {self.ENABLED_OVERHEAD_CEILING:.0%}"
         )
+
+    #: the progress heartbeat budget from the observability PR: events
+    #: enabled must stay within 2 % of the no-emitter sweep
+    EVENTS_OVERHEAD_CEILING = 0.02
+
+    def test_events_enabled_overhead(self, tmp_path):
+        """A throttled emitter adds < 2 % to the E2 batched sweep."""
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+        _sweep_batched(batch, years)  # warm buffers and caches
+
+        t_disabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        emitter = telemetry.install_emitter(
+            telemetry.ProgressEmitter(tmp_path / "events.jsonl")
+        )
+        try:
+            t_enabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+            n_events = emitter.n_events
+        finally:
+            telemetry.uninstall_emitter()
+        overhead = t_enabled / t_disabled - 1.0
+        emit(
+            "events_overhead",
+            f"E2 batched sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  events disabled: {t_disabled * 1e3:8.2f} ms\n"
+            f"  events enabled : {t_enabled * 1e3:8.2f} ms\n"
+            f"  overhead       : {100.0 * overhead:8.2f} %  "
+            f"({n_events} line(s) written)\n",
+            values={
+                "disabled_s": t_disabled,
+                "enabled_s": t_enabled,
+                "enabled_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.EVENTS_OVERHEAD_CEILING, (
+            f"events-enabled sweep costs {overhead:+.1%} over disabled "
+            f"({t_enabled * 1e3:.2f} ms vs {t_disabled * 1e3:.2f} ms); "
+            f"ceiling is {self.EVENTS_OVERHEAD_CEILING:.0%}"
+        )
+
+    def test_events_bounded_count(self, tmp_path):
+        """Even unthrottled in time, the lifetime cap bounds the file."""
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+        cap = 20
+        with telemetry.emitter_session(
+            tmp_path / "events.jsonl", min_interval_s=0.0, max_events=cap
+        ) as emitter:
+            for _ in range(5):
+                _sweep_batched(batch, years)
+            assert emitter.n_events <= cap
+            assert emitter.n_throttled == 0  # the cap drops, not the throttle
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) <= cap

@@ -293,7 +293,7 @@ class PopulationAging:
         children = spawn(rng, len(chips))
         a_rows, b_rows = [], []
         with telemetry.span("aging.sample_prefactors", n_chips=len(chips)):
-            for chip, child in zip(chips, children):
+            for i, (chip, child) in enumerate(zip(chips, children)):
                 gen = as_generator(child)
                 a_rows.append(
                     nbti.sample_prefactors(chip.vth.shape, simulator.tech.nbti, gen)
@@ -301,6 +301,7 @@ class PopulationAging:
                 b_rows.append(
                     hci.sample_prefactors(chip.vth.shape, simulator.tech.hci, gen)
                 )
+                telemetry.progress("aging.sample_prefactors", i + 1, len(chips))
         return cls(
             tech=simulator.tech,
             stress=simulator.stress,

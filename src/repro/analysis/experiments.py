@@ -12,6 +12,7 @@ Everything is seeded: the same config reproduces the same tables.
 from __future__ import annotations
 
 import functools
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,23 @@ from ..metrics.reliability import ReliabilityReport, reliability
 from ..metrics.uniformity import UniformityReport, uniformity
 from ..metrics.uniqueness import UniquenessReport, hd_histogram, uniqueness
 from .sweep import DEFAULT_YEARS, Series
+
+
+def _slug(label: str) -> str:
+    """Ledger-safe scalar key fragment from a human row label.
+
+    ``"ro-puf / parked static"`` -> ``"ro-puf.parked_static"``: the
+    design name keeps its dash (it is the namespace the anchor registry
+    addresses), everything after the slash becomes one snake_case token.
+    Keys must stay *stable across PRs* — the ledger correlates runs by
+    exact key — so renames here are format changes, not refactors.
+    """
+    tokens = []
+    for part in label.split("/"):
+        token = re.sub(r"[^a-z0-9\-]+", "_", part.strip().lower()).strip("_")
+        if token:
+            tokens.append(token)
+    return ".".join(tokens)
 
 
 def _staged(name: str):
@@ -110,6 +128,16 @@ class FrequencyDegradationResult:
     series: Dict[str, Series]
     fresh_frequency_ghz: Dict[str, float]
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E1 headline scalars for the run ledger."""
+        out: Dict[str, float] = {}
+        for name, freq in self.fresh_frequency_ghz.items():
+            out[f"{name}.fresh_frequency_ghz"] = freq
+        for name, s in self.series.items():
+            if 10.0 in s.x:
+                out[f"{name}.degradation_at_10y_pct"] = s.y_at(10.0)
+        return out
+
 
 @_staged("experiment.e1")
 def frequency_degradation(
@@ -152,6 +180,22 @@ class BitflipResult:
         """The abstract's headline numbers: mean flip % at 10 years."""
         return {name: s.y_at(10.0) for name, s in self.series.items() if 10.0 in s.x}
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E2 headline scalars — the ledger's most anchor-laden entry."""
+        out: Dict[str, float] = {}
+        final = self.at_ten_years()
+        for name, flips in final.items():
+            out[f"{name}.flips_at_10y_pct"] = flips
+        for name, report in self.final_reports.items():
+            if report is not None:
+                out[f"{name}.worst_chip_flips_pct"] = (
+                    100.0 * report.worst_flip_fraction
+                )
+        conv, aro = final.get("ro-puf"), final.get("aro-puf")
+        if conv is not None and aro:
+            out["improvement_factor_10y"] = conv / aro
+        return out
+
 
 @_staged("experiment.e2")
 def aging_bitflips(
@@ -189,6 +233,14 @@ class UniquenessResult:
     reports: Dict[str, UniquenessReport]
     histograms: Dict[str, Tuple[np.ndarray, np.ndarray]]
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E3 headline scalars for the run ledger."""
+        out: Dict[str, float] = {}
+        for name, report in self.reports.items():
+            out[f"{name}.uniqueness_pct"] = report.percent()
+            out[f"{name}.uniqueness_std_pct"] = 100.0 * report.std
+        return out
+
 
 @_staged("experiment.e3")
 def uniqueness_experiment(
@@ -219,6 +271,22 @@ class RandomnessResult:
     aliasing: Dict[str, AliasingReport]
     battery: Dict[str, RandomnessReport]
     entropy: Dict[str, "EntropyReport"]
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E4 headline scalars for the run ledger."""
+        out: Dict[str, float] = {}
+        for name, report in self.uniformity.items():
+            out[f"{name}.uniformity_pct"] = report.percent()
+        for name, report in self.aliasing.items():
+            out[f"{name}.aliasing_worst_bias"] = report.worst_bias
+        for name, report in self.entropy.items():
+            out[f"{name}.min_entropy_per_bit"] = report.min_entropy_per_bit
+        for name, report in self.battery.items():
+            passed = report.passed()
+            out[f"{name}.randomness_pass_fraction"] = sum(
+                passed.values()
+            ) / len(passed)
+        return out
 
 
 @_staged("experiment.e4")
@@ -256,6 +324,17 @@ class EnvironmentalResult:
 
     temperature_series: Dict[str, Series]
     voltage_series: Dict[str, Series]
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E5 headline scalars: the worst corner of each sweep axis."""
+        out: Dict[str, float] = {}
+        for name, s in self.temperature_series.items():
+            if s.y:
+                out[f"{name}.worst_temp_corner_flips_pct"] = max(s.y)
+        for name, s in self.voltage_series.items():
+            if s.y:
+                out[f"{name}.worst_vdd_corner_flips_pct"] = max(s.y)
+        return out
 
 
 @_staged("experiment.e5")
@@ -358,6 +437,26 @@ class AreaResult:
     failure_target: float
     rows: List[AreaRow]
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E6 headline scalars: area ratios and ECC decode-failure rates.
+
+        The decode-failure rate is the analytic key-failure probability
+        of each design's minimum-area point at the worst-case margin
+        policy (the policy behind the paper's ~24x figure).
+        """
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            slug = _slug(row.policy)
+            if row.ratio is not None:
+                out[f"area_ratio.{slug}"] = row.ratio
+        if self.rows:
+            worst = self.rows[-1]
+            if worst.conv is not None:
+                out["ro-puf.decode_failure_worst_case"] = worst.conv.key_failure
+            if worst.aro is not None:
+                out["aro-puf.decode_failure_worst_case"] = worst.aro.key_failure
+        return out
+
 
 #: repetition palette wide enough to reach the conventional PUF's
 #: worst-case corner (it needs three-digit repetition factors there)
@@ -435,6 +534,13 @@ class DutyAblationResult:
     duty_series: Series
     policy_rows: List[Tuple[str, float]]
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E7 headline scalars: 10-year flips per idle policy."""
+        return {
+            f"{_slug(label)}.flips_pct": flips
+            for label, flips in self.policy_rows
+        }
+
 
 @_staged("experiment.e7")
 def duty_ablation(
@@ -494,6 +600,17 @@ class LayoutAblationResult:
 
     systematic_series: Dict[str, Series]
     pairing_rows: List[Tuple[str, float]]
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E8 headline scalars: uniqueness per pairing and at nominal
+        systematic-variation strength (multiplier 1.0)."""
+        out: Dict[str, float] = {}
+        for label, uniq in self.pairing_rows:
+            out[f"{_slug(label)}.uniqueness_pct"] = uniq
+        for name, s in self.systematic_series.items():
+            if 1.0 in s.x:
+                out[f"{name}.uniqueness_at_nominal_sys_pct"] = s.y_at(1.0)
+        return out
 
 
 @_staged("experiment.e8")
@@ -568,6 +685,15 @@ class MaskingAblationResult:
 
     rows: List[MaskingRow]
     t_years: float
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E9 headline scalars: aging/noise flips per masking config."""
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            slug = _slug(row.label)
+            out[f"{slug}.aging_flips_pct"] = row.aging_flips_percent
+            out[f"{slug}.noise_flips_pct"] = row.noise_flips_percent
+        return out
 
 
 @_staged("experiment.e9")
@@ -706,6 +832,16 @@ class AttackResult:
     rows: Dict[str, List[Tuple[int, float, float]]]
     n_ros: int
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E11 headline scalars: attack accuracy at max disclosed CRPs."""
+        out: Dict[str, float] = {}
+        for name, series in self.rows.items():
+            if series:
+                n_train, accuracy, coverage = series[-1]
+                out[f"{name}.attack_accuracy_at_{n_train}_crps"] = accuracy
+                out[f"{name}.attack_order_coverage"] = coverage
+        return out
+
 
 @_staged("experiment.e11")
 def attack_experiment(
@@ -754,6 +890,17 @@ class StageAblationResult:
 
     rows: List[StageRow]
     t_years: float
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E12 headline scalars: the paper's 5-stage design point."""
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            if row.n_stages == 5:
+                out[f"{row.design}.flips_at_5_stages_pct"] = row.flips_percent
+                out[f"{row.design}.uniqueness_at_5_stages_pct"] = (
+                    row.uniqueness_percent
+                )
+        return out
 
 
 @_staged("experiment.e12")

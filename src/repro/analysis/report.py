@@ -53,9 +53,17 @@ def generate_report(
     config: Optional[exp.ExperimentConfig] = None,
     experiments: Sequence[str] = ALL_EXPERIMENTS,
     path: Optional[PathLike] = None,
+    ledger=None,
+    manifest=None,
 ) -> str:
     """Run the selected experiments and return (and optionally write) the
-    Markdown report."""
+    Markdown report.
+
+    When a :class:`~repro.telemetry.RunLedger` is passed, every
+    experiment's headline scalars are appended to it (sharing
+    ``manifest``, collected once by the caller) — one report run becomes
+    one longitudinal data point per experiment.
+    """
     from ..cli import EXPERIMENTS as RUNNERS
 
     config = config or exp.ExperimentConfig()
@@ -74,12 +82,15 @@ def generate_report(
         _anchor_summary(config),
     ]
     for key in experiments:
-        runner, description = RUNNERS[key]
+        spec = RUNNERS[key]
+        result = spec.run(config)
+        if ledger is not None:
+            ledger.record(key, result.ledger_scalars(), manifest)
         sections.append("")
-        sections.append(f"## {key.upper()} — {description}")
+        sections.append(f"## {key.upper()} — {spec.description}")
         sections.append("")
         sections.append("```")
-        sections.append(runner(config))
+        sections.append(spec.render(result))
         sections.append("```")
     text = "\n".join(sections) + "\n"
     if path is not None:

@@ -8,13 +8,16 @@ Usage::
     python -m repro.cli run all --chips 25 --out results.txt
     python -m repro.cli run e2 --trace
     python -m repro.cli run e2 --profile --metrics-out metrics.json
+    python -m repro.cli run e2 --ledger runs/ledger.jsonl --events runs/events.jsonl
+    python -m repro.cli history --ledger runs/ledger.jsonl
+    python -m repro.cli check-anchors --chips 25 --ros 128
 
 ``run`` executes the experiment(s) at the requested Monte-Carlo scale and
 prints the same paper-style tables the benchmark harness produces (the
 benchmark harness additionally asserts the paper-anchored bands and times
 the kernels — use ``pytest benchmarks/ --benchmark-only`` for that).
 
-Telemetry flags (``run`` and ``report``):
+Telemetry flags (``run``, ``report`` and ``check-anchors``):
 
 * ``--trace`` prints the nested span tree (wall time per engine stage)
   and the kernel counters after the tables;
@@ -22,93 +25,138 @@ Telemetry flags (``run`` and ``report``):
   (tracemalloc) — slower, opt-in;
 * ``--metrics-out PATH`` writes spans + counters + a complete
   :class:`~repro.telemetry.RunManifest` (seed, git SHA, numpy/platform
-  versions) as JSON, the artefact CI's smoke step validates.
+  versions) as JSON, the artefact CI's smoke step validates;
+* ``--ledger PATH`` appends each experiment's headline scalars (plus the
+  manifest) to an append-only JSONL run ledger — the longitudinal record
+  ``history`` renders and ``check-anchors`` / ``tools/check_anchors.py``
+  gate on;
+* ``--events PATH`` streams throttled JSONL progress heartbeats (stage,
+  chips done, ETA) from the batched kernels while the run is in flight.
+
+``history`` renders per-metric trends over a ledger (sparkline, latest
+value, rolling-baseline drift); ``check-anchors`` measures the paper's
+anchor experiments fresh (or judges an existing ledger via
+``--from-ledger``) and exits non-zero when any anchor lands outside its
+fail band.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
 
 from . import telemetry
+from .aging.schedule import MissionProfile
 from .analysis import experiments as exp
 from .analysis import render
 
-Runner = Callable[[exp.ExperimentConfig], str]
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable paper experiment: compute, render, describe.
+
+    ``run`` returns the experiment's structured result object (which
+    carries ``ledger_scalars()``); ``render`` turns that object into the
+    paper-style terminal table.  Keeping the two separate is what lets
+    the CLI both print the table and record the scalars from one run.
+    """
+
+    run: Callable[[exp.ExperimentConfig], Any]
+    render: Callable[[Any], str]
+    description: str
 
 
-def _run_e1(config: exp.ExperimentConfig) -> str:
-    return render.render_e1(exp.frequency_degradation(config))
-
-
-def _run_e2(config: exp.ExperimentConfig) -> str:
-    return render.render_e2(exp.aging_bitflips(config))
-
-
-def _run_e3(config: exp.ExperimentConfig) -> str:
-    return render.render_e3(exp.uniqueness_experiment(config))
-
-
-def _run_e4(config: exp.ExperimentConfig) -> str:
-    return render.render_e4(exp.randomness_experiment(config))
-
-
-def _run_e5(config: exp.ExperimentConfig) -> str:
-    return render.render_e5(exp.environmental_reliability(config))
-
-
-def _run_e6(config: exp.ExperimentConfig) -> str:
-    # E6 is policy-driven, not population-driven; config is unused but the
-    # signature is kept uniform for the dispatch table
-    return render.render_e6(exp.ecc_area_experiment())
-
-
-def _run_e7(config: exp.ExperimentConfig) -> str:
-    return render.render_e7(exp.duty_ablation(config))
-
-
-def _run_e8(config: exp.ExperimentConfig) -> str:
-    return render.render_e8(exp.layout_ablation(config))
-
-
-def _run_e9(config: exp.ExperimentConfig) -> str:
-    return render.render_e9(exp.masking_ablation(config))
-
-
-def _run_e10(config: exp.ExperimentConfig) -> str:
-    return render.render_e10(exp.authentication_experiment(config))
-
-
-def _run_e11(config: exp.ExperimentConfig) -> str:
-    return render.render_e11(exp.attack_experiment(config))
-
-
-def _run_e12(config: exp.ExperimentConfig) -> str:
-    return render.render_e12(exp.stage_ablation(config))
-
-
-#: experiment id -> (runner, one-line description)
-EXPERIMENTS: Dict[str, Tuple[Runner, str]] = {
-    "e1": (_run_e1, "RO frequency degradation vs years in the field"),
-    "e2": (_run_e2, "response bit flips vs years (32 % vs 7.7 % @ 10 y)"),
-    "e3": (_run_e3, "inter-chip Hamming distance (45 % vs 49.67 %)"),
-    "e4": (_run_e4, "uniformity, bit-aliasing, randomness battery"),
-    "e5": (_run_e5, "intra-chip HD at temperature / supply corners"),
-    "e6": (_run_e6, "PUF + ECC area for a 128-bit key (~24x band)"),
-    "e7": (_run_e7, "ablation: idle policy and activity duty"),
-    "e8": (_run_e8, "ablation: layout systematics and pairing"),
-    "e9": (_run_e9, "extension: 1-out-of-k masking vs the ARO fix"),
-    "e10": (_run_e10, "extension: lifetime device authentication"),
-    "e11": (_run_e11, "extension: sorting modeling attack on CRPs"),
-    "e12": (_run_e12, "extension: ring-length design-choice study"),
+#: experiment id -> (run, render, one-line description)
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "e1": ExperimentSpec(
+        exp.frequency_degradation,
+        render.render_e1,
+        "RO frequency degradation vs years in the field",
+    ),
+    "e2": ExperimentSpec(
+        exp.aging_bitflips,
+        render.render_e2,
+        "response bit flips vs years (32 % vs 7.7 % @ 10 y)",
+    ),
+    "e3": ExperimentSpec(
+        exp.uniqueness_experiment,
+        render.render_e3,
+        "inter-chip Hamming distance (45 % vs 49.67 %)",
+    ),
+    "e4": ExperimentSpec(
+        exp.randomness_experiment,
+        render.render_e4,
+        "uniformity, bit-aliasing, randomness battery",
+    ),
+    "e5": ExperimentSpec(
+        exp.environmental_reliability,
+        render.render_e5,
+        "intra-chip HD at temperature / supply corners",
+    ),
+    "e6": ExperimentSpec(
+        # E6 is policy-driven, not population-driven; config is unused but
+        # the signature is kept uniform for the dispatch table
+        lambda config: exp.ecc_area_experiment(),
+        render.render_e6,
+        "PUF + ECC area for a 128-bit key (~24x band)",
+    ),
+    "e7": ExperimentSpec(
+        exp.duty_ablation,
+        render.render_e7,
+        "ablation: idle policy and activity duty",
+    ),
+    "e8": ExperimentSpec(
+        exp.layout_ablation,
+        render.render_e8,
+        "ablation: layout systematics and pairing",
+    ),
+    "e9": ExperimentSpec(
+        exp.masking_ablation,
+        render.render_e9,
+        "extension: 1-out-of-k masking vs the ARO fix",
+    ),
+    "e10": ExperimentSpec(
+        exp.authentication_experiment,
+        render.render_e10,
+        "extension: lifetime device authentication",
+    ),
+    "e11": ExperimentSpec(
+        exp.attack_experiment,
+        render.render_e11,
+        "extension: sorting modeling attack on CRPs",
+    ),
+    "e12": ExperimentSpec(
+        exp.stage_ablation,
+        render.render_e12,
+        "extension: ring-length design-choice study",
+    ),
 }
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chips", type=int, default=50, help="Monte-Carlo chips (default 50)"
+    )
+    parser.add_argument(
+        "--ros", type=int, default=256, help="oscillators per chip (default 256)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root RNG seed (default: fixed)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ARO-PUF (DATE 2014) reproduction: run paper experiments.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {telemetry.package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -130,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write spans + counters + run manifest to PATH as JSON",
     )
+    tgroup.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="append each experiment's headline scalars to this JSONL ledger",
+    )
+    tgroup.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream throttled JSONL progress heartbeats to PATH",
+    )
 
     sub.add_parser("list", help="list the available experiments")
 
@@ -145,9 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS),
         help="subset to include (default: all)",
     )
-    report.add_argument("--chips", type=int, default=50)
-    report.add_argument("--ros", type=int, default=256)
-    report.add_argument("--seed", type=int, default=None)
+    _add_scale_args(report)
     report.add_argument(
         "--path", default="REPORT.md", help="output file (default REPORT.md)"
     )
@@ -161,20 +219,76 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id from DESIGN.md section 4 (see 'list'), or 'all'",
     )
-    run.add_argument(
-        "--chips", type=int, default=50, help="Monte-Carlo chips (default 50)"
-    )
-    run.add_argument(
-        "--ros", type=int, default=256, help="oscillators per chip (default 256)"
-    )
-    run.add_argument(
-        "--seed", type=int, default=None, help="root RNG seed (default: fixed)"
-    )
+    _add_scale_args(run)
     run.add_argument(
         "--out",
-        type=argparse.FileType("w"),
+        metavar="PATH",
         default=None,
-        help="also write the tables to this file",
+        help="also write the tables to this file (parent dirs are created)",
+    )
+
+    history = sub.add_parser(
+        "history",
+        help="render per-metric trends over a run ledger",
+    )
+    history.add_argument(
+        "--ledger",
+        metavar="PATH",
+        required=True,
+        help="the JSONL ledger to read (as written by run/report --ledger)",
+    )
+    history.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="only metrics containing SUBSTR (repeatable; e.g. --metric e2)",
+    )
+    history.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="rolling-baseline window in runs (default 5)",
+    )
+    history.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative drift threshold vs the baseline (default 0.10)",
+    )
+    history.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the newest N recordings of each metric",
+    )
+
+    anchors = sub.add_parser(
+        "check-anchors",
+        help="measure the paper's anchors and exit non-zero on failure",
+        parents=[telemetry_args],
+    )
+    _add_scale_args(anchors)
+    anchors.add_argument(
+        "--eval-duty",
+        type=float,
+        default=None,
+        metavar="DUTY",
+        help="override the mission's evaluation duty cycle (perturbation "
+        "knob: a large duty ages the ARO like a conventional PUF)",
+    )
+    anchors.add_argument(
+        "--from-ledger",
+        metavar="PATH",
+        default=None,
+        help="judge the latest scalars of an existing ledger instead of "
+        "running the anchor experiments fresh",
+    )
+    anchors.add_argument(
+        "--require-all",
+        action="store_true",
+        help="treat anchors with no recorded metric as failures",
     )
     return parser
 
@@ -201,8 +315,44 @@ def _telemetry_wanted(args: argparse.Namespace) -> bool:
     )
 
 
+def _collect_manifest(
+    args: argparse.Namespace, config: exp.ExperimentConfig
+) -> telemetry.RunManifest:
+    """One manifest per CLI invocation (all its ledger entries share it)."""
+    return telemetry.RunManifest.collect(
+        seed=config.seed,
+        config={
+            "command": args.command,
+            "n_chips": config.n_chips,
+            "n_ros": config.n_ros,
+            "experiment": getattr(args, "experiment", None)
+            or getattr(args, "experiments", None),
+        },
+        argv=sys.argv,
+    )
+
+
+def _start_telemetry(args: argparse.Namespace) -> None:
+    """Install the tracer and/or the progress emitter the flags ask for."""
+    if _telemetry_wanted(args):
+        telemetry.install(telemetry.Tracer(memory=args.profile))
+    if getattr(args, "events", None):
+        emitter = telemetry.install_emitter(
+            telemetry.ProgressEmitter(args.events)
+        )
+        emitter.lifecycle(
+            "run.start",
+            command=args.command,
+            experiment=getattr(args, "experiment", None),
+        )
+
+
 def _finish_telemetry(args: argparse.Namespace, config) -> None:
-    """Uninstall the tracer and emit the requested views of the run."""
+    """Uninstall tracer + emitter and emit the requested views of the run."""
+    emitter = telemetry.active_emitter()
+    if emitter is not None:
+        emitter.lifecycle("run.end", n_events=emitter.n_events + 1)
+        telemetry.uninstall_emitter()
     tracer = telemetry.uninstall()
     if tracer is None:
         return
@@ -212,19 +362,55 @@ def _finish_telemetry(args: argparse.Namespace, config) -> None:
         print("\n── telemetry: counters " + "─" * 41)
         print(telemetry.render_counters(tracer))
     if args.metrics_out:
-        manifest = telemetry.RunManifest.collect(
-            seed=config.seed,
-            config={
-                "command": args.command,
-                "n_chips": config.n_chips,
-                "n_ros": config.n_ros,
-                "experiment": getattr(args, "experiment", None)
-                or getattr(args, "experiments", None),
-            },
-            argv=sys.argv,
-        )
+        manifest = _collect_manifest(args, config)
         path = telemetry.write_metrics(args.metrics_out, tracer, manifest)
         print(f"metrics written to {path}")
+
+
+def _history_command(args: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(args.ledger)
+    print(
+        telemetry.render_history(
+            ledger.entries(),
+            metrics=args.metric,
+            window=args.window,
+            threshold=args.threshold,
+            last=args.last,
+        )
+    )
+    return 0
+
+
+def _check_anchors_command(
+    args: argparse.Namespace, config: exp.ExperimentConfig
+) -> int:
+    if args.from_ledger:
+        entries = telemetry.RunLedger(args.from_ledger).entries()
+        scalars = telemetry.latest_scalars(entries)
+        source = f"ledger {args.from_ledger} ({len(entries)} entries)"
+    else:
+        ledger = telemetry.RunLedger(args.ledger) if args.ledger else None
+        manifest = _collect_manifest(args, config) if ledger else None
+        scalars = {}
+        for key in telemetry.ANCHOR_EXPERIMENTS:
+            result = EXPERIMENTS[key].run(config)
+            experiment_scalars = result.ledger_scalars()
+            for name, value in experiment_scalars.items():
+                scalars[f"{key}.{name}"] = value
+            if ledger is not None:
+                ledger.record(key, experiment_scalars, manifest)
+        source = (
+            f"fresh run, {config.n_chips} chips x {config.n_ros} ROs, "
+            f"seed {config.seed}"
+        )
+    verdicts = telemetry.check_anchors(scalars)
+    print(f"anchors vs {source}")
+    print(telemetry.render_verdicts(verdicts))
+    worst = telemetry.worst_status(
+        verdicts, missing_is_fail=args.require_all or not args.from_ledger
+    )
+    print(f"worst status: {worst}")
+    return 1 if worst == "fail" else 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -233,18 +419,28 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for key in sorted(EXPERIMENTS):
-            print(f"{key.ljust(width)}  {EXPERIMENTS[key][1]}")
+            print(f"{key.ljust(width)}  {EXPERIMENTS[key].description}")
         return 0
 
-    kwargs = {"n_chips": args.chips, "n_ros": args.ros}
+    if args.command == "history":
+        return _history_command(args)
+
+    kwargs: Dict[str, Any] = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "eval_duty", None) is not None:
+        kwargs["mission"] = MissionProfile(eval_duty=args.eval_duty)
     config = exp.ExperimentConfig(**kwargs)
 
-    if _telemetry_wanted(args):
-        telemetry.install(telemetry.Tracer(memory=args.profile))
+    _start_telemetry(args)
 
     try:
+        if args.command == "check-anchors":
+            return _check_anchors_command(args, config)
+
+        ledger = telemetry.RunLedger(args.ledger) if args.ledger else None
+        manifest = _collect_manifest(args, config) if ledger else None
+
         if args.command == "report":
             from .analysis.report import ALL_EXPERIMENTS, generate_report
 
@@ -252,7 +448,13 @@ def main(argv: Optional[list] = None) -> int:
             unknown = [key for key in selected if key not in EXPERIMENTS]
             if unknown:
                 return _unknown_experiment_error(unknown)
-            generate_report(config, experiments=selected, path=args.path)
+            generate_report(
+                config,
+                experiments=selected,
+                path=args.path,
+                ledger=ledger,
+                manifest=manifest,
+            )
             print(f"report written to {args.path}")
             return 0
 
@@ -263,13 +465,19 @@ def main(argv: Optional[list] = None) -> int:
         )
         chunks = []
         for key in selected:
-            runner, _ = EXPERIMENTS[key]
-            chunks.append(runner(config))
+            spec = EXPERIMENTS[key]
+            result = spec.run(config)
+            if ledger is not None:
+                ledger.record(key, result.ledger_scalars(), manifest)
+            chunks.append(spec.render(result))
         text = "\n\n".join(chunks)
         print(text)
+        if ledger is not None:
+            print(f"ledger: {len(selected)} entries appended to {ledger.path}")
         if args.out is not None:
-            args.out.write(text + "\n")
-            args.out.close()
+            out_path = pathlib.Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(text + "\n")
         return 0
     finally:
         _finish_telemetry(args, config)

@@ -317,6 +317,7 @@ class BatchStudy:
         with np.errstate(invalid="ignore", divide="ignore"):
             for start in range(0, n_chips, od_buf.shape[0]):
                 stop = min(start + od_buf.shape[0], n_chips)
+                telemetry.progress("batch.frequencies", stop, n_chips)
                 rows = slice(start, stop)
                 od = od_buf[: stop - start]
                 scratch = scratch_buf[: stop - start]

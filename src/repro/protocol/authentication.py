@@ -143,6 +143,21 @@ class AuthenticationStudyResult:
                 best = (score, float(thr))
         return best
 
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E10 headline scalars: end-of-mission FRR, FAR and EER."""
+        out: Dict[str, float] = {}
+        final_year = self.years[-1] if self.years else None
+        for name, rates in self.frr.items():
+            if rates:
+                out[f"{name}.frr_at_final_year"] = rates[-1]
+        for name, rate in self.far.items():
+            out[f"{name}.far"] = rate
+        if final_year is not None:
+            for name in self.genuine_distances:
+                eer, _ = self.equal_error_rate(name, final_year)
+                out[f"{name}.eer_at_final_year"] = eer
+        return out
+
 
 def authentication_study(
     studies: Dict[str, Study],

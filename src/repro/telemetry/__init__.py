@@ -1,20 +1,37 @@
-"""repro.telemetry — tracing spans, kernel metrics and run manifests.
+"""repro.telemetry — tracing, metrics, manifests, ledger and heartbeats.
 
-A zero-dependency observability layer for the Monte-Carlo engine:
+A zero-dependency observability stack for the Monte-Carlo engine, in two
+layers:
+
+**In-run** (one process, one invocation):
 
 * :class:`Tracer` / :class:`Span` — nestable wall-time (and optional
   memory) spans with typed counters and gauges;
 * :class:`RunManifest` — the provenance tuple (seed, config, package
   version, git SHA, numpy/platform versions) attached to every artefact;
+* :class:`ProgressEmitter` / :func:`progress` — throttled JSONL
+  heartbeats (stage, items done, ETA) from the batched kernels, the
+  CLI's ``--events PATH``;
 * :func:`render_span_tree` / :func:`write_metrics` — terminal and JSON
-  exports, consumed by the CLI's ``--trace`` / ``--metrics-out`` flags
-  and the benchmark harness.
+  exports, consumed by ``--trace`` / ``--metrics-out``.
+
+**Across runs** (the longitudinal layer):
+
+* :class:`RunLedger` / :class:`LedgerEntry` — an append-only JSONL
+  ledger of every experiment's headline scalars, keyed by the manifest
+  (``--ledger PATH``);
+* :data:`PAPER_ANCHORS` / :func:`check_anchors` — the paper abstract's
+  quantitative claims as a declarative registry with pass/warn/fail
+  tolerance bands (``repro check-anchors``, ``tools/check_anchors.py``);
+* :func:`render_history` — per-metric trends over a ledger with
+  sparklines and rolling-baseline drift detection (``repro history``).
 
 The library is instrumented through the module-level single-branch API
-(:func:`start_span` / :func:`end_span` / :func:`count` / :func:`gauge`):
-with no tracer installed these are one attribute load and one branch, so
-the instrumented kernels stay within the <2 % overhead budget measured
-by ``benchmarks/bench_population.py``.  Enable collection with::
+(:func:`start_span` / :func:`end_span` / :func:`count` / :func:`gauge` /
+:func:`progress`): with no tracer or emitter installed these are one
+attribute load and one branch, so the instrumented kernels stay within
+the <2 % overhead budget measured by ``benchmarks/bench_population.py``.
+Enable collection with::
 
     from repro import telemetry
 
@@ -24,7 +41,13 @@ by ``benchmarks/bench_population.py``.  Enable collection with::
         print(tracer.counters)
 """
 
-from .manifest import MANIFEST_SCHEMA, RunManifest, git_sha, validate_manifest
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    git_sha,
+    package_version,
+    validate_manifest,
+)
 from .tracer import (
     Span,
     Tracer,
@@ -46,27 +69,71 @@ from .export import (
     trace_to_dict,
     write_metrics,
 )
+from .events import (
+    EVENTS_FORMAT,
+    ProgressEmitter,
+    active_emitter,
+    emitter_session,
+    install_emitter,
+    progress,
+    uninstall_emitter,
+)
+from .ledger import LEDGER_FORMAT, LedgerEntry, RunLedger
+from .anchors import (
+    ANCHOR_EXPERIMENTS,
+    Anchor,
+    AnchorVerdict,
+    PAPER_ANCHORS,
+    check_anchors,
+    latest_scalars,
+    render_verdicts,
+    worst_status,
+)
+from .history import TrendRow, history_rows, render_history, sparkline
 
 __all__ = [
+    "ANCHOR_EXPERIMENTS",
+    "Anchor",
+    "AnchorVerdict",
+    "EVENTS_FORMAT",
+    "LEDGER_FORMAT",
+    "LedgerEntry",
     "MANIFEST_SCHEMA",
     "METRICS_FORMAT",
+    "PAPER_ANCHORS",
+    "ProgressEmitter",
+    "RunLedger",
     "RunManifest",
     "Span",
     "Tracer",
+    "TrendRow",
     "active",
+    "active_emitter",
+    "check_anchors",
     "count",
+    "emitter_session",
     "enabled",
     "end_span",
     "gauge",
     "git_sha",
+    "history_rows",
     "install",
+    "install_emitter",
+    "latest_scalars",
+    "package_version",
+    "progress",
     "render_counters",
+    "render_history",
     "render_span_tree",
+    "render_verdicts",
     "session",
     "span",
+    "sparkline",
     "start_span",
     "trace_to_dict",
     "uninstall",
+    "uninstall_emitter",
     "validate_manifest",
+    "worst_status",
     "write_metrics",
 ]

@@ -17,13 +17,15 @@ import json
 import pathlib
 from typing import Any, Dict, List, Optional, Union
 
-from .manifest import RunManifest
+from .manifest import RunManifest, package_version
 from .tracer import Span, Tracer
 
 PathLike = Union[str, pathlib.Path]
 
 #: format version of the --metrics-out payload, bumped on layout changes
-METRICS_FORMAT = 1
+#: (2: top-level ``version`` string alongside the manifest, so payloads
+#: remain attributable even when filtered down to one section)
+METRICS_FORMAT = 2
 
 
 def _fmt_duration(ns: int) -> str:
@@ -91,6 +93,7 @@ def trace_to_dict(
     """The complete ``--metrics-out`` payload as a JSON-ready dict."""
     payload: Dict[str, Any] = {
         "format": METRICS_FORMAT,
+        "version": package_version(),
         "spans": [root.to_dict() for root in tracer.roots],
         "counters": dict(sorted(tracer.counters.items())),
         "gauges": dict(sorted(tracer.gauges.items())),

@@ -1,0 +1,181 @@
+"""Ledger history: per-metric trends, sparklines and drift detection.
+
+A ledger is only useful if someone reads it.  ``repro history`` renders
+every metric the ledger has accumulated as one row: a terminal sparkline
+over the recorded values (file order == chronological order for an
+append-only file), the latest value, and its delta against a *rolling
+baseline* — the mean of the preceding ``window`` values.  A latest value
+that moved more than ``threshold`` (relative) away from its own baseline
+is flagged as drift.
+
+Drift flags are deliberately two-sided and informational: the ledger
+does not know whether a metric is better when smaller (flip rates) or
+when closer to a constant (uniqueness ~50 %), so it reports *movement*
+and leaves the judgement to the anchor registry
+(:mod:`repro.telemetry.anchors`), which does know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ledger import LedgerEntry
+
+#: eighths-block ramp used for terminal sparklines
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline over ``values`` (min .. max scaled)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        # a flat series renders mid-scale rather than all-minimum
+        return SPARK_BLOCKS[3] * len(values)
+    span = hi - lo
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[min(top, int((v - lo) / span * len(SPARK_BLOCKS)))]
+        for v in values
+    )
+
+
+@dataclass(frozen=True)
+class TrendRow:
+    """One metric's longitudinal summary across ledger entries."""
+
+    metric: str
+    values: Tuple[float, ...]
+    latest: float
+    baseline: Optional[float]  # rolling mean of the preceding window
+    change: Optional[float]  # (latest - baseline) / |baseline|
+    drift: bool
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.values)
+
+
+def metric_series(
+    entries: Sequence[LedgerEntry],
+) -> Dict[str, List[float]]:
+    """``{"<exp>.<key>": [v0, v1, ...]}`` in entry (chronological) order."""
+    series: Dict[str, List[float]] = {}
+    for entry in entries:
+        for key, value in entry.scalars.items():
+            series.setdefault(f"{entry.experiment}.{key}", []).append(value)
+    return series
+
+
+def _baseline(values: Sequence[float], window: int) -> Optional[float]:
+    """Mean of the up-to-``window`` values preceding the latest one."""
+    prior = values[:-1]
+    if not prior:
+        return None
+    tail = prior[-window:]
+    return sum(tail) / len(tail)
+
+
+def history_rows(
+    entries: Sequence[LedgerEntry],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+    window: int = 5,
+    threshold: float = 0.10,
+    last: Optional[int] = None,
+) -> List[TrendRow]:
+    """Build trend rows for every (selected) metric in the ledger.
+
+    ``metrics`` filters by substring match (so ``--metric e2`` selects
+    every E2 scalar); ``last`` truncates each series to its newest N
+    points before baselining.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    rows: List[TrendRow] = []
+    for metric, values in sorted(metric_series(entries).items()):
+        if metrics and not any(m in metric for m in metrics):
+            continue
+        if last is not None:
+            values = values[-last:]
+        if not values:
+            continue
+        latest = values[-1]
+        baseline = _baseline(values, window)
+        change: Optional[float] = None
+        drift = False
+        if baseline is not None:
+            if baseline == 0.0:
+                change = 0.0 if latest == 0.0 else float("inf")
+            else:
+                change = (latest - baseline) / abs(baseline)
+            drift = abs(change) > threshold
+        rows.append(
+            TrendRow(
+                metric=metric,
+                values=tuple(values),
+                latest=latest,
+                baseline=baseline,
+                change=change,
+                drift=drift,
+            )
+        )
+    return rows
+
+
+def render_history(
+    entries: Sequence[LedgerEntry],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+    window: int = 5,
+    threshold: float = 0.10,
+    last: Optional[int] = None,
+) -> str:
+    """The ``repro history`` terminal view."""
+    if not entries:
+        return "(empty ledger)"
+    rows = history_rows(
+        entries, metrics=metrics, window=window, threshold=threshold, last=last
+    )
+    if not rows:
+        return "(no matching metrics in ledger)"
+
+    run_keys = list(dict.fromkeys(e.run_key() for e in entries))
+    experiments = sorted({e.experiment for e in entries})
+    stamps = [e.created_utc() for e in entries if e.created_utc()]
+    header = [
+        f"ledger: {len(entries)} entries, {len(run_keys)} run key(s), "
+        f"experiments: {', '.join(experiments)}"
+    ]
+    if stamps:
+        header.append(f"span  : {min(stamps)} .. {max(stamps)}")
+
+    width = max(len(r.metric) for r in rows)
+    spark_w = max(len(r.values) for r in rows)
+    lines = []
+    flagged = 0
+    for r in rows:
+        spark = sparkline(r.values).rjust(spark_w)
+        base = "       --" if r.baseline is None else f"{r.baseline:9.4g}"
+        delta = ""
+        if r.change is not None:
+            delta = f"  {r.change:+7.1%} vs baseline[{min(window, r.n_runs - 1)}]"
+        flag = ""
+        if r.drift:
+            flag = "  << drift"
+            flagged += 1
+        lines.append(
+            f"{r.metric:<{width}}  {spark}  latest {r.latest:9.4g}  "
+            f"base {base}{delta}{flag}"
+        )
+    footer = (
+        f"{flagged} metric(s) drifted beyond {threshold:.0%} of their "
+        f"rolling baseline"
+        if flagged
+        else f"no drift beyond {threshold:.0%} of the rolling baseline"
+    )
+    return "\n".join(header + [""] + lines + ["", footer])

@@ -65,6 +65,24 @@ _TYPE_CHECKS = {
 }
 
 
+def package_version() -> str:
+    """The installed package version, with a source-tree fallback.
+
+    Prefers importlib metadata (what ``pip`` actually installed, the
+    number that makes ledger entries comparable across installs) and
+    falls back to the source tree's ``repro.__version__`` when the
+    package is run uninstalled (``PYTHONPATH=src``).
+    """
+    try:
+        import importlib.metadata as _metadata
+
+        return _metadata.version("repro")
+    except Exception:
+        from .. import __version__
+
+        return __version__
+
+
 def git_sha(repo_dir: Optional[pathlib.Path] = None) -> Optional[str]:
     """The current checkout's commit SHA, or ``None`` when unavailable."""
     if repo_dir is None:
@@ -113,8 +131,6 @@ class RunManifest:
         passes its resolved argument namespace; benchmarks pass their
         scale constants).
         """
-        from .. import __version__
-
         try:
             import numpy
 
@@ -126,7 +142,7 @@ class RunManifest:
             seed=None if seed is None else int(seed),
             config=dict(config or {}),
             package="repro",
-            package_version=__version__,
+            package_version=package_version(),
             git_sha=git_sha(),
             numpy_version=numpy_version,
             python_version=sys.version.split()[0],

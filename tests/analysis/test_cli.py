@@ -132,3 +132,201 @@ class TestTelemetryFlags:
         code = main(["run", "e99", "--metrics-out", str(out)])
         assert code == 2
         assert telemetry.active() is None
+
+    def test_metrics_out_creates_parent_dirs(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "deep" / "nested" / "metrics.json"
+        code = main(
+            ["run", "e3", "--chips", "3", "--ros", "16", "--metrics-out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert isinstance(payload["version"], str) and payload["version"]
+
+    def test_out_creates_parent_dirs(self, tmp_path, capsys):
+        out = tmp_path / "deep" / "nested" / "e3.txt"
+        code = main(
+            ["run", "e3", "--chips", "3", "--ros", "16", "--out", str(out)]
+        )
+        assert code == 0
+        assert "inter-chip Hamming distance" in out.read_text()
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro.telemetry import package_version
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {package_version()}" in capsys.readouterr().out
+
+
+class TestLedgerAndEvents:
+    def test_run_appends_ledger_and_history_renders(self, tmp_path, capsys):
+        from repro.telemetry import RunLedger
+
+        ledger = tmp_path / "runs" / "ledger.jsonl"  # parent must be created
+        for seed in ("1", "2"):
+            code = main(
+                [
+                    "run",
+                    "e2",
+                    "--chips",
+                    "4",
+                    "--ros",
+                    "32",
+                    "--seed",
+                    seed,
+                    "--ledger",
+                    str(ledger),
+                ]
+            )
+            assert code == 0
+        entries = RunLedger(ledger).entries()
+        assert [e.experiment for e in entries] == ["e2", "e2"]
+        assert entries[0].run_key() != entries[1].run_key()  # seeds differ
+        assert "ro-puf.flips_at_10y_pct" in entries[0].scalars
+        capsys.readouterr()
+
+        assert main(["history", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "e2.ro-puf.flips_at_10y_pct" in out
+        assert "latest" in out
+
+    def test_history_metric_filter(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        main(["run", "e2", "--chips", "3", "--ros", "16", "--ledger", str(ledger)])
+        capsys.readouterr()
+        assert main(["history", "--ledger", str(ledger), "--metric", "aro-puf"]) == 0
+        out = capsys.readouterr().out
+        assert "e2.aro-puf.flips_at_10y_pct" in out
+        assert "e2.ro-puf.flips_at_10y_pct" not in out
+
+    def test_history_empty_ledger(self, tmp_path, capsys):
+        assert main(["history", "--ledger", str(tmp_path / "none.jsonl")]) == 0
+        assert "empty ledger" in capsys.readouterr().out
+
+    def test_events_lifecycle_and_cleanup(self, tmp_path, capsys):
+        import json
+
+        from repro import telemetry
+
+        events = tmp_path / "deep" / "events.jsonl"  # parent must be created
+        code = main(
+            ["run", "e2", "--chips", "3", "--ros", "16", "--events", str(events)]
+        )
+        assert code == 0
+        assert telemetry.active_emitter() is None
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        assert records[0]["event"] == "run.start"
+        assert records[0]["experiment"] == "e2"
+        assert records[-1]["event"] == "run.end"
+
+    def test_report_records_every_experiment(self, tmp_path, capsys):
+        from repro.telemetry import RunLedger
+
+        ledger = tmp_path / "ledger.jsonl"
+        code = main(
+            [
+                "report",
+                "--experiments",
+                "e2",
+                "e3",
+                "--chips",
+                "3",
+                "--ros",
+                "16",
+                "--path",
+                str(tmp_path / "REPORT.md"),
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        assert code == 0
+        entries = RunLedger(ledger).entries()
+        assert [e.experiment for e in entries] == ["e2", "e3"]
+        # one CLI invocation -> one manifest -> one shared run key
+        assert len({e.run_key() for e in entries}) == 1
+
+
+class TestCheckAnchors:
+    @staticmethod
+    def synthetic_ledger(path, scalars_by_experiment):
+        from repro.telemetry import RunLedger, RunManifest
+
+        manifest = RunManifest.collect(seed=1, config={"synthetic": True})
+        ledger = RunLedger(path)
+        for experiment, scalars in scalars_by_experiment.items():
+            ledger.record(experiment, scalars, manifest)
+        return ledger
+
+    PAPER_PERFECT = {
+        "e2": {
+            "ro-puf.flips_at_10y_pct": 32.0,
+            "aro-puf.flips_at_10y_pct": 7.7,
+            "improvement_factor_10y": 4.16,
+        },
+        "e3": {
+            "ro-puf.uniqueness_pct": 45.0,
+            "aro-puf.uniqueness_pct": 49.67,
+        },
+        "e4": {"aro-puf.uniformity_pct": 50.0},
+    }
+
+    def test_perfect_ledger_passes(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        self.synthetic_ledger(ledger, self.PAPER_PERFECT)
+        code = main(["check-anchors", "--from-ledger", str(ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst status: pass" in out
+
+    def test_out_of_band_metric_fails(self, tmp_path, capsys):
+        bad = {k: dict(v) for k, v in self.PAPER_PERFECT.items()}
+        bad["e2"]["aro-puf.flips_at_10y_pct"] = 30.0  # conventional-like aging
+        ledger = tmp_path / "ledger.jsonl"
+        self.synthetic_ledger(ledger, bad)
+        code = main(["check-anchors", "--from-ledger", str(ledger)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "aro-flips-10y" in out
+
+    def test_missing_metrics_need_require_all(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        self.synthetic_ledger(ledger, {"e2": self.PAPER_PERFECT["e2"]})
+        assert main(["check-anchors", "--from-ledger", str(ledger)]) == 0
+        assert (
+            main(["check-anchors", "--from-ledger", str(ledger), "--require-all"])
+            == 1
+        )
+
+    def test_perturbed_mission_fails_fresh_run(self, capsys):
+        # a PUF evaluated 1% of the time ages like a conventional design:
+        # the ARO flip-rate anchor must leave its band and fail the check
+        code = main(
+            ["check-anchors", "--chips", "4", "--ros", "16", "--eval-duty", "1e-2"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_fresh_run_records_to_ledger(self, tmp_path, capsys):
+        from repro.telemetry import ANCHOR_EXPERIMENTS, RunLedger
+
+        ledger = tmp_path / "ledger.jsonl"
+        main(
+            [
+                "check-anchors",
+                "--chips",
+                "3",
+                "--ros",
+                "16",
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        entries = RunLedger(ledger).entries()
+        assert [e.experiment for e in entries] == list(ANCHOR_EXPERIMENTS)

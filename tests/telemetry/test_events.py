@@ -1,0 +1,189 @@
+"""ProgressEmitter: throttling, caps, ETA, and the installed-slot API."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import EVENTS_FORMAT, ProgressEmitter
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestEmit:
+    def test_first_event_written(self, tmp_path, clock):
+        e = ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        assert e.emit("stage", 1, 10) is True
+        (rec,) = read_events(tmp_path / "ev.jsonl")
+        assert rec["format"] == EVENTS_FORMAT
+        assert rec["event"] == "progress"
+        assert rec["stage"] == "stage"
+        assert rec["done"] == 1 and rec["total"] == 10
+
+    def test_throttled_within_interval(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl", min_interval_s=0.25, clock=clock
+        )
+        assert e.emit("s", 1, 10)
+        clock.advance(0.1)
+        assert not e.emit("s", 2, 10)
+        assert e.n_throttled == 1
+        clock.advance(0.2)  # now 0.3s past the last write
+        assert e.emit("s", 3, 10)
+        assert e.n_events == 2
+
+    def test_force_bypasses_throttle(self, tmp_path, clock):
+        e = ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        e.emit("s", 1, 10)
+        assert e.emit("s", 2, 10, force=True)
+
+    def test_max_events_cap(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, max_events=3, clock=clock
+        )
+        written = sum(e.emit("s", i, 100) for i in range(1, 50))
+        assert written == 3
+        assert e.n_events == 3
+        assert len(read_events(tmp_path / "ev.jsonl")) == 3
+
+    def test_eta_from_stage_elapsed(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, clock=clock
+        )
+        e.emit("s", 1, 10)  # stage first seen at t=0 of the stage
+        clock.advance(2.0)
+        e.emit("s", 5, 10)  # 2s for 4 more items... linear from first-seen
+        recs = read_events(tmp_path / "ev.jsonl")
+        # 5 of 10 done in 2s since first seen -> 2s remaining
+        assert recs[1]["eta_s"] == pytest.approx(2.0)
+
+    def test_no_eta_when_complete_or_unknown(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, clock=clock
+        )
+        e.emit("s", None, None)
+        clock.advance(1.0)
+        e.emit("s", 10, 10)
+        recs = read_events(tmp_path / "ev.jsonl")
+        assert all("eta_s" not in r for r in recs)
+
+    def test_extra_fields_pass_through(self, tmp_path, clock):
+        e = ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        e.emit("s", 1, 2, chip=7)
+        (rec,) = read_events(tmp_path / "ev.jsonl")
+        assert rec["chip"] == 7
+
+    def test_closed_emitter_drops(self, tmp_path, clock):
+        e = ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        e.close()
+        assert e.closed
+        assert not e.emit("s", 1, 2)
+
+    def test_creates_parent_dirs(self, tmp_path, clock):
+        path = tmp_path / "deep" / "nested" / "ev.jsonl"
+        ProgressEmitter(path, clock=clock).emit("s")
+        assert path.exists()
+
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="min_interval_s"):
+            ProgressEmitter(tmp_path / "e.jsonl", min_interval_s=-1.0)
+        with pytest.raises(ValueError, match="max_events"):
+            ProgressEmitter(tmp_path / "e.jsonl", max_events=0)
+
+
+class TestLifecycle:
+    def test_bypasses_throttle_but_not_cap(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl", min_interval_s=10.0, max_events=2, clock=clock
+        )
+        assert e.lifecycle("run.start")
+        assert e.lifecycle("run.end")  # throttle would have dropped this
+        assert not e.lifecycle("too.late")  # the cap still holds
+        recs = read_events(tmp_path / "ev.jsonl")
+        assert [r["event"] for r in recs] == ["run.start", "run.end"]
+
+    def test_carries_fields(self, tmp_path, clock):
+        e = ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        e.lifecycle("run.start", command="run", experiment="e2")
+        (rec,) = read_events(tmp_path / "ev.jsonl")
+        assert rec["command"] == "run" and rec["experiment"] == "e2"
+
+
+class TestInstalledSlot:
+    def test_progress_is_noop_when_disabled(self):
+        assert telemetry.active_emitter() is None
+        telemetry.progress("stage", 1, 10)  # must not raise
+
+    def test_install_routes_progress(self, tmp_path, clock):
+        with telemetry.emitter_session(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, clock=clock
+        ) as e:
+            telemetry.progress("stage", 3, 9)
+            assert telemetry.active_emitter() is e
+            assert e.n_events == 1
+        assert telemetry.active_emitter() is None
+        (rec,) = read_events(tmp_path / "ev.jsonl")
+        assert rec["done"] == 3 and rec["total"] == 9
+
+    def test_double_install_raises(self, tmp_path, clock):
+        with telemetry.emitter_session(tmp_path / "a.jsonl", clock=clock):
+            with pytest.raises(RuntimeError, match="already installed"):
+                telemetry.install_emitter(
+                    ProgressEmitter(tmp_path / "b.jsonl", clock=clock)
+                )
+
+    def test_uninstall_closes(self, tmp_path, clock):
+        e = telemetry.install_emitter(
+            ProgressEmitter(tmp_path / "ev.jsonl", clock=clock)
+        )
+        assert telemetry.uninstall_emitter() is e
+        assert e.closed
+
+    def test_uninstall_when_disabled_is_noop(self):
+        assert telemetry.uninstall_emitter() is None
+
+
+class TestInstrumentedLoops:
+    def test_batched_sweep_emits_progress(self, tmp_path, clock):
+        from repro.core import aro_design, make_batch_study
+
+        with telemetry.emitter_session(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, clock=clock
+        ) as e:
+            batch = make_batch_study(aro_design(16), n_chips=3, rng=1)
+            batch.responses(t_years=10.0)
+            assert e.n_events > 0
+        stages = {r["stage"] for r in read_events(tmp_path / "ev.jsonl")}
+        assert "batch.frequencies" in stages
+
+    def test_aging_sampling_emits_progress(self, tmp_path, clock):
+        from repro.core import aro_design, make_batch_study
+
+        with telemetry.emitter_session(
+            tmp_path / "ev.jsonl", min_interval_s=0.0, clock=clock
+        ) as e:
+            make_batch_study(aro_design(16), n_chips=3, rng=1)
+            assert e.n_events > 0
+        recs = read_events(tmp_path / "ev.jsonl")
+        aging = [r for r in recs if r["stage"] == "aging.sample_prefactors"]
+        assert aging and aging[-1]["done"] == aging[-1]["total"] == 3

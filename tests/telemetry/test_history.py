@@ -1,0 +1,128 @@
+"""Ledger history: sparklines, rolling baselines, drift flags."""
+
+import pytest
+
+from repro.telemetry import (
+    LedgerEntry,
+    RunManifest,
+    history_rows,
+    render_history,
+    sparkline,
+)
+from repro.telemetry.history import SPARK_BLOCKS, metric_series
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return RunManifest.collect(seed=5, config={"n_chips": 4})
+
+
+def entries_for(series, manifest, experiment="e2", key="flips"):
+    return [
+        LedgerEntry.collect(experiment, {key: v}, manifest) for v in series
+    ]
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp_uses_full_range(self):
+        s = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert s[0] == SPARK_BLOCKS[0]
+        assert s[-1] == SPARK_BLOCKS[-1]
+        assert len(s) == 4
+
+    def test_flat_series_renders_mid_block(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_BLOCKS[3] * 3
+
+    def test_single_value(self):
+        assert sparkline([1.0]) == SPARK_BLOCKS[3]
+
+
+class TestMetricSeries:
+    def test_chronological_per_metric(self, manifest):
+        entries = entries_for([1.0, 2.0, 3.0], manifest)
+        entries += entries_for([9.0], manifest, experiment="e3", key="uniq")
+        series = metric_series(entries)
+        assert series == {"e2.flips": [1.0, 2.0, 3.0], "e3.uniq": [9.0]}
+
+
+class TestHistoryRows:
+    def test_baseline_is_mean_of_preceding_window(self, manifest):
+        entries = entries_for([10.0, 20.0, 30.0, 40.0], manifest)
+        (row,) = history_rows(entries, window=3)
+        assert row.latest == 40.0
+        assert row.baseline == pytest.approx(20.0)  # mean(10, 20, 30)
+        assert row.change == pytest.approx(1.0)
+        assert row.drift
+
+    def test_window_truncates_old_values(self, manifest):
+        entries = entries_for([100.0, 10.0, 10.0, 10.0], manifest)
+        (row,) = history_rows(entries, window=2)
+        assert row.baseline == pytest.approx(10.0)  # the 100 falls outside
+
+    def test_single_value_has_no_baseline(self, manifest):
+        (row,) = history_rows(entries_for([5.0], manifest))
+        assert row.baseline is None and row.change is None and not row.drift
+
+    def test_within_threshold_not_drift(self, manifest):
+        entries = entries_for([10.0, 10.0, 10.5], manifest)
+        (row,) = history_rows(entries, threshold=0.10)
+        assert not row.drift
+
+    def test_zero_baseline(self, manifest):
+        (zero,) = history_rows(entries_for([0.0, 0.0], manifest))
+        assert zero.change == 0.0 and not zero.drift
+        (jump,) = history_rows(entries_for([0.0, 1.0], manifest))
+        assert jump.change == float("inf") and jump.drift
+
+    def test_metric_substring_filter(self, manifest):
+        entries = entries_for([1.0], manifest) + entries_for(
+            [2.0], manifest, experiment="e3", key="uniq"
+        )
+        rows = history_rows(entries, metrics=["e3"])
+        assert [r.metric for r in rows] == ["e3.uniq"]
+
+    def test_last_truncates_series(self, manifest):
+        entries = entries_for([1.0, 2.0, 3.0, 4.0], manifest)
+        (row,) = history_rows(entries, last=2)
+        assert row.values == (3.0, 4.0)
+        assert row.n_runs == 2
+
+    def test_parameter_validation(self, manifest):
+        entries = entries_for([1.0], manifest)
+        with pytest.raises(ValueError, match="window"):
+            history_rows(entries, window=0)
+        with pytest.raises(ValueError, match="threshold"):
+            history_rows(entries, threshold=0.0)
+
+
+class TestRenderHistory:
+    def test_empty_ledger(self):
+        assert render_history([]) == "(empty ledger)"
+
+    def test_no_matching_metrics(self, manifest):
+        text = render_history(entries_for([1.0], manifest), metrics=["nope"])
+        assert "no matching metrics" in text
+
+    def test_renders_sparkline_latest_and_drift(self, manifest):
+        entries = entries_for([10.0, 10.0, 10.0, 20.0], manifest)
+        text = render_history(entries)
+        assert "e2.flips" in text
+        assert any(block in text for block in SPARK_BLOCKS)
+        assert "latest" in text and "vs baseline" in text
+        assert "<< drift" in text
+        assert "1 metric(s) drifted" in text
+
+    def test_header_counts_runs_and_experiments(self, manifest):
+        entries = entries_for([1.0, 2.0], manifest) + entries_for(
+            [3.0], manifest, experiment="e3", key="uniq"
+        )
+        header = render_history(entries).splitlines()[0]
+        assert "3 entries" in header
+        assert "e2, e3" in header
+
+    def test_quiet_ledger_reports_no_drift(self, manifest):
+        text = render_history(entries_for([10.0, 10.0], manifest))
+        assert "no drift" in text

@@ -1,0 +1,158 @@
+"""RunLedger + LedgerEntry: appends, round-trips, and corrupt-line policy."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    LEDGER_FORMAT,
+    LedgerEntry,
+    RunLedger,
+    RunManifest,
+    package_version,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return RunManifest.collect(seed=7, config={"n_chips": 4, "n_ros": 16})
+
+
+class TestLedgerEntry:
+    def test_collect_carries_version_and_format(self, manifest):
+        entry = LedgerEntry.collect("e2", {"a": 1.0}, manifest)
+        assert entry.version == package_version()
+        assert entry.format == LEDGER_FORMAT
+        assert entry.manifest["seed"] == 7
+
+    def test_collect_without_manifest_collects_one(self):
+        entry = LedgerEntry.collect("e2", {"a": 1.0})
+        assert entry.manifest["package"] == "repro"
+
+    def test_scalars_cleaned(self, manifest):
+        entry = LedgerEntry.collect(
+            "e2",
+            {
+                "ok_int": 3,
+                "ok_float": 1.5,
+                "flag": True,
+                "label": "text",
+                "nan": float("nan"),
+                "inf": float("inf"),
+            },
+            manifest,
+        )
+        assert entry.scalars == {"ok_int": 3.0, "ok_float": 1.5}
+
+    def test_empty_experiment_rejected(self, manifest):
+        with pytest.raises(ValueError, match="experiment id"):
+            LedgerEntry.collect("", {"a": 1.0}, manifest)
+
+    def test_dict_round_trip(self, manifest):
+        entry = LedgerEntry.collect("e3", {"u": 49.7}, manifest)
+        rebuilt = LedgerEntry.from_dict(
+            json.loads(json.dumps(entry.to_dict()))
+        )
+        assert rebuilt == entry
+
+    def test_from_dict_rejects_malformed(self, manifest):
+        good = LedgerEntry.collect("e3", {"u": 49.7}, manifest).to_dict()
+        with pytest.raises(ValueError, match="JSON object"):
+            LedgerEntry.from_dict(["nope"])
+        for key, match in [
+            ("experiment", "experiment id"),
+            ("scalars", "scalars"),
+            ("manifest", "manifest"),
+        ]:
+            bad = dict(good)
+            del bad[key]
+            with pytest.raises(ValueError, match=match):
+                LedgerEntry.from_dict(bad)
+
+    def test_from_dict_validates_manifest(self, manifest):
+        data = LedgerEntry.collect("e3", {"u": 49.7}, manifest).to_dict()
+        del data["manifest"]["seed"]
+        with pytest.raises(ValueError, match="'seed'"):
+            LedgerEntry.from_dict(data)
+
+
+class TestRunKey:
+    def test_same_provenance_same_key(self, manifest):
+        a = LedgerEntry.collect("e2", {"x": 1.0}, manifest)
+        b = LedgerEntry.collect("e3", {"y": 2.0}, manifest)
+        assert a.run_key() == b.run_key()
+
+    def test_seed_changes_key(self):
+        cfg = {"n_chips": 4}
+        a = LedgerEntry.collect("e2", {}, RunManifest.collect(seed=1, config=cfg))
+        b = LedgerEntry.collect("e2", {}, RunManifest.collect(seed=2, config=cfg))
+        assert a.run_key() != b.run_key()
+
+    def test_config_changes_key(self):
+        a = LedgerEntry.collect(
+            "e2", {}, RunManifest.collect(seed=1, config={"n_chips": 4})
+        )
+        b = LedgerEntry.collect(
+            "e2", {}, RunManifest.collect(seed=1, config={"n_chips": 8})
+        )
+        assert a.run_key() != b.run_key()
+
+    def test_missing_git_sha_tolerated(self, manifest):
+        data = LedgerEntry.collect("e2", {}, manifest).to_dict()
+        data["manifest"]["git_sha"] = None
+        entry = LedgerEntry.from_dict(data)
+        assert entry.run_key().startswith("nogit:")
+
+
+class TestRunLedger:
+    def test_append_and_read_back(self, tmp_path, manifest):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.record("e2", {"flips": 31.9}, manifest)
+        ledger.record("e3", {"uniq": 49.6}, manifest)
+        entries = ledger.entries()
+        assert [e.experiment for e in entries] == ["e2", "e3"]
+        assert len(ledger) == 2
+        assert [e.experiment for e in ledger] == ["e2", "e3"]
+
+    def test_absent_file_is_empty(self, tmp_path):
+        assert RunLedger(tmp_path / "missing.jsonl").entries() == []
+
+    def test_creates_parent_dirs(self, tmp_path, manifest):
+        path = tmp_path / "runs" / "ci" / "ledger.jsonl"
+        RunLedger(path).record("e2", {"a": 1.0}, manifest)
+        assert path.exists()
+
+    def test_corrupt_lines_skipped_by_default(self, tmp_path, manifest):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.record("e2", {"a": 1.0}, manifest)
+        with open(path, "a") as fh:
+            fh.write('{"truncated": "by a kill -9\n')
+        ledger.record("e3", {"b": 2.0}, manifest)
+        assert [e.experiment for e in ledger.entries()] == ["e2", "e3"]
+
+    def test_strict_raises_with_line_number(self, tmp_path, manifest):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.record("e2", {"a": 1.0}, manifest)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(ValueError, match=r"ledger\.jsonl:2"):
+            ledger.entries(strict=True)
+
+    def test_blank_lines_ignored(self, tmp_path, manifest):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.record("e2", {"a": 1.0}, manifest)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(ledger.entries()) == 1
+
+    def test_lines_are_single_json_objects(self, tmp_path, manifest):
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).record("e2", {"a": 1.0}, manifest)
+        (line,) = path.read_text().splitlines()
+        rec = json.loads(line)
+        assert rec["experiment"] == "e2"
+        assert rec["format"] == LEDGER_FORMAT
+        assert isinstance(rec["version"], str) and rec["version"]

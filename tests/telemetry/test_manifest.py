@@ -1,6 +1,7 @@
 """RunManifest: collection, JSON schema round-trip, validation errors."""
 
 import json
+import subprocess
 
 import pytest
 
@@ -9,8 +10,10 @@ from repro.telemetry import (
     MANIFEST_SCHEMA,
     RunManifest,
     git_sha,
+    package_version,
     validate_manifest,
 )
+from repro.telemetry import manifest as manifest_mod
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +49,55 @@ class TestCollect:
 
     def test_git_sha_outside_checkout(self, tmp_path):
         assert git_sha(tmp_path) is None
+
+
+class TestGitShaFallback:
+    """Collecting a manifest must never fail, even with no git at all."""
+
+    def test_git_binary_absent(self, monkeypatch):
+        def no_git(*args, **kwargs):
+            raise OSError("No such file or directory: 'git'")
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", no_git)
+        assert git_sha() is None
+
+    def test_git_timeout(self, monkeypatch):
+        def hangs(cmd, **kwargs):
+            raise subprocess.TimeoutExpired(cmd, timeout=5.0)
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", hangs)
+        assert git_sha() is None
+
+    def test_git_empty_stdout(self, monkeypatch):
+        def empty(cmd, **kwargs):
+            return subprocess.CompletedProcess(cmd, 0, stdout="", stderr="")
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", empty)
+        assert git_sha() is None
+
+    def test_collect_survives_missing_git(self, monkeypatch):
+        def no_git(*args, **kwargs):
+            raise OSError("no git")
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", no_git)
+        m = RunManifest.collect(seed=1)
+        assert m.git_sha is None
+        validate_manifest(m.to_dict())
+
+
+class TestPackageVersion:
+    def test_resolves_to_a_version_string(self):
+        version = package_version()
+        assert isinstance(version, str) and version
+
+    def test_source_tree_fallback(self, monkeypatch):
+        import importlib.metadata
+
+        def not_installed(name):
+            raise importlib.metadata.PackageNotFoundError(name)
+
+        monkeypatch.setattr(importlib.metadata, "version", not_installed)
+        assert package_version() == __version__
 
 
 class TestRoundTrip:

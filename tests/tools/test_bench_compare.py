@@ -23,6 +23,15 @@ def _write_results(path, name, values, counters=None):
     (path / f"{name}.json").write_text(json.dumps(payload))
 
 
+def _write_ledger(path, scalars_by_experiment):
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / "ledger.jsonl", "w") as fh:
+        for experiment, scalars in scalars_by_experiment.items():
+            fh.write(
+                json.dumps({"experiment": experiment, "scalars": scalars}) + "\n"
+            )
+
+
 @pytest.fixture
 def result_dirs(tmp_path):
     old = tmp_path / "baseline"
@@ -100,3 +109,35 @@ class TestMain:
 
     def test_missing_dir_exit_two(self, tmp_path, capsys):
         assert bench_compare.main([str(tmp_path / "nope"), str(tmp_path)]) == 2
+
+
+class TestLedgerDiff:
+    def test_load_ledger_scalars_latest_wins(self, tmp_path):
+        _write_ledger(tmp_path, {"e2": {"flips": 30.0}})
+        with open(tmp_path / "ledger.jsonl", "a") as fh:
+            fh.write(
+                json.dumps({"experiment": "e2", "scalars": {"flips": 32.0}})
+                + "\n"
+            )
+            fh.write("not json\n")  # malformed lines are skipped
+        assert bench_compare.load_ledger_scalars(tmp_path) == {"e2.flips": 32.0}
+
+    def test_no_ledgers_is_empty(self, tmp_path):
+        assert bench_compare.load_ledger_scalars(tmp_path) == {}
+
+    def test_ledger_diff_is_informational(self, result_dirs, tmp_path, capsys):
+        # a huge ledger-scalar swing must not flip the exit status
+        old, new = result_dirs
+        _write_ledger(old, {"e2": {"flips": 10.0}})
+        _write_ledger(new, {"e2": {"flips": 100.0}})
+        out = tmp_path / "diff.json"
+        code = bench_compare.main(
+            [str(old), str(new), "--threshold", "0.5", "--json", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "ledger scalars" in printed and "e2.flips" in printed
+        payload = json.loads(out.read_text())
+        ledger = {row["metric"]: row for row in payload["ledger"]}
+        assert ledger["e2.flips"]["change"] == pytest.approx(9.0)
+        assert payload["regressions"] == []

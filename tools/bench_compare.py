@@ -13,9 +13,13 @@ by more than the threshold (default 20 %) is a **regression** (all
 tracked metrics — timings, flip percentages — are better when smaller).
 Telemetry ``counters`` sections (work-done metrics: kernel invocations,
 memo hit rates) are diffed and printed as well, but informationally —
-doing *more work* is not by itself a regression.  Exit status is 1 when
-any regression is found, so the script can gate CI; ``--json PATH``
-additionally writes the full diff machine-readably for CI to consume.
+doing *more work* is not by itself a regression.  Run-ledger ``*.jsonl``
+files found in either directory are diffed the same informational way
+(experiment scalars have no universal "better" direction — the anchor
+registry judges those, see ``tools/check_anchors.py``).  Exit status is
+1 when any regression is found, so the script can gate CI; ``--json
+PATH`` additionally writes the full diff machine-readably for CI to
+consume.
 
 Only the standard library is used: the script must run on a bare
 interpreter without the package installed.
@@ -62,6 +66,48 @@ def load_results(
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 metrics[f"{name}:{key}"] = float(value)
     return metrics
+
+
+def load_ledger_scalars(path: pathlib.Path) -> Dict[str, float]:
+    """Flatten run-ledger ``*.jsonl`` lines into ``{"exp.key": value}``.
+
+    ``path`` is a directory (every ``*.jsonl`` inside is read) or one
+    ledger file.  Later lines win, matching
+    :func:`repro.telemetry.latest_scalars` without importing the
+    package.  Malformed lines and non-ledger files are skipped — absence
+    of ledgers is normal for a results directory.
+    """
+    if path.is_dir():
+        files: Iterable[pathlib.Path] = sorted(path.glob("*.jsonl"))
+    elif path.is_file() and path.suffix == ".jsonl":
+        files = [path]
+    else:
+        return {}
+
+    merged: Dict[str, float] = {}
+    for file in files:
+        try:
+            lines = file.read_text().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            experiment = entry.get("experiment")
+            scalars = entry.get("scalars")
+            if not isinstance(experiment, str) or not isinstance(scalars, dict):
+                continue
+            for key, value in scalars.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    merged[f"{experiment}.{key}"] = float(value)
+    return merged
 
 
 def compare(
@@ -111,6 +157,8 @@ def main(argv=None) -> int:
         new = load_results(args.candidate)
         old_counters = load_results(args.baseline, section="counters")
         new_counters = load_results(args.candidate, section="counters")
+        old_ledger = load_ledger_scalars(args.baseline)
+        new_ledger = load_ledger_scalars(args.candidate)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -123,6 +171,7 @@ def main(argv=None) -> int:
         print("error: the result sets share no metrics", file=sys.stderr)
         return 2
     counter_rows, _, _ = compare(old_counters, new_counters, args.threshold)
+    ledger_rows, _, _ = compare(old_ledger, new_ledger, args.threshold)
 
     width = max(len(key) for key, *_ in rows)
     regressions = []
@@ -141,6 +190,12 @@ def main(argv=None) -> int:
         print("\nwork done (telemetry counters, informational):")
         for key, a, b, change in counter_rows:
             print(f"{key:<{cwidth}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}")
+
+    if ledger_rows:
+        lwidth = max(len(key) for key, *_ in ledger_rows)
+        print("\nledger scalars (experiment results, informational):")
+        for key, a, b, change in ledger_rows:
+            print(f"{key:<{lwidth}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}")
 
     for key in only_old:
         print(f"note: {key} only in baseline")
@@ -163,6 +218,10 @@ def main(argv=None) -> int:
             "counters": [
                 {"metric": key, "baseline": a, "candidate": b, "change": change}
                 for key, a, b, change in counter_rows
+            ],
+            "ledger": [
+                {"metric": key, "baseline": a, "candidate": b, "change": change}
+                for key, a, b, change in ledger_rows
             ],
             "only_baseline": only_old,
             "only_candidate": only_new,

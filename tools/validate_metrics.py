@@ -7,7 +7,8 @@ Usage::
     python tools/validate_metrics.py /tmp/m.json
 
 Checks that the file is valid JSON, carries the expected top-level
-sections (``format``, ``spans``, ``counters``, ``gauges``), that every
+sections (``format``, ``version``, ``spans``, ``counters``, ``gauges``),
+that every
 span subtree is well-formed (name + non-negative duration), and that the
 embedded manifest satisfies :data:`repro.telemetry.MANIFEST_SCHEMA`.
 Exit status 0 on success, 1 on any violation — wired into CI so a
@@ -52,6 +53,9 @@ def validate_payload(payload) -> list:
         problems.append(
             f"format is {payload.get('format')!r}, expected {METRICS_FORMAT}"
         )
+    version = payload.get("version")
+    if not isinstance(version, str) or not version:
+        problems.append("missing or non-string top-level 'version' (format 2)")
     for section in ("spans", "counters", "gauges"):
         if section not in payload:
             problems.append(f"missing section {section!r}")
