@@ -17,14 +17,19 @@ path) must stay within a few percent of itself with telemetry fully
 enabled, and the headline speedup artefact records the work-done
 counters (kernel blocks, memo traffic) so ``tools/bench_compare.py``
 can diff work alongside wall time.
+
+``TestParallelScaling`` measures the chip-sharded parallel engine's
+``--jobs`` scaling curve end-to-end and enforces the >= 2x floor at four
+workers (skipped on boxes with fewer than four cores; the bit-identity
+companion check runs everywhere).
 """
 
-import time
+import os
 
 import numpy as np
 import pytest
 
-from _common import emit
+from _common import best_of, emit
 from repro import telemetry
 from repro.analysis import DEFAULT_YEARS
 from repro.core import (
@@ -34,6 +39,7 @@ from repro.core import (
     make_study,
 )
 from repro.metrics.reliability import reliability
+from repro.parallel import make_parallel_study
 
 N_CHIPS = 50
 SEED = 20140324
@@ -54,15 +60,6 @@ def _sweep_batched(batch, years):
     return goldens, [
         reliability(goldens, batch.responses(t_years=t)) for t in years
     ]
-
-
-def _best_of(fn, rounds):
-    times = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
 
 
 @pytest.mark.slow
@@ -89,11 +86,10 @@ class TestPopulationEngine:
         """The batched sweep is at least 10x faster than the per-chip loop."""
         name, design, study, batch = case
         years = list(DEFAULT_YEARS)
-        # warm both paths (first batched call pays buffer page faults)
-        _sweep_per_chip(study, years)
-        _sweep_batched(batch, years)
-        t_old = _best_of(lambda: _sweep_per_chip(study, years), rounds=5)
-        t_new = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        # best_of's warm-up round pays each path's one-time costs (first
+        # batched call faults in its buffers) outside the timing
+        t_old = best_of(lambda: _sweep_per_chip(study, years), rounds=5)
+        t_new = best_of(lambda: _sweep_batched(batch, years), rounds=15)
         speedup = t_old / t_new
         # one instrumented pass (outside the timing) snapshots the work
         # done, so the artefact records kernel traffic next to wall time
@@ -140,12 +136,11 @@ class TestTelemetryOverhead:
         design = aro_design()
         batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
         years = list(DEFAULT_YEARS)
-        _sweep_batched(batch, years)  # warm buffers and caches
 
-        t_disabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        t_disabled = best_of(lambda: _sweep_batched(batch, years), rounds=15)
         tracer = telemetry.install(telemetry.Tracer())
         try:
-            t_enabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+            t_enabled = best_of(lambda: _sweep_batched(batch, years), rounds=15)
         finally:
             telemetry.uninstall()
         overhead = t_enabled / t_disabled - 1.0
@@ -177,14 +172,13 @@ class TestTelemetryOverhead:
         design = aro_design()
         batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
         years = list(DEFAULT_YEARS)
-        _sweep_batched(batch, years)  # warm buffers and caches
 
-        t_disabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        t_disabled = best_of(lambda: _sweep_batched(batch, years), rounds=15)
         emitter = telemetry.install_emitter(
             telemetry.ProgressEmitter(tmp_path / "events.jsonl")
         )
         try:
-            t_enabled = _best_of(lambda: _sweep_batched(batch, years), rounds=15)
+            t_enabled = best_of(lambda: _sweep_batched(batch, years), rounds=15)
             n_events = emitter.n_events
         finally:
             telemetry.uninstall_emitter()
@@ -224,3 +218,98 @@ class TestTelemetryOverhead:
             assert emitter.n_throttled == 0  # the cap drops, not the throttle
         lines = (tmp_path / "events.jsonl").read_text().splitlines()
         assert len(lines) <= cap
+
+
+@pytest.mark.slow
+class TestParallelScaling:
+    """The ``--jobs`` scaling curve, with a >= 2x floor at 4 workers.
+
+    Times the full E2-style story end-to-end — engine construction,
+    fabrication, golden responses, the year sweep, pool teardown — at a
+    population large enough (192 chips) for fabrication to dominate, so
+    the measured ratio is the one a real ``repro run --jobs 4`` user sees
+    (pool start-up and result pickling count *against* the parallel
+    engine).  ``jobs=1`` goes through :func:`make_parallel_study` too,
+    which returns the plain serial :class:`BatchStudy` — the honest
+    baseline.  The whole curve is emitted so ``tools/bench_compare.py``
+    tracks scaling shape, not just the gated endpoint.
+    """
+
+    N_CHIPS_PARALLEL = 192
+    JOBS_CURVE = (1, 2, 4)
+    PARALLEL_SPEEDUP_FLOOR = 2.0
+
+    @staticmethod
+    def _aging_sweep(study, years):
+        goldens = study.responses()
+        for t in years:
+            study.responses(t_years=t)
+        return goldens
+
+    def test_parallel_scaling_curve(self):
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            pytest.skip(
+                f"parallel speedup gate needs >= 4 CPU cores, box has {cores}"
+            )
+        design = aro_design()
+        years = list(DEFAULT_YEARS)
+
+        def run_at(jobs):
+            def run():
+                study = make_parallel_study(
+                    design, self.N_CHIPS_PARALLEL, rng=SEED, jobs=jobs
+                )
+                try:
+                    self._aging_sweep(study, years)
+                finally:
+                    study.close()
+
+            return best_of(run, rounds=3, warmup=1)
+
+        timings = {jobs: run_at(jobs) for jobs in self.JOBS_CURVE}
+        speedups = {jobs: timings[1] / timings[jobs] for jobs in self.JOBS_CURVE}
+        curve = "\n".join(
+            f"  jobs={jobs}: {timings[jobs] * 1e3:8.2f} ms "
+            f"({speedups[jobs]:5.2f} x)"
+            for jobs in self.JOBS_CURVE
+        )
+        emit(
+            "parallel_scaling",
+            f"E2 aging sweep end-to-end, {self.N_CHIPS_PARALLEL} chips x "
+            f"{design.n_ros} ROs, {len(years)} year points (aro-puf)\n"
+            + curve,
+            values={
+                **{f"jobs{jobs}_s": timings[jobs] for jobs in self.JOBS_CURVE},
+                **{
+                    f"speedup_{jobs}": speedups[jobs]
+                    for jobs in self.JOBS_CURVE
+                    if jobs > 1
+                },
+            },
+        )
+        assert speedups[4] >= self.PARALLEL_SPEEDUP_FLOOR, (
+            f"4-worker sweep only {speedups[4]:.2f}x over serial "
+            f"({timings[1] * 1e3:.2f} ms vs {timings[4] * 1e3:.2f} ms); "
+            f"need >= {self.PARALLEL_SPEEDUP_FLOOR}x"
+        )
+
+    def test_parallel_sweep_bit_identical(self):
+        """The timed configuration agrees with serial bit-for-bit.
+
+        Runs at a reduced population (the full 192-chip check is the
+        tier-1 property test's job at small scale; this guards the exact
+        benchmark configuration) and regardless of core count, so the
+        identity holds even on boxes where the speedup gate skips.
+        """
+        design = aro_design()
+        n_chips = 24
+        serial = make_parallel_study(design, n_chips, rng=SEED, jobs=1)
+        parallel = make_parallel_study(design, n_chips, rng=SEED, jobs=4)
+        try:
+            for t in (0.0, 10.0):
+                assert np.array_equal(
+                    serial.responses(t_years=t), parallel.responses(t_years=t)
+                )
+        finally:
+            parallel.close()

@@ -274,12 +274,19 @@ class PopulationAging:
         simulator: AgingSimulator,
         population: ChipPopulation,
         rng: RngLike = None,
+        *,
+        children: Optional[Sequence[RngLike]] = None,
     ) -> "PopulationAging":
         """Sample every chip's prefactors into one stacked tensor.
 
         Mirrors :meth:`AgingSimulator.for_population` draw for draw (one
         spawned child generator per chip, NBTI before HCI), so the same
         seed produces the same device prefactors on both paths.
+
+        ``children`` bypasses the spawn and supplies one pre-derived
+        generator (or spawn key) per chip — the parallel engine's shard
+        workers use this so a shard consumes exactly the child streams the
+        serial path would have handed its chips.
         """
         chips = list(population)
         if not chips:
@@ -290,7 +297,12 @@ class PopulationAging:
                     f"chip has {chip.n_stages} stages but the cell expects "
                     f"{simulator.cell.n_stages}"
                 )
-        children = spawn(rng, len(chips))
+        if children is None:
+            children = spawn(rng, len(chips))
+        elif len(children) != len(chips):
+            raise ValueError(
+                f"got {len(children)} child streams for {len(chips)} chips"
+            )
         a_rows, b_rows = [], []
         with telemetry.span("aging.sample_prefactors", n_chips=len(chips)):
             for i, (chip, child) in enumerate(zip(chips, children)):

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import functools
 import re
+from contextlib import closing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from ..metrics.reliability import ReliabilityReport, reliability
 from ..metrics.uniformity import UniformityReport, uniformity
 from ..metrics.uniqueness import UniquenessReport, hd_histogram, uniqueness
 from .sweep import DEFAULT_YEARS, Series
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import ParallelBatchStudy
 
 
 def _slug(label: str) -> str:
@@ -86,6 +90,13 @@ class ExperimentConfig:
     The defaults mirror the paper's scale: a 50-chip population of 256
     five-stage oscillators (128 response bits via neighbour pairing) on
     the 90 nm card, with the standard 10-year consumer mission.
+
+    ``jobs`` shards the batched engine's chip axis over that many worker
+    processes (``jobs=1`` stays in-process).  It changes wall-clock only:
+    every experiment that goes through :meth:`batch_study_for` (E1, E2,
+    E3, E5) returns bit-identical numbers for any worker count, so
+    ``jobs`` is deliberately *not* part of the result-defining config the
+    ledger and cache key digest.
     """
 
     n_chips: int = 50
@@ -93,6 +104,11 @@ class ExperimentConfig:
     n_stages: int = 5
     seed: int = DEFAULT_SEED
     mission: MissionProfile = field(default_factory=MissionProfile)
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
 
     def designs(self) -> Dict[str, PufDesign]:
         """The two contenders, keyed by their registry names."""
@@ -107,9 +123,27 @@ class ExperimentConfig:
             design, self.n_chips, mission=self.mission, rng=self.seed
         )
 
-    def batch_study_for(self, design: PufDesign) -> BatchStudy:
+    def batch_study_for(
+        self, design: PufDesign
+    ) -> Union[BatchStudy, "ParallelBatchStudy"]:
         """Batched counterpart of :meth:`study_for` (same seed, same
-        silicon: responses are bit-identical to the per-chip path)."""
+        silicon: responses are bit-identical to the per-chip path).
+
+        With ``jobs > 1`` the study is the chip-sharded parallel engine;
+        callers should ``closing(...)`` the returned study so its worker
+        pool is released promptly (the serial engine's ``close`` is a
+        no-op, so the pattern is engine-agnostic).
+        """
+        if self.jobs > 1:
+            from ..parallel import make_parallel_study
+
+            return make_parallel_study(
+                design,
+                self.n_chips,
+                mission=self.mission,
+                rng=self.seed,
+                jobs=self.jobs,
+            )
         return make_batch_study(
             design, self.n_chips, mission=self.mission, rng=self.seed
         )
@@ -149,15 +183,15 @@ def frequency_degradation(
     series: Dict[str, Series] = {}
     fresh: Dict[str, float] = {}
     for name, design in config.designs().items():
-        study = config.batch_study_for(design)
-        f0 = study.frequencies()
-        fresh[name] = float(f0.mean() / 1e9)
-        s = Series(name=name)
-        for t in years:
-            ft = study.frequencies(t_years=t)
-            loss = (f0 - ft) / f0
-            s.add(t, 100.0 * float(loss.mean()), 100.0 * float(loss.std()))
-        series[name] = s
+        with closing(config.batch_study_for(design)) as study:
+            f0 = study.frequencies()
+            fresh[name] = float(f0.mean() / 1e9)
+            s = Series(name=name)
+            for t in years:
+                ft = study.frequencies(t_years=t)
+                loss = (f0 - ft) / f0
+                s.add(t, 100.0 * float(loss.mean()), 100.0 * float(loss.std()))
+            series[name] = s
     return FrequencyDegradationResult(
         years=list(years), series=series, fresh_frequency_ghz=fresh
     )
@@ -207,17 +241,17 @@ def aging_bitflips(
     series: Dict[str, Series] = {}
     finals: Dict[str, ReliabilityReport] = {}
     for name, design in config.designs().items():
-        study = config.batch_study_for(design)
-        goldens = study.responses()
-        s = Series(name=name)
-        last_report = None
-        for t in years:
-            aged = study.responses(t_years=t)
-            report = reliability(goldens, aged)
-            s.add(t, report.percent(), 100.0 * report.std_flip_fraction)
-            last_report = report
-        series[name] = s
-        finals[name] = last_report
+        with closing(config.batch_study_for(design)) as study:
+            goldens = study.responses()
+            s = Series(name=name)
+            last_report = None
+            for t in years:
+                aged = study.responses(t_years=t)
+                report = reliability(goldens, aged)
+                s.add(t, report.percent(), 100.0 * report.std_flip_fraction)
+                last_report = report
+            series[name] = s
+            finals[name] = last_report
     return BitflipResult(years=list(years), series=series, final_reports=finals)
 
 
@@ -251,8 +285,8 @@ def uniqueness_experiment(
     reports: Dict[str, UniquenessReport] = {}
     histograms: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     for name, design in config.designs().items():
-        study = config.batch_study_for(design)
-        goldens = study.responses()
+        with closing(config.batch_study_for(design)) as study:
+            goldens = study.responses()
         reports[name] = uniqueness(goldens)
         histograms[name] = hd_histogram(goldens, bins=bins)
     return UniquenessResult(reports=reports, histograms=histograms)
@@ -359,49 +393,49 @@ def environmental_reliability(
     temp_series: Dict[str, Series] = {}
     volt_series: Dict[str, Series] = {}
     for name, design in config.designs().items():
-        study = config.batch_study_for(design)
-        pairs = design.pairing.pairs(design.n_ros)
-        f_nominal = study.frequencies()
-        goldens = [
-            voted_response(
-                f_nominal[i],
-                pairs,
-                design.tech,
-                design.readout,
-                votes=votes,
-                rng=config.seed + i,
-            )
-            for i in range(study.n_chips)
-        ]
-
-        def corner_report(cond: OperatingConditions, seed_base: int):
-            f_corner = study.frequencies(conditions=cond)
-            observed = [
-                compare_pairs(
-                    f_corner[i],
+        with closing(config.batch_study_for(design)) as study:
+            pairs = design.pairing.pairs(design.n_ros)
+            f_nominal = study.frequencies()
+            goldens = [
+                voted_response(
+                    f_nominal[i],
                     pairs,
                     design.tech,
                     design.readout,
-                    noisy=True,
-                    rng=seed_base + i,
+                    votes=votes,
+                    rng=config.seed + i,
                 )
                 for i in range(study.n_chips)
             ]
-            return reliability(goldens, observed)
 
-        s_t = Series(name=name)
-        for idx, temp_c in enumerate(temperatures_c):
-            cond = OperatingConditions(temperature_k=celsius(temp_c))
-            report = corner_report(cond, config.seed + 1000 + 100 * idx)
-            s_t.add(temp_c, report.percent(), 100.0 * report.std_flip_fraction)
-        temp_series[name] = s_t
+            def corner_report(cond: OperatingConditions, seed_base: int):
+                f_corner = study.frequencies(conditions=cond)
+                observed = [
+                    compare_pairs(
+                        f_corner[i],
+                        pairs,
+                        design.tech,
+                        design.readout,
+                        noisy=True,
+                        rng=seed_base + i,
+                    )
+                    for i in range(study.n_chips)
+                ]
+                return reliability(goldens, observed)
 
-        s_v = Series(name=name)
-        for idx, rel in enumerate(vdd_rel):
-            cond = OperatingConditions(vdd=design.tech.vdd * rel)
-            report = corner_report(cond, config.seed + 5000 + 100 * idx)
-            s_v.add(rel, report.percent(), 100.0 * report.std_flip_fraction)
-        volt_series[name] = s_v
+            s_t = Series(name=name)
+            for idx, temp_c in enumerate(temperatures_c):
+                cond = OperatingConditions(temperature_k=celsius(temp_c))
+                report = corner_report(cond, config.seed + 1000 + 100 * idx)
+                s_t.add(temp_c, report.percent(), 100.0 * report.std_flip_fraction)
+            temp_series[name] = s_t
+
+            s_v = Series(name=name)
+            for idx, rel in enumerate(vdd_rel):
+                cond = OperatingConditions(vdd=design.tech.vdd * rel)
+                report = corner_report(cond, config.seed + 5000 + 100 * idx)
+                s_v.add(rel, report.percent(), 100.0 * report.std_flip_fraction)
+            volt_series[name] = s_v
     return EnvironmentalResult(
         temperature_series=temp_series, voltage_series=volt_series
     )

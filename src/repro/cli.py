@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli run e2 --trace
     python -m repro.cli run e2 --profile --metrics-out metrics.json
     python -m repro.cli run e2 --ledger runs/ledger.jsonl --events runs/events.jsonl
+    python -m repro.cli run e2 --jobs 4
+    python -m repro.cli run all --cache runs/cache
     python -m repro.cli history --ledger runs/ledger.jsonl
     python -m repro.cli check-anchors --chips 25 --ros 128
 
@@ -33,6 +35,15 @@ Telemetry flags (``run``, ``report`` and ``check-anchors``):
 * ``--events PATH`` streams throttled JSONL progress heartbeats (stage,
   chips done, ETA) from the batched kernels while the run is in flight.
 
+Execution flags:
+
+* ``--jobs N`` shards the batched engine's chip axis over N worker
+  processes (E1/E2/E3/E5); results are bit-identical for any N;
+* ``--cache DIR`` (``run`` / ``check-anchors``) reuses stored results
+  when the content-addressed (experiment, config, version) key matches,
+  printing an explicit ``cache hit:`` marker and recording hits/misses
+  in the run manifest.
+
 ``history`` renders per-metric trends over a ledger (sparkline, latest
 value, rolling-baseline drift); ``check-anchors`` measures the paper's
 anchor experiments fresh (or judges an existing ledger via
@@ -43,10 +54,13 @@ fail band.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .parallel import ResultCache, cache_key
 
 from . import telemetry
 from .aging.schedule import MissionProfile
@@ -136,6 +150,21 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: a helpful error beats a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value} (use 1 for serial)"
+        )
+    return value
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chips", type=int, default=50, help="Monte-Carlo chips (default 50)"
@@ -145,6 +174,14 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="root RNG seed (default: fixed)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the batched engine (default 1 = serial; "
+        "results are bit-identical for any N)",
     )
 
 
@@ -226,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the tables to this file (parent dirs are created)",
     )
+    run.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache: reuse a stored result when "
+        "the (experiment, config, version) key matches, store it otherwise",
+    )
 
     history = sub.add_parser(
         "history",
@@ -290,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat anchors with no recorded metric as failures",
     )
+    anchors.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache for the anchor experiments "
+        "(same semantics as 'run --cache')",
+    )
     return parser
 
 
@@ -316,9 +367,16 @@ def _telemetry_wanted(args: argparse.Namespace) -> bool:
 
 
 def _collect_manifest(
-    args: argparse.Namespace, config: exp.ExperimentConfig
+    args: argparse.Namespace,
+    config: exp.ExperimentConfig,
+    cache_summary: Optional[Dict[str, Any]] = None,
 ) -> telemetry.RunManifest:
-    """One manifest per CLI invocation (all its ledger entries share it)."""
+    """One manifest per CLI invocation (all its ledger entries share it).
+
+    ``jobs`` and the cache summary ride as top-level manifest fields, not
+    inside ``config``: they change how the run executed, never what it
+    measured, so the ledger's config digest must not see them.
+    """
     return telemetry.RunManifest.collect(
         seed=config.seed,
         config={
@@ -329,7 +387,56 @@ def _collect_manifest(
             or getattr(args, "experiments", None),
         },
         argv=sys.argv,
+        jobs=config.jobs,
+        cache=cache_summary,
     )
+
+
+def _result_config(config: exp.ExperimentConfig) -> Dict[str, Any]:
+    """The result-determining config dict a cache key digests.
+
+    Everything that changes the numbers is in; ``jobs`` — bit-identical
+    by construction — is excluded, so a result computed at any worker
+    count satisfies a request at any other.
+    """
+    cfg = dataclasses.asdict(config)
+    cfg.pop("jobs", None)
+    return cfg
+
+
+def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    cache_dir = getattr(args, "cache", None)
+    return ResultCache(cache_dir) if cache_dir else None
+
+
+def _run_experiment(
+    key: str,
+    config: exp.ExperimentConfig,
+    cache: Optional[ResultCache],
+) -> Tuple[Any, bool]:
+    """Run experiment ``key`` (or fetch it); returns ``(result, hit)``."""
+    spec = EXPERIMENTS[key]
+    if cache is None:
+        return spec.run(config), False
+    ck = cache_key(key, _result_config(config))
+    payload = cache.get(ck)
+    if payload is not None:
+        print(f"cache hit: {key} (key {ck[:12]})")
+        emitter = telemetry.active_emitter()
+        if emitter is not None:
+            emitter.lifecycle("cache.hit", experiment=key, key=ck)
+        return payload, True
+    result = spec.run(config)
+    cache.put(ck, result, meta={"experiment": key, "config": _result_config(config)})
+    return result, False
+
+
+def _cache_summary(
+    cache: Optional[ResultCache], hits: List[str], misses: List[str]
+) -> Optional[Dict[str, Any]]:
+    if cache is None:
+        return None
+    return {"dir": str(cache.root), "hits": hits, "misses": misses}
 
 
 def _start_telemetry(args: argparse.Namespace) -> None:
@@ -347,7 +454,11 @@ def _start_telemetry(args: argparse.Namespace) -> None:
         )
 
 
-def _finish_telemetry(args: argparse.Namespace, config) -> None:
+def _finish_telemetry(
+    args: argparse.Namespace,
+    config,
+    cache_summary: Optional[Dict[str, Any]] = None,
+) -> None:
     """Uninstall tracer + emitter and emit the requested views of the run."""
     emitter = telemetry.active_emitter()
     if emitter is not None:
@@ -362,7 +473,7 @@ def _finish_telemetry(args: argparse.Namespace, config) -> None:
         print("\n── telemetry: counters " + "─" * 41)
         print(telemetry.render_counters(tracer))
     if args.metrics_out:
-        manifest = _collect_manifest(args, config)
+        manifest = _collect_manifest(args, config, cache_summary)
         path = telemetry.write_metrics(args.metrics_out, tracer, manifest)
         print(f"metrics written to {path}")
 
@@ -390,15 +501,26 @@ def _check_anchors_command(
         source = f"ledger {args.from_ledger} ({len(entries)} entries)"
     else:
         ledger = telemetry.RunLedger(args.ledger) if args.ledger else None
-        manifest = _collect_manifest(args, config) if ledger else None
+        cache = _open_cache(args)
+        hits: List[str] = []
+        misses: List[str] = []
         scalars = {}
+        recorded = []
         for key in telemetry.ANCHOR_EXPERIMENTS:
-            result = EXPERIMENTS[key].run(config)
+            result, hit = _run_experiment(key, config, cache)
+            (hits if hit else misses).append(key)
             experiment_scalars = result.ledger_scalars()
             for name, value in experiment_scalars.items():
                 scalars[f"{key}.{name}"] = value
-            if ledger is not None:
+            recorded.append((key, experiment_scalars))
+        if ledger is not None:
+            manifest = _collect_manifest(
+                args, config, _cache_summary(cache, hits, misses)
+            )
+            for key, experiment_scalars in recorded:
                 ledger.record(key, experiment_scalars, manifest)
+        if cache is not None:
+            print(f"cache: {len(hits)} hit(s), {len(misses)} miss(es) in {cache.root}")
         source = (
             f"fresh run, {config.n_chips} chips x {config.n_ros} ROs, "
             f"seed {config.seed}"
@@ -428,22 +550,25 @@ def main(argv: Optional[list] = None) -> int:
     kwargs: Dict[str, Any] = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
     if getattr(args, "eval_duty", None) is not None:
         kwargs["mission"] = MissionProfile(eval_duty=args.eval_duty)
     config = exp.ExperimentConfig(**kwargs)
 
     _start_telemetry(args)
+    cache_summary: Optional[Dict[str, Any]] = None
 
     try:
         if args.command == "check-anchors":
             return _check_anchors_command(args, config)
 
         ledger = telemetry.RunLedger(args.ledger) if args.ledger else None
-        manifest = _collect_manifest(args, config) if ledger else None
 
         if args.command == "report":
             from .analysis.report import ALL_EXPERIMENTS, generate_report
 
+            manifest = _collect_manifest(args, config) if ledger else None
             selected = args.experiments or list(ALL_EXPERIMENTS)
             unknown = [key for key in selected if key not in EXPERIMENTS]
             if unknown:
@@ -463,15 +588,25 @@ def main(argv: Optional[list] = None) -> int:
         selected = (
             sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         )
+        cache = _open_cache(args)
+        hits: List[str] = []
+        misses: List[str] = []
         chunks = []
+        results = []
         for key in selected:
-            spec = EXPERIMENTS[key]
-            result = spec.run(config)
-            if ledger is not None:
+            result, hit = _run_experiment(key, config, cache)
+            (hits if hit else misses).append(key)
+            results.append((key, result))
+            chunks.append(EXPERIMENTS[key].render(result))
+        cache_summary = _cache_summary(cache, hits, misses)
+        if ledger is not None:
+            manifest = _collect_manifest(args, config, cache_summary)
+            for key, result in results:
                 ledger.record(key, result.ledger_scalars(), manifest)
-            chunks.append(spec.render(result))
         text = "\n\n".join(chunks)
         print(text)
+        if cache is not None:
+            print(f"cache: {len(hits)} hit(s), {len(misses)} miss(es) in {cache.root}")
         if ledger is not None:
             print(f"ledger: {len(selected)} entries appended to {ledger.path}")
         if args.out is not None:
@@ -480,7 +615,7 @@ def main(argv: Optional[list] = None) -> int:
             out_path.write_text(text + "\n")
         return 0
     finally:
-        _finish_telemetry(args, config)
+        _finish_telemetry(args, config, cache_summary)
 
 
 if __name__ == "__main__":

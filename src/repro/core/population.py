@@ -259,6 +259,21 @@ class BatchStudy:
     def n_bits(self) -> int:
         return self.design.n_bits
 
+    # ---- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """No-op, mirroring :class:`repro.parallel.ParallelBatchStudy`.
+
+        The serial engine holds no external resources; exposing the same
+        lifecycle lets call sites ``closing(...)`` either engine.
+        """
+
+    def __enter__(self) -> "BatchStudy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ---- batched evaluation ------------------------------------------
 
     def frequencies(

@@ -1,0 +1,317 @@
+"""Coordinator side: :class:`ParallelBatchStudy` and its factory.
+
+The parallel engine shards a population study across worker processes
+along the chip axis and re-exposes the :class:`BatchStudy` evaluation
+surface the experiment suite uses (``frequencies`` / ``responses`` /
+``n_chips`` / ``n_bits``), so E1/E2/E3/E5 run unchanged on either
+engine.  Design invariants:
+
+* **Determinism for any shard count.**  The coordinator consumes the
+  root RNG exactly like :func:`make_batch_study` (two spawned children,
+  fabrication first) and derives the *full* population's per-chip spawn
+  keys before slicing them into shards; workers replay the serial
+  per-chip draws from those keys.  Responses, frequencies and aging
+  deltas are therefore bit-identical across ``jobs = 1, 2, 4, ...`` —
+  including shard counts that do not divide ``n_chips`` — and identical
+  to the serial engine.
+* **Cheap tasks.**  A task pickles spawn keys plus the (small) design
+  and mission objects, never population tensors; replies carry only the
+  requested result slices.  Workers cache their fabricated shard, so a
+  year sweep ships the keys once and the grid points are near-pure
+  kernel time.
+* **One telemetry stream.**  Workers never write to the parent's tracer
+  or heartbeat file (the pool initializer severs inherited telemetry).
+  Instead each reply carries a counter/span digest; the coordinator
+  folds counters into the parent tracer, attaches one summary span per
+  shard under its ``parallel.evaluate`` span, and emits the merged
+  per-shard progress heartbeats itself as replies arrive.
+
+The coordinator memoises concatenated frequency tensors per
+``(t_years, conditions)`` corner — mirroring :class:`BatchStudy`'s memo —
+so repeated golden-response queries do not re-enter the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .. import telemetry
+from .._rng import RngLike, spawn, spawn_keys
+from ..aging.schedule import IdlePolicy, MissionProfile
+from ..core.base import PufDesign
+from ..core.population import BatchStudy, make_batch_study
+from ..environment.conditions import OperatingConditions
+from ..telemetry.tracer import Span
+from .sharding import ShardSpec, shard_bounds
+from .worker import EvalRequest, ShardReport, evaluate_shard, worker_init
+
+#: distinguishes shard tokens of different studies within one process
+_study_counter = itertools.count()
+
+
+class ParallelBatchStudy:
+    """A population study evaluated by a pool of shard workers.
+
+    Construction is cheap: no silicon is fabricated in the coordinator
+    process, only spawn keys are derived.  The worker pool (and each
+    worker's shard) comes up lazily on the first evaluation call.  Call
+    :meth:`close` (or use the instance as a context manager) to release
+    the pool; the serial :class:`BatchStudy` exposes the same no-op
+    lifecycle so call sites can treat both engines uniformly.
+    """
+
+    #: number of (t_years, conditions) corners kept in the coordinator's
+    #: concatenated-frequency memo (mirrors BatchStudy.MEMO_SIZE)
+    MEMO_SIZE = 32
+
+    def __init__(
+        self,
+        design: PufDesign,
+        n_chips: int,
+        *,
+        mission: Optional[MissionProfile] = None,
+        idle_policy: Optional[IdlePolicy] = None,
+        rng: RngLike = None,
+        jobs: int = 2,
+        mp_context=None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if n_chips < 1:
+            raise ValueError("n_chips must be positive")
+        mission = mission or MissionProfile()
+        # Consume the RNG exactly like make_batch_study / make_study
+        # (fabrication child first, then aging), then derive the whole
+        # population's per-chip keys the way sample_population and
+        # PopulationAging.sample would, so shard workers replay the
+        # serial draws verbatim.
+        fab_rng, aging_rng = spawn(rng, 2)
+        fab_keys = spawn_keys(fab_rng, n_chips)
+        aging_keys = spawn_keys(aging_rng, n_chips)
+        token = f"pid{os.getpid()}-study{next(_study_counter)}"
+        self.design = design
+        self.mission = mission
+        self._specs = [
+            ShardSpec(
+                design=design,
+                mission=mission,
+                idle_policy=idle_policy,
+                chip_start=start,
+                fab_keys=tuple(fab_keys[start:stop]),
+                aging_keys=tuple(aging_keys[start:stop]),
+            )
+            for start, stop in shard_bounds(n_chips, jobs)
+        ]
+        self._tokens = [f"{token}/s{k}" for k in range(len(self._specs))]
+        self._n_chips = n_chips
+        self._mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._freq_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+    # ---- geometry ----------------------------------------------------
+
+    @property
+    def n_chips(self) -> int:
+        return self._n_chips
+
+    @property
+    def n_bits(self) -> int:
+        return self.design.n_bits
+
+    @property
+    def jobs(self) -> int:
+        """Worker count (clamped to ``n_chips`` at construction)."""
+        return len(self._specs)
+
+    # ---- pool lifecycle ----------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=worker_init,
+                mp_context=self._mp_context,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool restarts on use)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelBatchStudy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ---- evaluation --------------------------------------------------
+
+    def _evaluate(self, requests: List[EvalRequest]) -> List[np.ndarray]:
+        """Run ``requests`` on every shard; concatenate in chip-id order.
+
+        Progress heartbeats (one merged ``parallel.shards`` stream) are
+        emitted from this process as replies arrive; each reply's counter
+        and span digest is folded into the parent tracer, so ``--trace``
+        and ``--metrics-out`` see one coherent run.
+        """
+        sp = telemetry.start_span(
+            "parallel.evaluate",
+            jobs=self.jobs,
+            n_chips=self._n_chips,
+            n_requests=len(requests),
+        )
+        try:
+            pool = self._pool()
+            futures = {
+                pool.submit(
+                    evaluate_shard, self._tokens[k], spec, k, requests
+                ): k
+                for k, spec in enumerate(self._specs)
+            }
+            reports: List[Optional[ShardReport]] = [None] * len(self._specs)
+            pending = set(futures)
+            done_chips = 0
+            telemetry.progress("parallel.shards", 0, self._n_chips)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    report = future.result()
+                    reports[futures[future]] = report
+                    done_chips += report.n_chips
+                    telemetry.progress(
+                        "parallel.shards", done_chips, self._n_chips
+                    )
+                    self._fold_report(report)
+            assert all(r is not None for r in reports)
+            return [
+                np.concatenate([r.arrays[i] for r in reports])
+                for i in range(len(requests))
+            ]
+        finally:
+            telemetry.end_span(sp)
+
+    def _fold_report(self, report: ShardReport) -> None:
+        """Merge one worker's telemetry digest into the parent tracer."""
+        telemetry.count("parallel.shards_completed")
+        for name, value in report.counters.items():
+            telemetry.count(name, value)
+        tracer = telemetry.active()
+        if tracer is None:
+            return
+        # Worker spans happened in another process; re-create them as one
+        # summary child per shard with recorded (not re-measured) timings
+        # so the span tree still shows where the workers spent their time.
+        parent = tracer.active_span
+        shard_span = Span(
+            "parallel.shard",
+            {
+                "shard": report.shard_index,
+                "n_chips": report.n_chips,
+                "wall_s": round(report.wall_s, 6),
+            },
+        )
+        shard_span.start_ns = 0
+        shard_span.end_ns = int(report.wall_s * 1e9)
+        for name, (duration_ns, calls) in sorted(report.span_totals.items()):
+            child = Span(name, {"calls": calls})
+            child.start_ns = 0
+            child.end_ns = duration_ns
+            child.parent = shard_span
+            shard_span.children.append(child)
+        if parent is not None:
+            shard_span.parent = parent
+            parent.children.append(shard_span)
+        else:  # pragma: no cover - tracer active but no open span
+            tracer.roots.append(shard_span)
+
+    def frequencies(
+        self,
+        t_years: float = 0.0,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Population frequency tensor, bit-identical to the serial
+        :meth:`BatchStudy.frequencies` under the same root seed.
+
+        Shape ``(n_chips, n_ros)``; memoised read-only per corner.
+        """
+        cond = conditions or OperatingConditions.nominal()
+        key = (float(t_years), cond)
+        cached = self._freq_memo.get(key)
+        if cached is not None:
+            self._freq_memo.move_to_end(key)
+            telemetry.count("parallel.corner_memo_hits")
+            return cached
+        telemetry.count("parallel.corner_memo_misses")
+        freqs = self._evaluate(
+            [EvalRequest("frequencies", float(t_years), cond)]
+        )[0]
+        freqs.flags.writeable = False
+        self._freq_memo[key] = freqs
+        if len(self._freq_memo) > self.MEMO_SIZE:
+            self._freq_memo.popitem(last=False)
+        return freqs
+
+    def responses(
+        self,
+        challenge: Optional[int] = None,
+        t_years: float = 0.0,
+        *,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Golden responses of every chip, shape ``(n_chips, n_bits)``,
+        bit-identical to the serial engine for any worker count."""
+        return self._evaluate(
+            [
+                EvalRequest(
+                    "responses", float(t_years), conditions, challenge
+                )
+            ]
+        )[0]
+
+
+def make_parallel_study(
+    design: PufDesign,
+    n_chips: int,
+    *,
+    mission: Optional[MissionProfile] = None,
+    idle_policy: Optional[IdlePolicy] = None,
+    rng: RngLike = None,
+    jobs: int = 1,
+    mp_context=None,
+) -> Union[BatchStudy, ParallelBatchStudy]:
+    """Drop-in for :func:`make_batch_study` with a ``--jobs`` knob.
+
+    ``jobs <= 1`` returns the serial :class:`BatchStudy` unchanged (no
+    pool, no pickling); ``jobs > 1`` returns a :class:`ParallelBatchStudy`
+    sharded over ``min(jobs, n_chips)`` worker processes.  Either way the
+    same seed produces bit-identical responses, frequencies and deltas.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return make_batch_study(
+            design, n_chips, mission=mission, idle_policy=idle_policy, rng=rng
+        )
+    return ParallelBatchStudy(
+        design,
+        n_chips,
+        mission=mission,
+        idle_policy=idle_policy,
+        rng=rng,
+        jobs=jobs,
+        mp_context=mp_context,
+    )

@@ -1,0 +1,202 @@
+"""Worker-process side of the parallel engine.
+
+Everything in this module runs inside a ``ProcessPoolExecutor`` worker.
+The contract with the coordinator (:mod:`repro.parallel.engine`):
+
+* a task ships a :class:`~repro.parallel.sharding.ShardSpec` (spawn keys
+  and config, never tensors) plus a list of :class:`EvalRequest` items;
+* the worker fabricates its chip shard locally — through exactly the
+  same ``sample_chip`` / prefactor-sampling calls, fed exactly the same
+  child streams, as a serial :func:`make_batch_study` would have used for
+  those chips — and keeps the resulting shard
+  :class:`~repro.core.population.BatchStudy` in a small LRU cache so a
+  year sweep pays fabrication once, not once per grid point;
+* the reply is a :class:`ShardReport`: the requested arrays (chip-axis
+  slices, concatenated coordinator-side in shard order) plus a telemetry
+  digest — counters and per-span wall-time totals from a worker-local
+  tracer — that the coordinator folds into the parent run's stream.
+
+Workers must not inherit the parent's live telemetry: under the ``fork``
+start method the installed tracer/emitter globals (and the emitter's open
+file handle) are copied into the child, and a worker writing heartbeats
+to the coordinator's JSONL file would interleave with the parent's.
+:func:`reset_inherited_telemetry` severs that inheritance in the pool
+initializer (and again, defensively, at the top of every task).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from .._rng import as_generator
+from ..aging.simulator import AgingSimulator, PopulationAging
+from ..core.population import BatchStudy, PopulationView
+from ..environment.conditions import OperatingConditions
+from ..telemetry import events as _events_mod
+from ..telemetry import tracer as _tracer_mod
+from ..variation.chip import ChipPopulation
+from .sharding import ShardSpec
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One batched-evaluation call, in :class:`BatchStudy` vocabulary."""
+
+    kind: str  # "frequencies" | "responses"
+    t_years: float = 0.0
+    conditions: Optional[OperatingConditions] = None
+    challenge: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("frequencies", "responses"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+
+@dataclass
+class ShardReport:
+    """A worker's reply: result slices plus its telemetry digest."""
+
+    shard_index: int
+    n_chips: int
+    arrays: List[np.ndarray]
+    counters: Dict[str, float]
+    span_totals: Dict[str, Tuple[int, int]]  # name -> (duration_ns, calls)
+    wall_s: float
+
+
+def reset_inherited_telemetry() -> None:
+    """Disable any tracer/emitter this process inherited over ``fork``.
+
+    The globals are nulled without calling the uninstall helpers: those
+    close the emitter's file handle, and while closing a forked dup is
+    harmless to the parent, leaving the object untouched is the least
+    surprising behaviour.  The parent flushes after every event line, so
+    no buffered bytes can be replayed from the child either way.
+    """
+    _tracer_mod._active = None
+    _events_mod._emitter = None
+
+
+def worker_init() -> None:
+    """``ProcessPoolExecutor`` initializer for shard workers."""
+    reset_inherited_telemetry()
+
+
+# ---------------------------------------------------------------------------
+# shard fabrication (cached per worker process)
+# ---------------------------------------------------------------------------
+
+#: fabricated shards this worker holds, keyed by the coordinator's shard
+#: token.  Tasks are distributed by the pool, not pinned, so one worker
+#: may see several shards over a study's lifetime; the LRU bound keeps a
+#: long-lived worker from accumulating every shard of every study.
+_SHARD_CACHE: "OrderedDict[str, BatchStudy]" = OrderedDict()
+_SHARD_CACHE_SIZE = 8
+
+
+def fabricate_shard(spec: ShardSpec) -> BatchStudy:
+    """Build the shard's :class:`BatchStudy` from its spawn keys.
+
+    Per chip this performs the identical draws, in the identical order,
+    as the serial path: ``sample_chip`` on the chip's fabrication stream,
+    then NBTI-before-HCI prefactor sampling on its aging stream (via
+    :meth:`PopulationAging.sample` with pre-derived children).  Responses
+    and deltas of the shard rows are therefore bit-identical to the same
+    rows of a whole-population study under the same root seed.
+    """
+    design, mission = spec.design, spec.mission
+    model = design.variation_model()
+    with telemetry.span(
+        "parallel.fabricate_shard",
+        chip_start=spec.chip_start,
+        n_chips=spec.n_chips,
+    ):
+        chips = [
+            model.sample_chip(as_generator(key), chip_id=cid)
+            for key, cid in zip(spec.fab_keys, spec.chip_ids)
+        ]
+        population = ChipPopulation(chips=chips)
+        simulator = AgingSimulator(
+            design.tech, design.cell, mission, idle_policy=spec.idle_policy
+        )
+        aging = PopulationAging.sample(
+            simulator,
+            population,
+            children=[as_generator(key) for key in spec.aging_keys],
+        )
+        return BatchStudy(
+            design=design,
+            view=PopulationView.from_chips(population),
+            aging=aging,
+            mission=mission,
+        )
+
+
+def _cached_shard(token: str, spec: ShardSpec) -> BatchStudy:
+    shard = _SHARD_CACHE.get(token)
+    if shard is not None:
+        _SHARD_CACHE.move_to_end(token)
+        telemetry.count("parallel.shard_cache_hits")
+        return shard
+    telemetry.count("parallel.shard_cache_misses")
+    shard = fabricate_shard(spec)
+    _SHARD_CACHE[token] = shard
+    if len(_SHARD_CACHE) > _SHARD_CACHE_SIZE:
+        _SHARD_CACHE.popitem(last=False)
+    return shard
+
+
+def _span_totals(tracer: telemetry.Tracer) -> Dict[str, Tuple[int, int]]:
+    """Wall-time totals by span name over the worker's whole span forest."""
+    totals: Dict[str, Tuple[int, int]] = {}
+    stack = list(tracer.roots)
+    while stack:
+        span = stack.pop()
+        duration, calls = totals.get(span.name, (0, 0))
+        totals[span.name] = (duration + span.duration_ns, calls + 1)
+        stack.extend(span.children)
+    return totals
+
+
+def evaluate_shard(
+    token: str,
+    spec: ShardSpec,
+    shard_index: int,
+    requests: List[EvalRequest],
+) -> ShardReport:
+    """Entry point of one pool task: fabricate (or reuse) and evaluate.
+
+    Runs every request through the shard's :class:`BatchStudy` under a
+    worker-local tracer, so the report can carry the work done (kernel
+    counters, span totals) back to the coordinator without any shared
+    state between processes.
+    """
+    reset_inherited_telemetry()
+    t0 = time.perf_counter()
+    with telemetry.session() as tracer:
+        shard = _cached_shard(token, spec)
+        arrays: List[np.ndarray] = []
+        for req in requests:
+            if req.kind == "frequencies":
+                out = shard.frequencies(req.t_years, req.conditions)
+            else:
+                out = shard.responses(
+                    req.challenge, req.t_years, conditions=req.conditions
+                )
+            arrays.append(out)
+        span_totals = _span_totals(tracer)
+        counters = dict(tracer.counters)
+    return ShardReport(
+        shard_index=shard_index,
+        n_chips=spec.n_chips,
+        arrays=arrays,
+        counters=counters,
+        span_totals=span_totals,
+        wall_s=time.perf_counter() - t0,
+    )

@@ -53,6 +53,12 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "python_version": {"type": "string"},
         "platform": {"type": "string"},
         "argv": {"type": "array"},
+        # optional how-it-ran fields (absent on older manifests): worker
+        # count and result-cache usage.  Deliberately OUTSIDE "config" so
+        # the ledger's config digest — which keys comparable measurements
+        # — is unchanged by parallelism or caching.
+        "jobs": {"type": ["integer", "null"]},
+        "cache": {"type": ["object", "null"]},
     },
 }
 
@@ -117,6 +123,11 @@ class RunManifest:
     python_version: str = ""
     platform: str = ""
     argv: list = field(default_factory=list)
+    #: worker-process count the run used (None = not recorded / serial)
+    jobs: Optional[int] = None
+    #: result-cache usage summary ({"dir": ..., "hits": [...], "misses":
+    #: [...]}), or None when no cache directory was given
+    cache: Optional[Dict[str, Any]] = None
 
     @classmethod
     def collect(
@@ -124,6 +135,8 @@ class RunManifest:
         seed: Optional[int] = None,
         config: Optional[Dict[str, Any]] = None,
         argv: Optional[list] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Capture the current process's provenance tuple.
 
@@ -148,6 +161,8 @@ class RunManifest:
             python_version=sys.version.split()[0],
             platform=platform.platform(),
             argv=list(sys.argv if argv is None else argv),
+            jobs=None if jobs is None else int(jobs),
+            cache=None if cache is None else dict(cache),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -160,7 +175,11 @@ class RunManifest:
     def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
         """Rebuild a manifest from its :meth:`to_dict` form (validated)."""
         validate_manifest(data)
-        return cls(**{k: data[k] for k in MANIFEST_SCHEMA["required"]})
+        kwargs = {k: data[k] for k in MANIFEST_SCHEMA["required"]}
+        for key in ("jobs", "cache"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
 
 
 def validate_manifest(data: Any) -> None:

@@ -330,3 +330,107 @@ class TestCheckAnchors:
         )
         entries = RunLedger(ledger).entries()
         assert [e.experiment for e in entries] == list(ANCHOR_EXPERIMENTS)
+
+
+class TestParallelAndCache:
+    """The --jobs and --cache execution flags."""
+
+    SCALE = ["--chips", "5", "--ros", "16", "--seed", "3"]
+
+    def test_jobs_output_identical_to_serial(self, capsys):
+        assert main(["run", "e3", *self.SCALE]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "e3", *self.SCALE, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_zero_rejected_helpfully(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "e3", *self.SCALE, "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_jobs_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "e3", *self.SCALE, "--jobs", "two"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_jobs_recorded_in_manifest(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        main(["run", "e3", *self.SCALE, "--jobs", "2", "--metrics-out", str(out)])
+        manifest = json.loads(out.read_text())["manifest"]
+        assert manifest["jobs"] == 2
+        assert manifest["cache"] is None
+        # jobs must NOT leak into the ledger-digested config
+        assert "jobs" not in manifest["config"]
+
+    def test_cache_two_pass_hits_and_scalars_identical(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+        argv = ["run", "e3", *self.SCALE, "--cache", str(cache_dir),
+                "--ledger", str(ledger)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hit" not in first
+        assert "0 hit(s), 1 miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hit: e3" in second
+        assert "1 hit(s), 0 miss(es)" in second
+        entries = [json.loads(l) for l in ledger.read_text().splitlines()]
+        assert len(entries) == 2
+        assert entries[0]["scalars"] == entries[1]["scalars"]
+
+    def test_cache_summary_in_manifest(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "e3", *self.SCALE, "--cache", str(cache_dir)]
+        m1, m2 = tmp_path / "m1.json", tmp_path / "m2.json"
+        main([*argv, "--metrics-out", str(m1)])
+        main([*argv, "--metrics-out", str(m2)])
+        capsys.readouterr()
+        first = json.loads(m1.read_text())["manifest"]["cache"]
+        second = json.loads(m2.read_text())["manifest"]["cache"]
+        assert first == {"dir": str(cache_dir), "hits": [], "misses": ["e3"]}
+        assert second == {"dir": str(cache_dir), "hits": ["e3"], "misses": []}
+
+    def test_cache_hit_faithful_tables(self, tmp_path, capsys):
+        """A hit renders the same table text the computing pass printed."""
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "e3", *self.SCALE, "--cache", str(cache_dir)]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        table = first.split("\ncache:")[0]
+        assert table in second
+
+    def test_corrupted_cache_recomputes_with_warning(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "e3", *self.SCALE, "--cache", str(cache_dir)]
+        main(argv)
+        capsys.readouterr()
+        for pkl in cache_dir.glob("*.pkl"):
+            pkl.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="unusable"):
+            assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" not in out
+        assert "inter-chip Hamming distance" in out
+
+    def test_check_anchors_supports_cache(self, tmp_path, capsys):
+        from repro.telemetry import ANCHOR_EXPERIMENTS
+
+        cache_dir = tmp_path / "cache"
+        argv = ["check-anchors", "--chips", "3", "--ros", "16",
+                "--cache", str(cache_dir)]
+        main(argv)
+        capsys.readouterr()
+        main(argv)
+        out = capsys.readouterr().out
+        for key in ANCHOR_EXPERIMENTS:
+            assert f"cache hit: {key}" in out

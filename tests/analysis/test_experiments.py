@@ -147,3 +147,30 @@ class TestLayoutAblation:
         labels = [label for label, _ in res.pairing_rows]
         assert "ro-puf / neighbour" in labels
         assert "aro-puf / distant" in labels
+
+
+class TestJobsDispatch:
+    """``ExperimentConfig.jobs`` routes to the parallel engine without
+    changing any experiment's numbers."""
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ExperimentConfig(n_chips=4, n_ros=16, jobs=0)
+
+    def test_jobs_excluded_from_results(self, config):
+        parallel = ExperimentConfig(n_chips=6, n_ros=32, seed=7, jobs=2)
+        serial = aging_bitflips(config, years=YEARS)
+        sharded = aging_bitflips(parallel, years=YEARS)
+        for name, series in serial.series.items():
+            assert series.y == sharded.series[name].y
+
+    def test_batch_study_for_dispatches(self, config):
+        from repro import aro_design
+        from repro.parallel import ParallelBatchStudy
+
+        design = aro_design(n_ros=32)
+        parallel = ExperimentConfig(n_chips=6, n_ros=32, seed=7, jobs=2)
+        with parallel.batch_study_for(design) as study:
+            assert isinstance(study, ParallelBatchStudy)
+        with config.batch_study_for(design) as study:
+            assert not isinstance(study, ParallelBatchStudy)

@@ -1,0 +1,1 @@
+"""Tests for the chip-sharded parallel engine and result cache."""

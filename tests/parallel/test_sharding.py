@@ -1,0 +1,85 @@
+"""shard_bounds and ShardSpec: the deterministic work decomposition."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import aro_design
+from repro.aging.schedule import MissionProfile
+from repro.parallel import ShardSpec, shard_bounds
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loaded(self):
+        assert shard_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_single_shard(self):
+        assert shard_bounds(5, 1) == [(0, 5)]
+
+    def test_more_shards_than_items_clamps(self):
+        """No empty shards: 3 chips over 8 workers is 3 shards of 1."""
+        assert shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            shard_bounds(0, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+
+    @given(n=st.integers(1, 500), shards=st.integers(1, 64))
+    def test_partition_properties(self, n, shards):
+        """Any (n, shards): contiguous, ordered, balanced, exhaustive."""
+        bounds = shard_bounds(n, shards)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        # contiguity and order
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in bounds]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+        assert len(bounds) == min(shards, n)
+
+
+class TestShardSpec:
+    def _spec(self, **overrides):
+        kwargs = dict(
+            design=aro_design(n_ros=8, n_stages=3),
+            mission=MissionProfile(),
+            idle_policy=None,
+            chip_start=4,
+            fab_keys=(11, 22, 33),
+            aging_keys=(44, 55, 66),
+        )
+        kwargs.update(overrides)
+        return ShardSpec(**kwargs)
+
+    def test_geometry(self):
+        spec = self._spec()
+        assert spec.n_chips == 3
+        assert list(spec.chip_ids) == [4, 5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one chip"):
+            self._spec(fab_keys=(), aging_keys=())
+        with pytest.raises(ValueError, match="keys"):
+            self._spec(aging_keys=(1, 2))
+        with pytest.raises(ValueError, match="chip_start"):
+            self._spec(chip_start=-1)
+
+    def test_pickle_round_trip_is_small(self):
+        """The task payload the pool ships must stay in the kilobytes."""
+        spec = self._spec(design=aro_design(n_ros=256, n_stages=5))
+        blob = pickle.dumps(spec)
+        assert len(blob) < 32_000
+        clone = pickle.loads(blob)
+        assert clone.fab_keys == spec.fab_keys
+        assert clone.chip_start == spec.chip_start

@@ -152,3 +152,54 @@ class TestValidation:
         assert set(MANIFEST_SCHEMA["required"]) <= set(
             MANIFEST_SCHEMA["properties"]
         )
+
+
+class TestExecutionFields:
+    """The optional jobs / cache fields added by the parallel-engine PR."""
+
+    def test_default_none(self, manifest):
+        assert manifest.jobs is None
+        assert manifest.cache is None
+
+    def test_collect_records_jobs_and_cache(self):
+        summary = {"dir": "/tmp/c", "hits": ["e2"], "misses": []}
+        m = RunManifest.collect(seed=1, jobs=4, cache=summary)
+        assert m.jobs == 4
+        assert m.cache == summary
+
+    def test_jobs_outside_config(self):
+        """jobs/cache must not contaminate the ledger-digested config."""
+        m = RunManifest.collect(seed=1, config={"n_chips": 4}, jobs=2)
+        assert "jobs" not in m.config
+        assert m.to_dict()["jobs"] == 2
+
+    def test_round_trip_preserves_execution_fields(self):
+        m = RunManifest.collect(
+            seed=1, jobs=2, cache={"dir": "/c", "hits": [], "misses": ["e1"]}
+        )
+        clone = RunManifest.from_dict(json.loads(m.to_json()))
+        assert clone.jobs == 2
+        assert clone.cache == m.cache
+
+    def test_old_manifest_dict_still_loads(self, manifest):
+        """Pre-PR payloads (no jobs/cache keys) remain valid."""
+        data = manifest.to_dict()
+        del data["jobs"]
+        del data["cache"]
+        validate_manifest(data)
+        clone = RunManifest.from_dict(data)
+        assert clone.jobs is None and clone.cache is None
+
+    def test_schema_rejects_wrong_types(self, manifest):
+        data = manifest.to_dict()
+        data["jobs"] = "four"
+        with pytest.raises(ValueError, match="jobs"):
+            validate_manifest(data)
+        data = manifest.to_dict()
+        data["cache"] = ["not", "an", "object"]
+        with pytest.raises(ValueError, match="cache"):
+            validate_manifest(data)
+
+    def test_execution_fields_optional_in_schema(self):
+        assert "jobs" not in MANIFEST_SCHEMA["required"]
+        assert "cache" not in MANIFEST_SCHEMA["required"]

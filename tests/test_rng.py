@@ -1,0 +1,75 @@
+"""The RNG spawning contract: stability, independence, consumption.
+
+``spawn_keys`` is the reproducibility bedrock of the parallel engine —
+the coordinator ships these keys to worker processes and promises the
+workers fabricate exactly the silicon a serial run would.  These tests
+pin the documented guarantees so any accidental change to the derivation
+fails loudly instead of silently invalidating every recorded seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import DEFAULT_SEED, as_generator, spawn, spawn_keys
+
+
+class TestSpawnKeys:
+    def test_stable_across_calls(self):
+        """Same parent state + same n -> the same key list, always."""
+        assert spawn_keys(123, 16) == spawn_keys(123, 16)
+        assert spawn_keys(None, 4) == spawn_keys(DEFAULT_SEED, 4)
+
+    def test_plain_ints_in_range(self):
+        keys = spawn_keys(7, 64)
+        assert all(type(k) is int for k in keys)
+        assert all(0 <= k < 2**63 - 1 for k in keys)
+
+    def test_spawn_matches_keys(self):
+        """spawn(rng, n)[i] is stream-identical to default_rng(keys[i])."""
+        keys = spawn_keys(99, 8)
+        children = spawn(99, 8)
+        for key, child in zip(keys, children):
+            expected = np.random.default_rng(key).random(32)
+            assert np.array_equal(child.random(32), expected)
+
+    def test_parent_consumed_exactly_one_draw(self):
+        """The parent advances by one size-n integers draw, no more."""
+        a = as_generator(5)
+        spawn_keys(a, 10)
+        b = as_generator(5)
+        b.integers(0, 2**63 - 1, size=10, dtype=np.int64)
+        assert np.array_equal(a.random(16), b.random(16))
+
+    def test_successive_calls_disjoint(self):
+        """Two calls on one live parent give two unrelated key lists."""
+        gen = as_generator(42)
+        first = spawn_keys(gen, 20)
+        second = spawn_keys(gen, 20)
+        assert not set(first) & set(second)
+
+    def test_independence_of_child_streams(self):
+        """Child streams are statistically unrelated (no pairwise
+        correlation among a population's fabrication draws)."""
+        children = spawn(2024, 32)
+        draws = np.array([c.random(256) for c in children])
+        corr = np.corrcoef(draws)
+        off_diag = corr[~np.eye(len(children), dtype=bool)]
+        assert np.abs(off_diag).max() < 0.25
+
+    def test_zero_and_negative_n(self):
+        assert spawn_keys(1, 0) == []
+        assert spawn(1, 0) == []
+        with pytest.raises(ValueError):
+            spawn_keys(1, -1)
+
+    def test_slicing_equals_serial_children(self):
+        """The parallel engine's core move: derive all keys once, slice,
+        and get the same streams the serial spawn produced."""
+        n = 13
+        serial = spawn(777, n)
+        keys = spawn_keys(777, n)
+        for start, stop in ((0, 5), (5, 9), (9, 13)):
+            for key, child in zip(keys[start:stop], serial[start:stop]):
+                assert np.array_equal(
+                    np.random.default_rng(key).random(8), child.random(8)
+                )

@@ -74,3 +74,70 @@ class TestMain:
         broken.write_text(json.dumps(payload))
         assert validate_metrics.main([str(broken)]) == 1
         assert "seed" in capsys.readouterr().err
+
+
+class TestExecutionFields:
+    """The optional manifest jobs / cache fields (parallel + cache PR)."""
+
+    @pytest.fixture
+    def payload(self, metrics_file):
+        return json.loads(metrics_file.read_text())
+
+    def test_jobs_and_cache_accepted(self, payload):
+        payload["manifest"]["jobs"] = 4
+        payload["manifest"]["cache"] = {
+            "dir": "/tmp/cache",
+            "hits": ["e2"],
+            "misses": ["e3"],
+        }
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_absent_fields_accepted(self, payload):
+        """Older manifests without jobs/cache stay valid."""
+        payload["manifest"].pop("jobs", None)
+        payload["manifest"].pop("cache", None)
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_non_positive_jobs_flagged(self, payload):
+        payload["manifest"]["jobs"] = 0
+        assert any(
+            "jobs" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_wrong_type_jobs_flagged(self, payload):
+        payload["manifest"]["jobs"] = "four"
+        assert any(
+            "jobs" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_cache_missing_dir_flagged(self, payload):
+        payload["manifest"]["cache"] = {"hits": [], "misses": []}
+        assert any(
+            "dir" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_cache_bad_hit_list_flagged(self, payload):
+        payload["manifest"]["cache"] = {
+            "dir": "/tmp/c",
+            "hits": [1, 2],
+            "misses": [],
+        }
+        assert any(
+            "hits" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_cli_artefact_with_cache_validates(self, tmp_path, capsys):
+        """End to end: a real --cache --jobs artefact passes the tool."""
+        out = tmp_path / "m.json"
+        code = cli_main(
+            [
+                "run", "e3", "--chips", "4", "--ros", "16", "--jobs", "2",
+                "--cache", str(tmp_path / "cache"), "--metrics-out", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert validate_metrics.main([str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "jobs=2" in report
+        assert "0 hit(s) / 1 miss(es)" in report

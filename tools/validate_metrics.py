@@ -72,6 +72,36 @@ def validate_payload(payload) -> list:
             validate_manifest(payload["manifest"])
         except ValueError as exc:
             problems.append(str(exc))
+        else:
+            problems.extend(_check_execution_fields(payload["manifest"]))
+    return problems
+
+
+def _check_execution_fields(manifest) -> list:
+    """Shape checks for the optional ``jobs`` / ``cache`` manifest fields.
+
+    ``validate_manifest`` only type-checks them (integer-or-null /
+    object-or-null); this enforces the semantics the parallel engine and
+    result cache promise: a recorded worker count is positive, and a
+    cache summary names its directory and lists hit/miss experiment ids.
+    """
+    problems = []
+    jobs = manifest.get("jobs")
+    if jobs is not None and jobs < 1:
+        problems.append(f"manifest 'jobs' must be >= 1 when set, got {jobs}")
+    cache = manifest.get("cache")
+    if cache is not None:
+        if not isinstance(cache.get("dir"), str) or not cache["dir"]:
+            problems.append("manifest cache summary has no 'dir' string")
+        for field in ("hits", "misses"):
+            ids = cache.get(field)
+            if not isinstance(ids, list) or not all(
+                isinstance(x, str) for x in ids
+            ):
+                problems.append(
+                    f"manifest cache summary field {field!r} must be a "
+                    "list of experiment id strings"
+                )
     return problems
 
 
@@ -97,10 +127,18 @@ def main(argv=None) -> int:
             print(f"invalid: {problem}", file=sys.stderr)
         return 1
     counters = payload.get("counters") or {}
+    manifest = payload["manifest"]
+    execution = f"jobs={manifest.get('jobs')}"
+    cache = manifest.get("cache")
+    if cache is not None:
+        execution += (
+            f", cache {len(cache.get('hits', []))} hit(s) / "
+            f"{len(cache.get('misses', []))} miss(es)"
+        )
     print(
         f"ok: {args.path} — {len(payload.get('spans', []))} root span(s), "
         f"{len(counters)} counter(s), manifest valid "
-        f"(git {str(payload['manifest'].get('git_sha'))[:8]})"
+        f"(git {str(manifest.get('git_sha'))[:8]}, {execution})"
     )
     return 0
 
