@@ -203,6 +203,102 @@ class TestTelemetryOverhead:
             f"ceiling is {self.EVENTS_OVERHEAD_CEILING:.0%}"
         )
 
+    #: forensics disabled-path budget: with no collector installed, the
+    #: margin hook in ``responses()`` must cost < 2 % of the E2 sweep
+    #: beyond a bare no-op call — it is one module-slot read and one
+    #: branch, and must stay that way
+    FORENSICS_DISABLED_CEILING = 0.02
+
+    #: live capture does real work (one relative-margin evaluation per
+    #: responses() call); generous bound like the tracer's
+    FORENSICS_ENABLED_CEILING = 0.25
+
+    def test_forensics_disabled_path_overhead(self, monkeypatch):
+        """The uninstalled margin hook adds < 2 % to the E2 batched sweep.
+
+        Baseline replaces the hook with an empty function, so the
+        measured difference is exactly what the real disabled path does
+        beyond being called: read the collector slot, branch, return.
+        If the disabled path ever starts computing margins before
+        checking the slot, this gate catches it.
+        """
+        import repro.core.population as pop
+
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+
+        t_hooked = best_of(lambda: _sweep_batched(batch, years), rounds=25)
+        with monkeypatch.context() as m:
+            m.setattr(pop, "record_response_margins", lambda *a, **k: None)
+            t_stubbed = best_of(
+                lambda: _sweep_batched(batch, years), rounds=25
+            )
+        overhead = t_hooked / t_stubbed - 1.0
+        emit(
+            "forensics_disabled_overhead",
+            f"E2 batched sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  hook stubbed out: {t_stubbed * 1e3:8.2f} ms\n"
+            f"  hook disabled   : {t_hooked * 1e3:8.2f} ms\n"
+            f"  overhead        : {100.0 * overhead:8.2f} %",
+            values={
+                "stubbed_s": t_stubbed,
+                "hooked_s": t_hooked,
+                "disabled_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.FORENSICS_DISABLED_CEILING, (
+            f"disabled margin hook costs {overhead:+.1%} over a no-op stub "
+            f"({t_hooked * 1e3:.2f} ms vs {t_stubbed * 1e3:.2f} ms); "
+            f"ceiling is {self.FORENSICS_DISABLED_CEILING:.0%}"
+        )
+
+    def test_forensics_collector_overhead(self):
+        """Live margin capture stays within the tracer-class budget.
+
+        Also asserts the sweep is bit-identical with and without the
+        collector: capture only *reads* the frequency tensors the
+        response path already produced.
+        """
+        from repro.forensics import MarginCollector, collector_session
+
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+
+        baseline = _sweep_batched(batch, years)
+        t_disabled = best_of(lambda: _sweep_batched(batch, years), rounds=15)
+        with collector_session(MarginCollector()) as collector:
+            captured = _sweep_batched(batch, years)
+            t_enabled = best_of(
+                lambda: _sweep_batched(batch, years), rounds=15
+            )
+            n_corners = len(collector)
+        assert np.array_equal(baseline[0], captured[0])
+        for a, b in zip(baseline[1], captured[1]):
+            assert np.array_equal(a.per_chip, b.per_chip)
+        overhead = t_enabled / t_disabled - 1.0
+        emit(
+            "forensics_overhead",
+            f"E2 batched sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  collector absent   : {t_disabled * 1e3:8.2f} ms\n"
+            f"  collector installed: {t_enabled * 1e3:8.2f} ms\n"
+            f"  overhead           : {100.0 * overhead:8.2f} %  "
+            f"({n_corners} corner(s) on tape)",
+            values={
+                "disabled_s": t_disabled,
+                "enabled_s": t_enabled,
+                "enabled_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.FORENSICS_ENABLED_CEILING, (
+            f"collector-enabled sweep costs {overhead:+.1%} over disabled "
+            f"({t_enabled * 1e3:.2f} ms vs {t_disabled * 1e3:.2f} ms); "
+            f"ceiling is {self.FORENSICS_ENABLED_CEILING:.0%}"
+        )
+
     def test_events_bounded_count(self, tmp_path):
         """Even unthrottled in time, the lifetime cap bounds the file."""
         design = aro_design()

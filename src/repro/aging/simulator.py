@@ -411,6 +411,33 @@ class PopulationAging:
         telemetry.end_span(sp)
         return out
 
+    def delta_components(self, t_years: float) -> tuple:
+        """Per-mechanism split of :meth:`delta`: ``(bti, hci)`` fields.
+
+        Each has the population tensor shape ``(n_chips, n_ros, n_stages,
+        2)``.  The grouping, clip decisions and final add mirror
+        :meth:`delta_into` operation for operation, so ``bti + hci`` is
+        *bit-identical* to ``delta(t_years)`` — the forensics layer relies
+        on that to attribute a margin shift to NBTI/PBTI vs HCI without
+        introducing a reconciliation residual of its own.  Not memoised:
+        attribution calls this once per report, never in a sweep loop.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        t = float(t_years)
+        telemetry.count("aging.mechanism_splits")
+        pow_bti = np.power(self._duty * t, self.tech.nbti.n)
+        pow_hci = np.power(
+            (self._tpy * t) / self.tech.hci.ref_transitions, self.tech.hci.m
+        )
+        bti = self._bti_coeff * pow_bti
+        if (self._bti_max * pow_bti[0, 0] > self.tech.nbti.max_shift).any():
+            np.minimum(bti, self.tech.nbti.max_shift, out=bti)
+        hci_part = self._hci_coeff * pow_hci
+        if (self._hci_max * pow_hci[0, 0] > self.tech.hci.max_shift).any():
+            np.minimum(hci_part, self.tech.hci.max_shift, out=hci_part)
+        return bti, hci_part
+
     def cached_delta(self, t_years: float) -> Optional[np.ndarray]:
         """The memoised delta for ``t_years`` if one exists, else None."""
         return self._memo.get(float(t_years))

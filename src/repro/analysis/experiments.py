@@ -31,6 +31,13 @@ from ..core.readout import compare_pairs, voted_response
 from ..core.ro_puf import conventional_design
 from ..core.selection import select_stable_pairs, selection_margins
 from ..environment.conditions import OperatingConditions, celsius
+from ..forensics.capture import (
+    DEFAULT_FORENSICS_YEARS,
+    DEFAULT_HORIZON,
+    DesignForensics,
+    capture_forensics,
+)
+from ..forensics.forecast import K_DEFAULT
 from ..keygen.design import KeygenDesignPoint, search_design_space
 from ..metrics.aliasing import AliasingReport, bit_aliasing
 from ..metrics.randomness import RandomnessReport, population_bits, randomness_battery
@@ -977,3 +984,77 @@ def stage_ablation(
                 )
             )
     return StageAblationResult(rows=rows, t_years=t_years)
+
+
+# ----------------------------------------------------------------------
+# E13 — margin forensics (per-bit provenance of the 32 % / 7.7 % story)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MarginForensicsResult:
+    """E13: per-bit margin provenance for both designs.
+
+    Carries the full :class:`~repro.forensics.DesignForensics` records
+    (margins per year, mechanism-attributed shifts, forecast masks); the
+    ledger sees the headline distribution and forecast-quality scalars.
+    """
+
+    reports: Dict[str, DesignForensics]
+    t_horizon: float
+    k: float
+
+    def ledger_scalars(self) -> Dict[str, float]:
+        """E13 headline scalars: margin percentiles + forecast quality.
+
+        ``<design>.forecast_recall`` is the anchors layer's warn-band
+        metric (recall >= 0.8 of actual 10-year flips); ``flipped_pct``
+        must agree with E2's 10-year flip figures — same seed, same
+        silicon — which ties the forensics view back to the headline
+        experiment.
+        """
+        out: Dict[str, float] = {}
+        for name, rep in self.reports.items():
+            fresh = rep.summary(0.0)
+            out[f"{name}.margin_p5_pct"] = 100.0 * fresh.percentile(5)
+            out[f"{name}.margin_p50_pct"] = 100.0 * fresh.percentile(50)
+            out[f"{name}.drift_rms_pct"] = 100.0 * rep.forecast.drift_scale
+            out[f"{name}.at_risk_pct"] = 100.0 * rep.forecast.at_risk_fraction
+            out[f"{name}.flipped_pct"] = 100.0 * rep.flipped_fraction
+            out[f"{name}.forecast_recall"] = rep.outcome.recall
+            out[f"{name}.forecast_precision"] = rep.outcome.precision
+        return out
+
+
+@_staged("experiment.e13")
+def margin_forensics(
+    config: Optional[ExperimentConfig] = None,
+    years: Sequence[float] = DEFAULT_FORENSICS_YEARS,
+    t_horizon: float = DEFAULT_HORIZON,
+    k: float = K_DEFAULT,
+) -> MarginForensicsResult:
+    """E13: which bits flip, and which mechanism ate their margins?
+
+    Runs both designs through the forensics capture: signed comparison
+    margins per (chip, bit, year), NBTI-vs-HCI attribution of the margin
+    shift at the horizon, and the enrolment-time at-risk forecast scored
+    against the actual flips.  The paper's population-average claim
+    (32 % vs 7.7 % at 10 years) decomposes here into *which* comparisons
+    started life on a knife edge and whose margin the stress policy
+    preserved.  (ISSUE 5 numbered this experiment E9; E9 was already the
+    masking ablation, so the registry continues at E13.)
+    """
+    config = config or ExperimentConfig()
+    reports: Dict[str, DesignForensics] = {}
+    for name, design in config.designs().items():
+        with closing(config.batch_study_for(design)) as study:
+            reports[name] = capture_forensics(
+                study,
+                design_label=name,
+                years=years,
+                t_horizon=t_horizon,
+                k=k,
+            )
+    return MarginForensicsResult(
+        reports=reports, t_horizon=float(t_horizon), k=float(k)
+    )

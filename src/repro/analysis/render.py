@@ -387,3 +387,19 @@ def render_e12(res) -> str:
             "buys lower frequency at linear area"
         ),
     )
+
+
+def render_e13(res) -> str:
+    """Render margin forensics (E13): summary plus worst-margin exemplars.
+
+    Delegates to :mod:`repro.forensics.report` (imported lazily there to
+    keep the forensics package clear of the analysis layer at import
+    time) and appends chip 0's thinnest-margin bit table per design.
+    """
+    from ..forensics.report import render_bit_table, render_forensics_summary
+
+    parts = [render_forensics_summary(res.reports)]
+    for rep in res.reports.values():
+        parts.append("")
+        parts.append(render_bit_table(rep, chip=0, top=8))
+    return "\n".join(parts)

@@ -30,6 +30,7 @@ ALL_EXPERIMENTS = (
     "e10",
     "e11",
     "e12",
+    "e13",
 )
 
 

@@ -13,6 +13,15 @@ Usage::
     python -m repro.cli run all --cache runs/cache
     python -m repro.cli history --ledger runs/ledger.jsonl
     python -m repro.cli check-anchors --chips 25 --ros 128
+    python -m repro.cli explain --chip 3 --top 16
+    python -m repro.cli explain --json explain.json --heatmap margins.ppm
+
+``explain`` runs the margin-forensics capture (experiment E13's
+machinery) and prints per-design margin summaries plus a per-chip
+thinnest-margins bit table: fresh vs aged signed margins, the NBTI/HCI
+split of each shift, and whether the enrolment-time forecast called the
+bit.  ``--json`` writes the schema-checked payload, ``--heatmap`` a
+chips-by-bits oriented-margin PPM (blue = holding, red = flipped).
 
 ``run`` executes the experiment(s) at the requested Monte-Carlo scale and
 prints the same paper-style tables the benchmark harness produces (the
@@ -146,6 +155,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         exp.stage_ablation,
         render.render_e12,
         "extension: ring-length design-choice study",
+    ),
+    "e13": ExperimentSpec(
+        exp.margin_forensics,
+        render.render_e13,
+        "forensics: per-bit margins, NBTI/HCI attribution, at-risk forecast",
     ),
 }
 
@@ -341,6 +355,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache for the anchor experiments "
         "(same semantics as 'run --cache')",
     )
+
+    explain = sub.add_parser(
+        "explain",
+        help="per-bit margin forensics: capture, attribute, forecast",
+        parents=[telemetry_args],
+    )
+    _add_scale_args(explain)
+    explain.add_argument(
+        "--design",
+        choices=["ro-puf", "aro-puf", "both"],
+        default="both",
+        help="which design to explain (default both)",
+    )
+    explain.add_argument(
+        "--chip",
+        type=int,
+        default=0,
+        help="chip index for the per-bit table (default 0)",
+    )
+    explain.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="bits to show, thinnest fresh margins first (default 12)",
+    )
+    explain.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="YEARS",
+        help="forecast horizon in years (default: the paper's 10)",
+    )
+    explain.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable forensics payload to PATH",
+    )
+    explain.add_argument(
+        "--heatmap",
+        metavar="PATH",
+        default=None,
+        help="write a chips-by-bits oriented-margin heatmap (binary PPM); "
+        "with --design both the design name is suffixed onto PATH",
+    )
     return parser
 
 
@@ -447,11 +506,18 @@ def _start_telemetry(args: argparse.Namespace) -> None:
         emitter = telemetry.install_emitter(
             telemetry.ProgressEmitter(args.events)
         )
-        emitter.lifecycle(
-            "run.start",
-            command=args.command,
-            experiment=getattr(args, "experiment", None),
-        )
+        # a raising first heartbeat (unwritable path, closed pipe) must
+        # not leave the emitter installed: main() only reaches its
+        # finally-cleanup after _start_telemetry returns
+        try:
+            emitter.lifecycle(
+                "run.start",
+                command=args.command,
+                experiment=getattr(args, "experiment", None),
+            )
+        except BaseException:
+            telemetry.uninstall_emitter()
+            raise
 
 
 def _finish_telemetry(
@@ -462,8 +528,12 @@ def _finish_telemetry(
     """Uninstall tracer + emitter and emit the requested views of the run."""
     emitter = telemetry.active_emitter()
     if emitter is not None:
-        emitter.lifecycle("run.end", n_events=emitter.n_events + 1)
-        telemetry.uninstall_emitter()
+        # uninstall even if the final lifecycle write raises (disk full,
+        # closed pipe): a stuck emitter would poison every later install
+        try:
+            emitter.lifecycle("run.end", n_events=emitter.n_events + 1)
+        finally:
+            telemetry.uninstall_emitter()
     tracer = telemetry.uninstall()
     if tracer is None:
         return
@@ -535,6 +605,75 @@ def _check_anchors_command(
     return 1 if worst == "fail" else 0
 
 
+def _explain_command(
+    args: argparse.Namespace, config: exp.ExperimentConfig
+) -> int:
+    """Run the forensics capture and render/export the requested views."""
+    from contextlib import closing
+
+    from .forensics.capture import DEFAULT_HORIZON, capture_forensics
+    from .forensics.export import (
+        explain_payload,
+        write_explain_json,
+        write_margin_heatmap,
+    )
+    from .forensics.report import render_bit_table, render_forensics_summary
+
+    designs = config.designs()
+    if args.design != "both":
+        designs = {args.design: designs[args.design]}
+    t_horizon = args.horizon if args.horizon is not None else DEFAULT_HORIZON
+    reports = {}
+    for name, design in designs.items():
+        with closing(config.batch_study_for(design)) as study:
+            reports[name] = capture_forensics(
+                study, design_label=name, t_horizon=t_horizon
+            )
+
+    print(render_forensics_summary(reports))
+    for rep in reports.values():
+        print()
+        print(render_bit_table(rep, chip=args.chip, top=args.top))
+
+    if args.ledger:
+        # the capture is E13's machinery, so the ledger entry matches a
+        # `run e13` at the same scale (same keys, same scalars)
+        result = exp.MarginForensicsResult(
+            reports=reports,
+            t_horizon=float(t_horizon),
+            k=next(iter(reports.values())).forecast.k,
+        )
+        ledger = telemetry.RunLedger(args.ledger)
+        ledger.record("e13", result.ledger_scalars(), _collect_manifest(args, config))
+        print(f"ledger: e13 scalars appended to {ledger.path}")
+    if args.json:
+        payload = explain_payload(
+            reports,
+            config={
+                "n_chips": config.n_chips,
+                "n_ros": config.n_ros,
+                "seed": config.seed,
+                "jobs": config.jobs,
+                "t_horizon": float(t_horizon),
+            },
+            chip=args.chip,
+            top=args.top,
+        )
+        path = write_explain_json(args.json, payload)
+        print(f"explain payload written to {path}")
+    if args.heatmap:
+        base = pathlib.Path(args.heatmap)
+        for name, rep in reports.items():
+            path = (
+                base
+                if len(reports) == 1
+                else base.with_name(f"{base.stem}-{name}{base.suffix or '.ppm'}")
+            )
+            written = write_margin_heatmap(path, rep)
+            print(f"margin heatmap ({name}) written to {written}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -562,6 +701,9 @@ def main(argv: Optional[list] = None) -> int:
     try:
         if args.command == "check-anchors":
             return _check_anchors_command(args, config)
+
+        if args.command == "explain":
+            return _explain_command(args, config)
 
         ledger = telemetry.RunLedger(args.ledger) if args.ledger else None
 

@@ -41,6 +41,7 @@ from .._rng import RngLike, spawn
 from ..aging.schedule import IdlePolicy, MissionProfile
 from ..aging.simulator import AgingSimulator, ChipAging, PopulationAging
 from ..environment.conditions import OperatingConditions
+from ..forensics.hook import record_response_margins
 from ..transistor.mosfet import mobility_factor
 from ..transistor.technology import T_REF_K, TechnologyCard
 from ..variation.chip import Chip, ChipPopulation
@@ -391,9 +392,99 @@ class BatchStudy:
         ``Study.responses(challenge, t_years)[i]`` under the same seed.
         """
         telemetry.count("batch.response_passes")
+        cond = conditions or OperatingConditions.nominal()
+        pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
+        freqs = self.frequencies(t_years, cond)
+        bits = compare_pairs(freqs, pairs, self.design.tech, self.design.readout)
+        # forensics hook: no-op (one branch) unless a collector is installed;
+        # the bits above are computed first and never depend on the capture
+        record_response_margins(freqs, pairs, float(t_years), cond)
+        return bits
+
+    def mechanism_frequencies(
+        self,
+        t_years: float,
+        mechanism: str,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Counterfactual frequencies with a single aging mechanism active.
+
+        ``mechanism`` is ``"bti"`` (NBTI/PBTI only) or ``"hci"`` (HCI
+        only): the full population evaluated as if the *other* mechanism
+        had contributed no threshold shift at ``t_years``.  The forensics
+        layer differences these against the true aged frequencies to
+        attribute each bit's margin loss to a mechanism.
+
+        Cold path by design — a report evaluates it a handful of times,
+        never inside a sweep loop — so it runs the unblocked full-tensor
+        kernel (:func:`batch_frequencies_from_overdrive`).  Results are
+        memoised alongside :meth:`frequencies` and returned read-only.
+        Rows are chip-independent, so shard evaluation concatenates to
+        the serial answer bit for bit (the parallel engine relies on it).
+        """
+        if mechanism not in ("bti", "hci"):
+            raise ValueError(f"mechanism must be 'bti' or 'hci', got {mechanism!r}")
+        cond = conditions or OperatingConditions.nominal()
+        t = float(t_years)
+        key = (t, cond, mechanism)
+        cached = self._freq_memo.get(key)
+        if cached is not None:
+            self._freq_memo.move_to_end(key)
+            telemetry.count("batch.corner_memo_hits")
+            return cached
+        telemetry.count("batch.mechanism_passes")
+        with telemetry.span(
+            "batch.mechanism_frequencies",
+            t_years=t,
+            mechanism=mechanism,
+            n_chips=self.view.n_chips,
+        ):
+            tech = self.design.tech
+            vdd = cond.effective_vdd(tech)
+            delta_temp = cond.temperature_k - T_REF_K
+            weights = _stage_weights(
+                tech,
+                self.design.n_stages,
+                vdd=vdd,
+                temperature_k=cond.temperature_k,
+                stage0_penalty=self.design.cell.stage0_penalty,
+                c_load_factor=self.design.cell.c_load_factor,
+            )
+            od = vdd - self.view.vth
+            if delta_temp != 0.0:
+                od -= self.view.tc_scale * (tech.vth_tc * delta_temp)
+            if t > 0.0:
+                bti, hci = self.aging.delta_components(t)
+                od -= bti if mechanism == "bti" else hci
+            freqs = batch_frequencies_from_overdrive(od, tech, weights)
+        freqs.flags.writeable = False
+        self._freq_memo[key] = freqs
+        if len(self._freq_memo) > self.MEMO_SIZE:
+            self._freq_memo.popitem(last=False)
+        return freqs
+
+    def margin_histogram(
+        self,
+        edges: np.ndarray,
+        challenge: Optional[int] = None,
+        t_years: float = 0.0,
+        *,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Histogram counts of the signed response margins (int64).
+
+        Bins the population's relative pair margins at ``t_years`` over
+        the explicit ``edges`` (see
+        :func:`repro.metrics.margins.histogram_edges`).  The parallel
+        engine computes the same counts shard-by-shard in the workers and
+        merges by addition — identical by construction because the edges
+        are shared and binning is per-element.
+        """
+        from ..metrics.margins import margin_histogram, relative_margins
+
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
         freqs = self.frequencies(t_years, conditions)
-        return compare_pairs(freqs, pairs, self.design.tech, self.design.readout)
+        return margin_histogram(relative_margins(freqs, pairs), edges)
 
     # ---- per-chip views (back-compat) --------------------------------
 

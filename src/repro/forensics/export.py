@@ -1,0 +1,181 @@
+"""JSON and heatmap export of forensics records.
+
+The JSON payload is the machine-readable face of ``repro explain`` —
+schema-checked in CI by ``tools/validate_metrics.py --explain``.  The
+heatmap is a binary PPM (P6) written by hand: the container has no
+plotting stack and the repo takes no new dependencies, and a
+chips-by-bits margin matrix needs nothing more than pixels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..metrics.margins import DEFAULT_PERCENTILES
+from .capture import DesignForensics
+from .forecast import STATUS_LABELS
+from .report import bit_rows
+
+#: Version of the ``explain`` JSON payload schema.
+EXPLAIN_FORMAT = 1
+
+
+def _summary_dict(report: DesignForensics, t_years: float) -> dict:
+    summary = report.summary(t_years)
+    return {
+        "n_values": summary.n_values,
+        "abs_percentiles": {
+            f"p{p:g}": summary.abs_percentiles[p] for p in DEFAULT_PERCENTILES
+        },
+        "min_abs": summary.min_abs,
+        "mean_abs": summary.mean_abs,
+    }
+
+
+def design_payload(
+    report: DesignForensics, *, chip: int = 0, top: Optional[int] = 12
+) -> dict:
+    """JSON-ready dict for one design's forensics record.
+
+    All margin quantities are dimensionless fractions of the pair
+    midpoint frequency (multiply by 100 for percent).
+    """
+    status = report.status()
+    mech_bti = float(np.mean(np.abs(report.bti_shift)))
+    mech_hci = float(np.mean(np.abs(report.hci_shift)))
+    return {
+        "design": report.design,
+        "n_chips": report.n_chips,
+        "n_bits": report.n_bits,
+        "years": list(report.years),
+        "t_horizon": report.t_horizon,
+        "margin_summary": {
+            "fresh": _summary_dict(report, 0.0),
+            "horizon": _summary_dict(report, report.t_horizon),
+        },
+        "forecast": {
+            "k": report.forecast.k,
+            "drift_scale": report.forecast.drift_scale,
+            "threshold": report.forecast.threshold,
+            "at_risk_fraction": report.forecast.at_risk_fraction,
+            "n_bits": report.outcome.n_bits,
+            "n_flipped": report.outcome.n_flipped,
+            "n_at_risk": report.outcome.n_at_risk,
+            "n_caught": report.outcome.n_caught,
+            "precision": report.outcome.precision,
+            "recall": report.outcome.recall,
+        },
+        "flipped_fraction": report.flipped_fraction,
+        "status_counts": {
+            label: int((status == code).sum())
+            for code, label in STATUS_LABELS.items()
+        },
+        "mechanism": {
+            "mean_abs_bti_shift": mech_bti,
+            "mean_abs_hci_shift": mech_hci,
+            "mean_abs_interaction": float(
+                np.mean(np.abs(report.interaction_shift()))
+            ),
+            "bti_share": mech_bti / (mech_bti + mech_hci)
+            if (mech_bti + mech_hci) > 0
+            else 0.0,
+        },
+        "histogram": {
+            "edges": [float(e) for e in report.hist_edges],
+            "counts": {
+                f"{t:g}": [int(c) for c in counts]
+                for t, counts in sorted(report.histograms.items())
+            },
+        },
+        "chip": {"index": int(chip), "bits": bit_rows(report, chip, top)},
+    }
+
+
+def explain_payload(
+    reports: Dict[str, DesignForensics],
+    *,
+    config: dict,
+    chip: int = 0,
+    top: Optional[int] = 12,
+) -> dict:
+    """The full ``repro explain --json`` payload."""
+    return {
+        "format": EXPLAIN_FORMAT,
+        "kind": "explain",
+        "config": dict(config),
+        "designs": {
+            name: design_payload(rep, chip=chip, top=top)
+            for name, rep in reports.items()
+        },
+    }
+
+
+def write_explain_json(path: Union[str, Path], payload: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# heatmap (hand-rolled binary PPM, no plotting dependency)
+# ---------------------------------------------------------------------------
+
+# Diverging blue-white-red anchors (ColorBrewer RdBu endpoints): blue =
+# the cell still reads its enrolment bit with margin to spare, white =
+# knife edge, red = the bit has flipped.
+_BLUE = np.array([33, 102, 172], dtype=float)
+_WHITE = np.array([247, 247, 247], dtype=float)
+_RED = np.array([178, 24, 43], dtype=float)
+
+
+def _diverging_rgb(values: np.ndarray) -> np.ndarray:
+    """Map values in [-1, 1] onto the blue-white-red ramp, uint8 RGB."""
+    v = np.clip(np.asarray(values, dtype=float), -1.0, 1.0)
+    rgb = np.empty(v.shape + (3,), dtype=float)
+    pos = v >= 0
+    for c in range(3):
+        rgb[..., c] = np.where(
+            pos,
+            _WHITE[c] + (_BLUE[c] - _WHITE[c]) * v,
+            _WHITE[c] + (_RED[c] - _WHITE[c]) * (-v),
+        )
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def write_margin_heatmap(
+    path: Union[str, Path],
+    report: DesignForensics,
+    *,
+    t_years: Optional[float] = None,
+    cell_px: int = 6,
+) -> Path:
+    """Write a chips-by-bits oriented-margin heatmap as binary PPM.
+
+    Each cell is one (chip, bit): the margin at ``t_years`` (default the
+    horizon) re-signed so blue means "still holding the enrolled bit"
+    and red means "flipped" (see
+    :meth:`DesignForensics.oriented_margins`).  The colour scale is
+    normalised to the 98th percentile of |margin| so a few huge margins
+    don't wash out the interesting knife-edge cells.
+    """
+    if cell_px < 1:
+        raise ValueError("cell_px must be positive")
+    oriented = report.oriented_margins(t_years)
+    limit = float(np.percentile(np.abs(oriented), 98.0))
+    if limit <= 0.0:
+        limit = 1.0
+    rgb = _diverging_rgb(oriented / limit)  # (n_chips, n_bits, 3)
+    # scale each cell to cell_px x cell_px pixels
+    rgb = np.repeat(np.repeat(rgb, cell_px, axis=0), cell_px, axis=1)
+    height, width = rgb.shape[:2]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+    return path

@@ -1,0 +1,83 @@
+"""Process-global margin-capture slot for the batched response kernel.
+
+Mirrors the telemetry tracer/emitter idiom: a single module-level slot
+that the hot path checks with one ``is None`` branch.  With no collector
+installed, :func:`record_response_margins` is a function call, an
+attribute load and a compare — the same disabled-path discipline the
+tracer ships with, and gated by the same overhead benchmark.
+
+Unlike :func:`repro.telemetry.install_emitter`, collector *sessions*
+nest: :func:`collector_session` saves and restores whatever was active,
+so a forensics capture can run inside a larger instrumented run without
+either side uninstalling the other.
+
+This module deliberately imports nothing from the rest of the package
+(``core.population`` imports it, so anything heavier would be an import
+cycle).  A collector is any object with a
+``record(frequencies, pairs, t_years, conditions)`` method — see
+:class:`repro.forensics.capture.MarginCollector`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_collector: Optional[object] = None
+
+
+def install_collector(collector: object) -> None:
+    """Install ``collector`` as the process-wide margin sink.
+
+    Raises if one is already installed — explicit install/uninstall is
+    for process-lifetime capture; nested scopes should use
+    :func:`collector_session`.
+    """
+    global _collector
+    if _collector is not None:
+        raise RuntimeError(
+            "a margin collector is already installed; use collector_session() "
+            "for nested capture scopes"
+        )
+    _collector = collector
+
+
+def uninstall_collector() -> None:
+    """Clear the collector slot (idempotent)."""
+    global _collector
+    _collector = None
+
+
+def active_collector() -> Optional[object]:
+    """The currently installed collector, or None."""
+    return _collector
+
+
+@contextmanager
+def collector_session(collector: object) -> Iterator[object]:
+    """Install ``collector`` for the duration of the ``with`` block.
+
+    Saves and restores the previously active collector, so sessions nest
+    (the innermost one wins while it is active).
+    """
+    global _collector
+    previous = _collector
+    _collector = collector
+    try:
+        yield collector
+    finally:
+        _collector = previous
+
+
+def record_response_margins(frequencies, pairs, t_years, conditions) -> None:
+    """Hot-path hook: forward one response evaluation to the collector.
+
+    Called by the batched kernel after every response pass with the
+    frequency array and pair table that produced the bits.  Reading the
+    slot into a local first keeps the call safe against a concurrent
+    uninstall between the check and the dispatch.
+    """
+    collector = _collector
+    if collector is None:
+        return
+    collector.record(frequencies, pairs, t_years, conditions)

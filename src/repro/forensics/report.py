@@ -1,0 +1,141 @@
+"""Plain-text rendering of forensics records for the ``explain`` CLI.
+
+Margins are dimensionless fractions internally; everything rendered here
+is in percent (of the pair's midpoint frequency), matching how the paper
+quotes frequency differences.  Imports from :mod:`repro.analysis` are
+deferred into the functions: this package is imported by
+``core.population`` (for the hook), which is imported by the analysis
+layer — a top-level import here would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .capture import DesignForensics
+from .forecast import STATUS_LABELS
+
+
+def render_forensics_summary(reports: Dict[str, DesignForensics]) -> str:
+    """One row per design: margin percentiles, forecast quality, flips."""
+    from ..analysis.tables import format_table
+
+    rows = []
+    for name, rep in reports.items():
+        fresh = rep.summary(0.0)
+        rows.append(
+            [
+                name,
+                f"{100 * fresh.percentile(5):.2f}",
+                f"{100 * fresh.percentile(50):.2f}",
+                f"{100 * fresh.percentile(95):.2f}",
+                f"{100 * rep.forecast.drift_scale:.3f}",
+                f"{100 * rep.forecast.threshold:.3f}",
+                f"{100 * rep.forecast.at_risk_fraction:.1f}",
+                f"{100 * rep.flipped_fraction:.1f}",
+                f"{rep.outcome.recall:.3f}",
+                f"{rep.outcome.precision:.3f}",
+            ]
+        )
+    return format_table(
+        [
+            "design",
+            "|m| p5 %",
+            "p50 %",
+            "p95 %",
+            "drift %",
+            "thresh %",
+            "at-risk %",
+            "flipped %",
+            "recall",
+            "precision",
+        ],
+        rows,
+        title=(
+            "Margin forensics: enrolment margins vs "
+            f"{reports[next(iter(reports))].t_horizon:g}-year drift"
+        ),
+    )
+
+
+def bit_rows(
+    report: DesignForensics, chip: int = 0, top: Optional[int] = 12
+) -> List[dict]:
+    """The ``top`` thinnest-margin bits of one chip, as plain dicts.
+
+    Sorted by |fresh margin| ascending — the forensics reading order:
+    the first rows are the bits most likely to go.  ``top=None`` returns
+    every bit.  Values are margin *fractions* (the JSON payload and the
+    text table apply their own unit scaling).
+    """
+    if not 0 <= chip < report.n_chips:
+        raise ValueError(f"chip must be in [0, {report.n_chips}), got {chip}")
+    fresh = report.fresh_margins[chip]
+    aged = report.horizon_margins[chip]
+    bti = report.bti_shift[chip]
+    hci = report.hci_shift[chip]
+    status = report.status()[chip]
+    at_risk = report.forecast.at_risk[chip]
+    order = np.argsort(np.abs(fresh), kind="stable")
+    if top is not None:
+        order = order[: int(top)]
+    rows = []
+    for k in order:
+        k = int(k)
+        rows.append(
+            {
+                "bit": k,
+                "ro_a": int(report.pairs[k, 0]),
+                "ro_b": int(report.pairs[k, 1]),
+                "fresh_margin": float(fresh[k]),
+                "horizon_margin": float(aged[k]),
+                "total_shift": float(aged[k] - fresh[k]),
+                "bti_shift": float(bti[k]),
+                "hci_shift": float(hci[k]),
+                "status": STATUS_LABELS[int(status[k])],
+                "forecast_at_risk": bool(at_risk[k]),
+            }
+        )
+    return rows
+
+
+def render_bit_table(
+    report: DesignForensics, chip: int = 0, top: Optional[int] = 12
+) -> str:
+    """Per-chip forensics table, thinnest margins first (percent units)."""
+    from ..analysis.tables import format_table
+
+    rows = []
+    for r in bit_rows(report, chip, top):
+        if r["status"] == "flipped":
+            call = "caught" if r["forecast_at_risk"] else "MISSED"
+        else:
+            call = "flagged" if r["forecast_at_risk"] else ""
+        rows.append(
+            [
+                r["bit"],
+                f"{r['ro_a']}/{r['ro_b']}",
+                f"{100 * r['fresh_margin']:+.3f}",
+                f"{100 * r['horizon_margin']:+.3f}",
+                f"{100 * r['bti_shift']:+.3f}",
+                f"{100 * r['hci_shift']:+.3f}",
+                r["status"],
+                call,
+            ]
+        )
+    return format_table(
+        [
+            "bit",
+            "ROs",
+            "fresh %",
+            f"{report.t_horizon:g}y %",
+            "dBTI %",
+            "dHCI %",
+            "status",
+            "forecast",
+        ],
+        rows,
+        title=f"{report.design}: chip {chip} thinnest margins",
+    )

@@ -10,6 +10,16 @@ from .entropy import (
     shannon_bits,
 )
 from .hamming import fractional_hd, hamming_distance, hd_matrix, pairwise_fractional_hd
+from .margins import (
+    DEFAULT_HIST_BINS,
+    DEFAULT_HIST_LIMIT,
+    DEFAULT_PERCENTILES,
+    MarginSummary,
+    histogram_edges,
+    margin_histogram,
+    relative_margins,
+    summarize_margins,
+)
 from .randomness import (
     ALPHA,
     RandomnessReport,
@@ -35,7 +45,11 @@ from .uniqueness import UniquenessReport, hd_histogram, interchip_hd, uniqueness
 __all__ = [
     "ALPHA",
     "AliasingReport",
+    "DEFAULT_HIST_BINS",
+    "DEFAULT_HIST_LIMIT",
+    "DEFAULT_PERCENTILES",
     "EntropyReport",
+    "MarginSummary",
     "RandomnessReport",
     "ReliabilityReport",
     "UniformityReport",
@@ -52,18 +66,22 @@ __all__ = [
     "hamming_distance",
     "hd_histogram",
     "hd_matrix",
+    "histogram_edges",
     "interchip_hd",
     "longest_run_test",
+    "margin_histogram",
     "min_entropy_bits",
     "monobit_test",
     "pairwise_fractional_hd",
     "population_bits",
     "randomness_battery",
+    "relative_margins",
     "reliability",
     "response_entropy",
     "runs_test",
     "shannon_bits",
     "serial_test",
+    "summarize_margins",
     "uniformity",
     "uniformity_of",
     "uniqueness",

@@ -1,0 +1,129 @@
+"""Signed comparison margins: the analogue primitive behind response bits.
+
+A response bit is the sign of a frequency comparison between two ring
+oscillators.  The *margin* of that comparison — how far apart the two
+frequencies are, relative to their midpoint — is the analogue quantity
+that aging erodes: a bit flips exactly when its margin crosses zero.
+Wilde et al. (PAPERS.md) make the case that per-comparison margin
+statistics, not just flip counts, are the right primitive for analysing
+RO-PUF quality; this module supplies them for the batched engine.
+
+Definitions used throughout the forensics layer:
+
+* ``margin = (f_a - f_b) / ((f_a + f_b) / 2)`` — dimensionless, signed;
+  ``margin > 0`` iff the response bit is 1 (``f_a > f_b``).
+* Histograms always bin over *shared, explicit* edges so that per-shard
+  integer counts from the parallel engine sum to exactly the serial
+  whole-population counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+#: |margin| percentiles reported by :func:`summarize_margins`.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+#: Default symmetric signed-margin histogram range (fraction of midpoint
+#: frequency).  Process variation at the paper's technology card puts
+#: essentially all pair margins inside +/-30 %.
+DEFAULT_HIST_LIMIT = 0.3
+
+#: Default number of histogram bins (even, so zero is a bin edge and no
+#: bin straddles the flip boundary).
+DEFAULT_HIST_BINS = 60
+
+
+def relative_margins(frequencies: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Signed relative margin of every compared RO pair.
+
+    ``frequencies`` has shape ``(..., n_ros)`` (leading axes are batch
+    axes, e.g. chips); ``pairs`` is the ``(n_bits, 2)`` index array from
+    the pairing strategy.  Returns ``(..., n_bits)`` with
+
+    ``margin[..., k] = (f[a_k] - f[b_k]) / ((f[a_k] + f[b_k]) / 2)``
+
+    so ``margin > 0`` exactly where :func:`~repro.core.readout.compare_pairs`
+    reads a 1 bit (equal frequencies give margin 0 and bit 0 — the same
+    knife-edge convention).
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    pairs = np.asarray(pairs)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (n_bits, 2), got {pairs.shape}")
+    f_a = freqs[..., pairs[:, 0]]
+    f_b = freqs[..., pairs[:, 1]]
+    mid = f_a + f_b
+    mid *= 0.5
+    return (f_a - f_b) / mid
+
+
+@dataclass(frozen=True)
+class MarginSummary:
+    """Population-level distribution summary of |margin|.
+
+    Percentile keys are floats (``5.0`` -> 5th percentile of the absolute
+    margin).  All values are dimensionless margin fractions; multiply by
+    100 for percent.
+    """
+
+    n_values: int
+    abs_percentiles: Dict[float, float]
+    min_abs: float
+    mean_abs: float
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of |margin| (must be pre-computed)."""
+        return self.abs_percentiles[float(p)]
+
+
+def summarize_margins(
+    margins: np.ndarray,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> MarginSummary:
+    """Distribution summary of the absolute margins in ``margins``."""
+    values = np.abs(np.asarray(margins, dtype=float)).ravel()
+    if values.size == 0:
+        raise ValueError("margins is empty")
+    levels = [float(p) for p in percentiles]
+    points = np.percentile(values, levels)
+    return MarginSummary(
+        n_values=int(values.size),
+        abs_percentiles={p: float(v) for p, v in zip(levels, points)},
+        min_abs=float(values.min()),
+        mean_abs=float(values.mean()),
+    )
+
+
+def histogram_edges(
+    limit: float = DEFAULT_HIST_LIMIT, n_bins: int = DEFAULT_HIST_BINS
+) -> np.ndarray:
+    """Shared signed-margin bin edges: ``n_bins`` over ``[-limit, limit]``.
+
+    Every forensics histogram — serial or per-shard — bins over one edge
+    array produced here, which is what makes shard counts exactly
+    summable.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if n_bins < 2:
+        raise ValueError("need at least 2 bins")
+    return np.linspace(-limit, limit, n_bins + 1)
+
+
+def margin_histogram(margins: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Integer bin counts of the signed margins over explicit ``edges``.
+
+    Values outside ``[edges[0], edges[-1]]`` are clipped into the end
+    bins rather than dropped, so the counts always total ``margins.size``
+    and per-shard counts merge into the serial counts by plain addition.
+    """
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 3:
+        raise ValueError("edges must be a 1-D array of at least 3 edges")
+    values = np.clip(np.asarray(margins, dtype=float).ravel(), edges[0], edges[-1])
+    counts, _ = np.histogram(values, bins=edges)
+    return counts.astype(np.int64)

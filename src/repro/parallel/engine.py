@@ -47,6 +47,7 @@ from ..aging.schedule import IdlePolicy, MissionProfile
 from ..core.base import PufDesign
 from ..core.population import BatchStudy, make_batch_study
 from ..environment.conditions import OperatingConditions
+from ..forensics import hook as _forensics_hook
 from ..telemetry.tracer import Span
 from .sharding import ShardSpec, shard_bounds
 from .worker import EvalRequest, ShardReport, evaluate_shard, worker_init
@@ -273,14 +274,92 @@ class ParallelBatchStudy:
         conditions: Optional[OperatingConditions] = None,
     ) -> np.ndarray:
         """Golden responses of every chip, shape ``(n_chips, n_bits)``,
-        bit-identical to the serial engine for any worker count."""
-        return self._evaluate(
+        bit-identical to the serial engine for any worker count.
+
+        With a forensics collector active, the merged frequency tensor
+        (memoised, so usually already resident from the response pass's
+        sibling query) is recorded coordinator-side — workers have their
+        collector slot severed, so the tape sees exactly one grid per
+        corner, identical to the serial engine's.
+        """
+        cond = conditions or OperatingConditions.nominal()
+        bits = self._evaluate(
+            [EvalRequest("responses", float(t_years), cond, challenge)]
+        )[0]
+        if _forensics_hook.active_collector() is not None:
+            pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
+            _forensics_hook.record_response_margins(
+                self.frequencies(t_years, cond), pairs, float(t_years), cond
+            )
+        return bits
+
+    def mechanism_frequencies(
+        self,
+        t_years: float,
+        mechanism: str,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Single-mechanism counterfactual frequencies, merged from the
+        shards; row-identical to :meth:`BatchStudy.mechanism_frequencies`
+        (the kernel is chip-row independent)."""
+        if mechanism not in ("bti", "hci"):
+            raise ValueError(
+                f"mechanism must be 'bti' or 'hci', got {mechanism!r}"
+            )
+        cond = conditions or OperatingConditions.nominal()
+        key = (float(t_years), cond, mechanism)
+        cached = self._freq_memo.get(key)
+        if cached is not None:
+            self._freq_memo.move_to_end(key)
+            telemetry.count("parallel.corner_memo_hits")
+            return cached
+        telemetry.count("parallel.mechanism_passes")
+        freqs = self._evaluate(
             [
                 EvalRequest(
-                    "responses", float(t_years), conditions, challenge
+                    "mechanism_frequencies",
+                    float(t_years),
+                    cond,
+                    mechanism=mechanism,
                 )
             ]
         )[0]
+        freqs.flags.writeable = False
+        self._freq_memo[key] = freqs
+        if len(self._freq_memo) > self.MEMO_SIZE:
+            self._freq_memo.popitem(last=False)
+        return freqs
+
+    def margin_histogram(
+        self,
+        edges: np.ndarray,
+        challenge: Optional[int] = None,
+        t_years: float = 0.0,
+        *,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Signed-margin histogram counts, reduced in the workers.
+
+        Each shard bins its own chips over the shared ``edges`` and ships
+        back one small ``int64`` count vector; the coordinator sums them.
+        Binning is per-element, so the merged counts equal the serial
+        engine's exactly for any worker count.
+        """
+        edges = np.asarray(edges, dtype=float)
+        counts = self._evaluate(
+            [
+                EvalRequest(
+                    "margin_hist",
+                    float(t_years),
+                    conditions or OperatingConditions.nominal(),
+                    challenge,
+                    hist_edges=tuple(float(e) for e in edges),
+                )
+            ]
+        )[0]
+        # _evaluate concatenates the per-shard replies; fold them back
+        # into one (n_bins,) vector by summing over the shard axis
+        return counts.reshape(self.jobs, -1).sum(axis=0)
 
 
 def make_parallel_study(

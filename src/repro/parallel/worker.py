@@ -38,6 +38,7 @@ from .._rng import as_generator
 from ..aging.simulator import AgingSimulator, PopulationAging
 from ..core.population import BatchStudy, PopulationView
 from ..environment.conditions import OperatingConditions
+from ..forensics import hook as _hook_mod
 from ..telemetry import events as _events_mod
 from ..telemetry import tracer as _tracer_mod
 from ..variation.chip import ChipPopulation
@@ -46,16 +47,38 @@ from .sharding import ShardSpec
 
 @dataclass(frozen=True)
 class EvalRequest:
-    """One batched-evaluation call, in :class:`BatchStudy` vocabulary."""
+    """One batched-evaluation call, in :class:`BatchStudy` vocabulary.
 
-    kind: str  # "frequencies" | "responses"
+    ``mechanism`` applies to ``"mechanism_frequencies"`` requests only;
+    ``hist_edges`` (a picklable tuple of bin edges) to ``"margin_hist"``
+    requests, whose replies are per-shard integer bin counts that the
+    coordinator merges by addition.
+    """
+
+    kind: str  # "frequencies" | "responses" | "mechanism_frequencies" | "margin_hist"
     t_years: float = 0.0
     conditions: Optional[OperatingConditions] = None
     challenge: Optional[int] = None
+    mechanism: Optional[str] = None
+    hist_edges: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("frequencies", "responses"):
+        if self.kind not in (
+            "frequencies",
+            "responses",
+            "mechanism_frequencies",
+            "margin_hist",
+        ):
             raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind == "mechanism_frequencies" and self.mechanism not in (
+            "bti",
+            "hci",
+        ):
+            raise ValueError(
+                f"mechanism must be 'bti' or 'hci', got {self.mechanism!r}"
+            )
+        if self.kind == "margin_hist" and self.hist_edges is None:
+            raise ValueError("margin_hist requests need hist_edges")
 
 
 @dataclass
@@ -78,9 +101,16 @@ def reset_inherited_telemetry() -> None:
     harmless to the parent, leaving the object untouched is the least
     surprising behaviour.  The parent flushes after every event line, so
     no buffered bytes can be replayed from the child either way.
+
+    The forensics margin collector is severed for the same reason: shard
+    ``responses`` calls inside a worker would otherwise deposit partial
+    margin grids into a forked copy of the coordinator's tape.  Margin
+    capture for parallel runs happens coordinator-side, from the merged
+    frequency tensors.
     """
     _tracer_mod._active = None
     _events_mod._emitter = None
+    _hook_mod._collector = None
 
 
 def worker_init() -> None:
@@ -185,9 +215,20 @@ def evaluate_shard(
         for req in requests:
             if req.kind == "frequencies":
                 out = shard.frequencies(req.t_years, req.conditions)
-            else:
+            elif req.kind == "responses":
                 out = shard.responses(
                     req.challenge, req.t_years, conditions=req.conditions
+                )
+            elif req.kind == "mechanism_frequencies":
+                out = shard.mechanism_frequencies(
+                    req.t_years, req.mechanism, req.conditions
+                )
+            else:  # margin_hist: per-shard reduction, merged by addition
+                out = shard.margin_histogram(
+                    np.asarray(req.hist_edges, dtype=float),
+                    req.challenge,
+                    req.t_years,
+                    conditions=req.conditions,
                 )
             arrays.append(out)
         span_totals = _span_totals(tracer)

@@ -149,6 +149,34 @@ PAPER_ANCHORS: Sequence[Anchor] = (
         experiment="e4",
         note="ideal balanced response; the ARO's symmetric cell should hold it",
     ),
+    # Forecast-quality warn bands (not paper numbers): the enrolment-time
+    # at-risk forecast must keep catching the bits that actually flip by
+    # 10 years.  Encoded against an ideal of 1.0 with a one-sided band —
+    # recall cannot exceed 1 — so >=0.8 passes, >=0.65 warns, below fails.
+    Anchor(
+        name="conventional-forecast-recall",
+        metric="e13.ro-puf.forecast_recall",
+        paper_value=1.0,
+        tol_pass=0.2,
+        tol_fail=0.35,
+        experiment="e13",
+        note=(
+            "gate (ours, not the paper's): enrolment margin forecast catches "
+            ">=80% of actual 10-year flips on the seeded run"
+        ),
+    ),
+    Anchor(
+        name="aro-forecast-recall",
+        metric="e13.aro-puf.forecast_recall",
+        paper_value=1.0,
+        tol_pass=0.2,
+        tol_fail=0.35,
+        experiment="e13",
+        note=(
+            "gate (ours, not the paper's): enrolment margin forecast catches "
+            ">=80% of actual 10-year flips on the seeded run"
+        ),
+    ),
 )
 
 #: experiments a fresh anchor check has to run (the registry's sources)

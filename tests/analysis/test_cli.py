@@ -29,7 +29,7 @@ class TestParser:
             build_parser().parse_args(["report", "--experiments", "e99"])
 
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
 
 
 class TestMain:
@@ -434,3 +434,138 @@ class TestParallelAndCache:
         out = capsys.readouterr().out
         for key in ANCHOR_EXPERIMENTS:
             assert f"cache hit: {key}" in out
+
+
+class TestExplain:
+    """The forensics `explain` subcommand."""
+
+    SCALE = ["--chips", "4", "--ros", "16", "--seed", "3"]
+
+    def test_prints_summary_and_bit_tables(self, capsys):
+        assert main(["explain", *self.SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Margin forensics" in out
+        assert "recall" in out
+        assert "thinnest margins" in out
+        assert "ro-puf" in out and "aro-puf" in out
+
+    def test_single_design_filter(self, capsys):
+        assert main(["explain", *self.SCALE, "--design", "aro-puf"]) == 0
+        out = capsys.readouterr().out
+        assert "aro-puf: chip" in out
+        assert "\nro-puf: chip" not in out
+
+    def test_json_export_schema(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "explain.json"
+        assert main(["explain", *self.SCALE, "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "explain"
+        assert set(payload["designs"]) == {"ro-puf", "aro-puf"}
+        for block in payload["designs"].values():
+            assert 0.0 <= block["forecast"]["recall"] <= 1.0
+            assert block["chip"]["bits"]
+
+    def test_heatmap_per_design_suffixing(self, tmp_path, capsys):
+        assert (
+            main(["explain", *self.SCALE, "--heatmap", str(tmp_path / "m.ppm")])
+            == 0
+        )
+        assert (tmp_path / "m-ro-puf.ppm").read_bytes().startswith(b"P6\n")
+        assert (tmp_path / "m-aro-puf.ppm").read_bytes().startswith(b"P6\n")
+
+    def test_heatmap_exact_path_for_single_design(self, tmp_path, capsys):
+        assert (
+            main(
+                ["explain", *self.SCALE, "--design", "ro-puf",
+                 "--heatmap", str(tmp_path / "m.ppm")]
+            )
+            == 0
+        )
+        assert (tmp_path / "m.ppm").exists()
+
+    def test_ledger_records_e13(self, tmp_path, capsys):
+        from repro.telemetry import RunLedger
+
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["explain", *self.SCALE, "--ledger", str(ledger)]) == 0
+        entries = RunLedger(ledger).entries()
+        assert [e.experiment for e in entries] == ["e13"]
+        assert "aro-puf.forecast_recall" in entries[0].scalars
+
+    def test_jobs_output_identical_to_serial(self, capsys):
+        assert main(["explain", *self.SCALE]) == 0
+        serial = capsys.readouterr().out
+        assert main(["explain", *self.SCALE, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_run_e13_registered(self, capsys):
+        assert main(["run", "e13", *self.SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Margin forensics" in out
+
+    def test_no_collector_or_emitter_left_installed(self, capsys):
+        from repro import telemetry
+        from repro.forensics.hook import active_collector
+
+        main(["explain", *self.SCALE])
+        assert active_collector() is None
+        assert telemetry.active_emitter() is None
+
+
+class TestEmitterCleanupOnFailure:
+    """Satellite audit: the emitter must be uninstalled (and its file
+    flushed) no matter how the run ends."""
+
+    def test_experiment_crash_flushes_events_and_uninstalls(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import dataclasses
+        import json
+
+        from repro import cli, telemetry
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-run crash")
+
+        monkeypatch.setitem(
+            cli.EXPERIMENTS,
+            "e2",
+            dataclasses.replace(cli.EXPERIMENTS["e2"], run=boom),
+        )
+        events = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            main(
+                ["run", "e2", "--chips", "3", "--ros", "16",
+                 "--events", str(events)]
+            )
+        assert telemetry.active_emitter() is None
+        records = [json.loads(l) for l in events.read_text().splitlines()]
+        assert records[0]["event"] == "run.start"
+        assert records[-1]["event"] == "run.end"  # flushed by the finally
+
+    def test_lifecycle_write_failure_still_uninstalls(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A raising run-end heartbeat must not leave the emitter stuck
+        (a stuck emitter poisons every later install)."""
+        from repro import telemetry
+
+        def broken_lifecycle(self, event, **fields):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            telemetry.ProgressEmitter, "lifecycle", broken_lifecycle
+        )
+        with pytest.raises(OSError, match="disk full"):
+            main(
+                ["run", "e3", "--chips", "3", "--ros", "16",
+                 "--events", str(tmp_path / "events.jsonl")]
+            )
+        assert telemetry.active_emitter() is None
+        # and the slot is immediately reusable
+        telemetry.install_emitter(
+            telemetry.ProgressEmitter(tmp_path / "again.jsonl")
+        )
+        telemetry.uninstall_emitter()

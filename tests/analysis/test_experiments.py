@@ -174,3 +174,59 @@ class TestJobsDispatch:
             assert isinstance(study, ParallelBatchStudy)
         with config.batch_study_for(design) as study:
             assert not isinstance(study, ParallelBatchStudy)
+
+
+class TestMarginForensics:
+    """E13: per-bit margin provenance (structure at small scale)."""
+
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        from repro.analysis import margin_forensics
+
+        return margin_forensics(config, years=(5.0,))
+
+    def test_both_designs_reported(self, result):
+        assert set(result.reports) == {"ro-puf", "aro-puf"}
+        assert result.t_horizon == 10.0
+
+    def test_ledger_scalars_complete_and_finite(self, result):
+        import math
+
+        scalars = result.ledger_scalars()
+        for design in ("ro-puf", "aro-puf"):
+            for field in (
+                "margin_p5_pct",
+                "margin_p50_pct",
+                "drift_rms_pct",
+                "at_risk_pct",
+                "flipped_pct",
+                "forecast_recall",
+                "forecast_precision",
+            ):
+                value = scalars[f"{design}.{field}"]
+                assert math.isfinite(value)
+        assert 0.0 <= scalars["aro-puf.forecast_recall"] <= 1.0
+
+    def test_flipped_pct_agrees_with_e2(self, result, config):
+        """Same seed, same silicon: forensics flips == E2's 10-year flips."""
+        flips = aging_bitflips(config, years=(10.0,))
+        scalars = result.ledger_scalars()
+        for name in ("ro-puf", "aro-puf"):
+            assert scalars[f"{name}.flipped_pct"] == pytest.approx(
+                flips.series[name].y_at(10.0)
+            )
+
+    def test_aro_drifts_less_than_conventional(self, result):
+        scalars = result.ledger_scalars()
+        assert (
+            scalars["aro-puf.drift_rms_pct"]
+            < 0.5 * scalars["ro-puf.drift_rms_pct"]
+        )
+
+    def test_jobs_dispatch_identical_scalars(self, config):
+        from repro.analysis import margin_forensics
+
+        parallel = ExperimentConfig(n_chips=6, n_ros=32, seed=7, jobs=2)
+        serial = margin_forensics(config, years=(5.0,)).ledger_scalars()
+        sharded = margin_forensics(parallel, years=(5.0,)).ledger_scalars()
+        assert serial == sharded

@@ -1,0 +1,176 @@
+"""Margin capture: the collector tape and the assembled forensics record.
+
+The bit-identity tests here are the PR's acceptance criterion: running a
+study under an active collector must change no response bit, and the
+assembled record must reconcile exactly (margins sign-match bits, the
+mechanism split sums to the total delta, histogram counts total the
+population).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import aro_design, conventional_design, make_batch_study
+from repro.environment.conditions import OperatingConditions, celsius
+from repro.forensics import (
+    MarginCollector,
+    capture_forensics,
+    collector_session,
+)
+from repro.metrics.margins import relative_margins
+
+SEED = 20140324
+DESIGN = aro_design(n_ros=16, n_stages=3)
+
+
+def make_case(design=DESIGN, n_chips=6):
+    return make_batch_study(design, n_chips, rng=SEED)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return capture_forensics(make_case(), design_label="aro-puf")
+
+
+class TestMarginCollector:
+    def test_records_margins_per_corner(self):
+        study = make_case()
+        with collector_session(MarginCollector()) as collector:
+            study.responses()
+            study.responses(t_years=10.0)
+        assert len(collector) == 2
+        assert collector.has(0.0) and collector.has(10.0)
+        pairs = study.design.pairing.pairs(study.design.n_ros, None)
+        expected = relative_margins(study.frequencies(10.0), pairs)
+        assert np.array_equal(collector.margins(10.0), expected)
+
+    def test_recorded_grids_are_read_only(self):
+        collector = MarginCollector()
+        collector.record_margins(np.zeros((2, 3)), 0.0, None)
+        with pytest.raises(ValueError):
+            collector.margins(0.0)[0, 0] = 1.0
+
+    def test_distinct_corners_are_distinct_keys(self):
+        collector = MarginCollector()
+        hot = OperatingConditions(temperature_k=celsius(85.0), vdd=1.0)
+        collector.record_margins(np.zeros((1, 2)), 0.0, None)
+        collector.record_margins(np.ones((1, 2)), 0.0, hot)
+        assert len(collector) == 2
+        assert collector.margins(0.0, hot)[0, 0] == 1.0
+
+    def test_nominal_and_none_share_a_key(self):
+        collector = MarginCollector()
+        collector.record_margins(np.ones((1, 2)), 0.0, None)
+        assert collector.has(0.0, OperatingConditions.nominal())
+
+    def test_lru_bound(self):
+        collector = MarginCollector(max_corners=2)
+        for t in (1.0, 2.0, 3.0):
+            collector.record_margins(np.zeros((1, 1)), t, None)
+        assert len(collector) == 2
+        assert not collector.has(1.0)
+        assert [t for t, _ in collector.corners()] == [2.0, 3.0]
+
+    def test_missing_corner_keyerror_names_the_corner(self):
+        with pytest.raises(KeyError, match="t=5.0"):
+            MarginCollector().margins(5.0)
+
+    def test_bad_max_corners(self):
+        with pytest.raises(ValueError, match="max_corners"):
+            MarginCollector(max_corners=0)
+
+
+class TestCaptureBitIdentity:
+    def test_capture_changes_no_response_bits(self):
+        """Enabling forensics must not perturb the evaluation."""
+        bare = make_case()
+        expected = {t: bare.responses(t_years=t) for t in (0.0, 5.0, 10.0)}
+        captured = make_case()
+        report = capture_forensics(
+            captured, design_label="aro-puf", years=(5.0,)
+        )
+        for t, bits in expected.items():
+            assert np.array_equal(report.bits[t], bits)
+        # and the study still answers identically after the capture
+        for t, bits in expected.items():
+            assert np.array_equal(captured.responses(t_years=t), bits)
+
+    def test_no_collector_left_installed(self, report):
+        from repro.forensics.hook import active_collector
+
+        assert active_collector() is None
+
+
+class TestDesignForensicsRecord:
+    def test_grid_and_geometry(self, report):
+        assert report.years[0] == 0.0
+        assert report.t_horizon == 10.0
+        assert report.years == tuple(sorted(set(report.years)))
+        assert report.n_chips == 6
+        assert report.n_bits == DESIGN.n_bits
+
+    def test_margin_signs_match_bits_everywhere(self, report):
+        for t in report.years:
+            assert np.array_equal(
+                report.margins[t] > 0, report.bits[t].astype(bool)
+            )
+
+    def test_flipped_matches_margin_sign_changes(self, report):
+        sign_changed = (report.fresh_margins > 0) != (
+            report.horizon_margins > 0
+        )
+        assert np.array_equal(report.flipped, sign_changed)
+
+    def test_mechanism_shifts_bracket_the_total(self, report):
+        """Each counterfactual explains part of the shift; the residual
+        interaction term is small compared to the total."""
+        total = np.abs(report.total_shift).mean()
+        residual = np.abs(report.interaction_shift()).mean()
+        assert residual < 0.2 * total
+        # both mechanisms present, BTI dominating under the parked profile
+        assert np.abs(report.bti_shift).mean() > 0
+        assert np.abs(report.hci_shift).mean() > 0
+
+    def test_histograms_total_population(self, report):
+        for t in report.years:
+            assert report.histograms[t].sum() == report.n_chips * report.n_bits
+
+    def test_histograms_match_recorded_margins(self, report):
+        from repro.metrics.margins import margin_histogram
+
+        for t in report.years:
+            assert np.array_equal(
+                report.histograms[t],
+                margin_histogram(report.margins[t], report.hist_edges),
+            )
+
+    def test_oriented_margins_positive_iff_holding(self, report):
+        oriented = report.oriented_margins()
+        holding = ~report.flipped
+        # knife-edge zeros aside, positive oriented margin == bit held
+        nonzero = oriented != 0
+        assert np.array_equal((oriented > 0)[nonzero], holding[nonzero])
+
+    def test_status_counts_are_consistent(self, report):
+        status = report.status()
+        assert (status == 2).sum() == report.flipped.sum()
+        assert status.shape == (report.n_chips, report.n_bits)
+
+    def test_forecast_scored_against_actual_flips(self, report):
+        assert report.outcome.n_bits == report.n_chips * report.n_bits
+        assert report.outcome.n_flipped == int(report.flipped.sum())
+
+
+class TestCaptureApi:
+    def test_negative_years_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            capture_forensics(make_case(), years=(-1.0,))
+
+    def test_conventional_design_flips_more_and_forecast_catches(self):
+        conv = capture_forensics(
+            make_case(conventional_design(n_ros=16, n_stages=3)),
+            design_label="ro-puf",
+        )
+        aro = capture_forensics(make_case(), design_label="aro-puf")
+        assert conv.flipped_fraction > aro.flipped_fraction
+        assert conv.outcome.recall >= 0.8

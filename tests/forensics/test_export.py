@@ -1,0 +1,127 @@
+"""Explain exports: JSON payload schema, bit tables, PPM heatmap."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import aro_design, make_batch_study
+from repro.forensics import capture_forensics
+from repro.forensics.export import (
+    EXPLAIN_FORMAT,
+    design_payload,
+    explain_payload,
+    write_explain_json,
+    write_margin_heatmap,
+)
+from repro.forensics.report import (
+    bit_rows,
+    render_bit_table,
+    render_forensics_summary,
+)
+
+SEED = 20140324
+DESIGN = aro_design(n_ros=16, n_stages=3)
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = make_batch_study(DESIGN, 5, rng=SEED)
+    return capture_forensics(study, design_label="aro-puf")
+
+
+class TestBitRows:
+    def test_sorted_by_abs_fresh_margin(self, report):
+        rows = bit_rows(report, chip=0, top=None)
+        assert len(rows) == report.n_bits
+        magnitudes = [abs(r["fresh_margin"]) for r in rows]
+        assert magnitudes == sorted(magnitudes)
+
+    def test_top_limits_rows(self, report):
+        assert len(bit_rows(report, chip=0, top=3)) == 3
+
+    def test_shift_decomposition_in_rows(self, report):
+        for r in bit_rows(report, chip=1, top=5):
+            assert r["total_shift"] == pytest.approx(
+                r["horizon_margin"] - r["fresh_margin"]
+            )
+
+    def test_bad_chip_rejected(self, report):
+        with pytest.raises(ValueError, match="chip"):
+            bit_rows(report, chip=99)
+
+
+class TestRender:
+    def test_summary_mentions_design_and_columns(self, report):
+        text = render_forensics_summary({"aro-puf": report})
+        assert "aro-puf" in text
+        assert "recall" in text and "at-risk %" in text
+
+    def test_bit_table_mentions_chip_and_status(self, report):
+        text = render_bit_table(report, chip=0, top=4)
+        assert "chip 0" in text
+        assert "dBTI %" in text and "dHCI %" in text
+
+
+class TestJsonPayload:
+    def test_design_payload_schema(self, report):
+        payload = design_payload(report, chip=0, top=4)
+        assert payload["design"] == "aro-puf"
+        assert payload["n_chips"] == 5
+        assert set(payload["status_counts"]) == {"stable", "at-risk", "flipped"}
+        assert sum(payload["status_counts"].values()) == 5 * report.n_bits
+        forecast = payload["forecast"]
+        assert 0.0 <= forecast["recall"] <= 1.0
+        assert forecast["threshold"] == pytest.approx(
+            forecast["k"] * forecast["drift_scale"]
+        )
+        assert len(payload["chip"]["bits"]) == 4
+
+    def test_histogram_counts_keyed_by_year(self, report):
+        payload = design_payload(report)
+        hist = payload["histogram"]
+        assert len(hist["edges"]) == report.hist_edges.size
+        for t in report.years:
+            assert f"{t:g}" in hist["counts"]
+            assert sum(hist["counts"][f"{t:g}"]) == 5 * report.n_bits
+
+    def test_explain_payload_roundtrip(self, report, tmp_path):
+        payload = explain_payload(
+            {"aro-puf": report}, config={"n_chips": 5, "seed": SEED}
+        )
+        assert payload["format"] == EXPLAIN_FORMAT
+        assert payload["kind"] == "explain"
+        path = write_explain_json(tmp_path / "deep" / "e.json", payload)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(payload))  # JSON-serialisable
+
+    def test_payload_is_all_plain_types(self, report):
+        json.dumps(explain_payload({"aro-puf": report}, config={}))
+
+
+class TestHeatmap:
+    def test_ppm_header_and_size(self, report, tmp_path):
+        path = write_margin_heatmap(
+            tmp_path / "m.ppm", report, cell_px=2
+        )
+        data = path.read_bytes()
+        header = f"P6\n{2 * report.n_bits} {2 * report.n_chips}\n255\n"
+        assert data.startswith(header.encode())
+        assert len(data) == len(header) + 3 * 4 * report.n_chips * report.n_bits
+
+    def test_flipped_cells_are_red_side(self, report, tmp_path):
+        """Flipped bits must land on the red half of the diverging ramp."""
+        path = write_margin_heatmap(tmp_path / "m.ppm", report, cell_px=1)
+        raw = path.read_bytes()
+        header_end = raw.index(b"255\n") + 4
+        rgb = np.frombuffer(raw[header_end:], dtype=np.uint8).reshape(
+            report.n_chips, report.n_bits, 3
+        )
+        flipped = report.flipped
+        if flipped.any():
+            cells = rgb[flipped].astype(int)
+            assert (cells[:, 0] >= cells[:, 2]).all()  # red >= blue channel
+
+    def test_bad_cell_px_rejected(self, report, tmp_path):
+        with pytest.raises(ValueError, match="cell_px"):
+            write_margin_heatmap(tmp_path / "m.ppm", report, cell_px=0)

@@ -1,0 +1,106 @@
+"""Enrolment-time forecast: threshold math, scoring conventions, status."""
+
+import numpy as np
+import pytest
+
+from repro.forensics import (
+    STATUS_AT_RISK,
+    STATUS_FLIPPED,
+    STATUS_LABELS,
+    STATUS_STABLE,
+    classify_bits,
+    forecast_at_risk,
+    rms_drift,
+    score_forecast,
+)
+
+
+class TestRmsDrift:
+    def test_known_value(self):
+        fresh = np.array([0.0, 0.0])
+        aged = np.array([0.3, -0.4])
+        assert rms_drift(fresh, aged) == pytest.approx(np.sqrt(0.125))
+
+    def test_zero_drift(self):
+        m = np.array([0.1, -0.2])
+        assert rms_drift(m, m) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            rms_drift(np.array([]), np.array([]))
+
+
+class TestForecastAtRisk:
+    def test_threshold_is_k_times_drift(self):
+        fresh = np.array([[0.01, 0.05, -0.02, 0.2]])
+        forecast = forecast_at_risk(fresh, drift_scale=0.02, k=1.5)
+        assert forecast.threshold == pytest.approx(0.03)
+        assert forecast.at_risk.tolist() == [[True, False, True, False]]
+        assert forecast.at_risk_fraction == pytest.approx(0.5)
+
+    def test_strict_inequality_at_boundary(self):
+        forecast = forecast_at_risk(np.array([0.03]), drift_scale=0.02, k=1.5)
+        assert not forecast.at_risk[0]
+
+    def test_zero_drift_scale_flags_nothing(self):
+        forecast = forecast_at_risk(np.array([0.0, 0.1]), drift_scale=0.0)
+        assert not forecast.at_risk.any()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="drift_scale"):
+            forecast_at_risk(np.array([0.1]), drift_scale=-1.0)
+        with pytest.raises(ValueError, match="k"):
+            forecast_at_risk(np.array([0.1]), drift_scale=0.1, k=0.0)
+
+
+class TestScoreForecast:
+    def test_counts_and_rates(self):
+        at_risk = np.array([True, True, False, False])
+        flipped = np.array([True, False, True, False])
+        outcome = score_forecast(at_risk, flipped)
+        assert outcome.n_bits == 4
+        assert outcome.n_flipped == 2
+        assert outcome.n_at_risk == 2
+        assert outcome.n_caught == 1
+        assert outcome.precision == 0.5
+        assert outcome.recall == 0.5
+
+    def test_no_flips_recall_is_vacuously_one(self):
+        outcome = score_forecast(np.array([True, False]), np.zeros(2, bool))
+        assert outcome.recall == 1.0
+        assert outcome.precision == 0.0  # a flag with nothing flipped
+
+    def test_empty_at_risk_set(self):
+        quiet = score_forecast(np.zeros(3, bool), np.zeros(3, bool))
+        assert quiet.precision == 1.0 and quiet.recall == 1.0
+        missed = score_forecast(np.zeros(3, bool), np.array([True, False, False]))
+        assert missed.precision == 0.0 and missed.recall == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            score_forecast(np.zeros(3, bool), np.zeros(4, bool))
+
+
+class TestClassifyBits:
+    def test_flipped_wins_over_at_risk(self):
+        at_risk = np.array([False, True, True, False])
+        flipped = np.array([False, False, True, True])
+        status = classify_bits(at_risk, flipped)
+        assert status.tolist() == [
+            STATUS_STABLE,
+            STATUS_AT_RISK,
+            STATUS_FLIPPED,
+            STATUS_FLIPPED,
+        ]
+        assert status.dtype == np.int8
+
+    def test_labels_cover_codes(self):
+        assert set(STATUS_LABELS) == {
+            STATUS_STABLE,
+            STATUS_AT_RISK,
+            STATUS_FLIPPED,
+        }
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            classify_bits(np.zeros(2, bool), np.zeros(3, bool))

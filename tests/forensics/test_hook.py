@@ -1,0 +1,91 @@
+"""The margin-capture slot: install semantics and hot-path dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.forensics import hook
+from repro.forensics.hook import (
+    active_collector,
+    collector_session,
+    install_collector,
+    record_response_margins,
+    uninstall_collector,
+)
+
+
+class Sink:
+    def __init__(self):
+        self.calls = []
+
+    def record(self, frequencies, pairs, t_years, conditions):
+        self.calls.append((frequencies, pairs, t_years, conditions))
+
+
+@pytest.fixture(autouse=True)
+def clean_slot():
+    yield
+    uninstall_collector()
+
+
+class TestSlot:
+    def test_install_and_active(self):
+        sink = Sink()
+        install_collector(sink)
+        assert active_collector() is sink
+
+    def test_double_install_raises(self):
+        install_collector(Sink())
+        with pytest.raises(RuntimeError, match="already installed"):
+            install_collector(Sink())
+
+    def test_uninstall_idempotent(self):
+        install_collector(Sink())
+        uninstall_collector()
+        assert active_collector() is None
+        uninstall_collector()  # second call is a no-op
+
+
+class TestSession:
+    def test_restores_previous_collector(self):
+        outer, inner = Sink(), Sink()
+        install_collector(outer)
+        with collector_session(inner) as active:
+            assert active is inner
+            assert active_collector() is inner
+        assert active_collector() is outer
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with collector_session(Sink()):
+                raise RuntimeError("boom")
+        assert active_collector() is None
+
+    def test_nested_sessions(self):
+        a, b = Sink(), Sink()
+        with collector_session(a):
+            with collector_session(b):
+                assert active_collector() is b
+            assert active_collector() is a
+
+
+class TestRecordResponseMargins:
+    def test_disabled_is_silent(self):
+        assert active_collector() is None
+        record_response_margins(np.ones(4), np.array([[0, 1]]), 0.0, None)
+
+    def test_dispatches_to_installed_collector(self):
+        sink = Sink()
+        freqs = np.ones(4)
+        pairs = np.array([[0, 1]])
+        with collector_session(sink):
+            record_response_margins(freqs, pairs, 5.0, None)
+        assert len(sink.calls) == 1
+        assert sink.calls[0][0] is freqs
+        assert sink.calls[0][2] == 5.0
+
+    def test_module_slot_is_the_session_state(self):
+        """Workers sever capture by nulling the slot; keep that invariant."""
+        with collector_session(Sink()):
+            hook._collector = None
+            record_response_margins(np.ones(2), np.array([[0, 1]]), 0.0, None)
+        assert active_collector() is None

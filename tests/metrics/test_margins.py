@@ -1,0 +1,105 @@
+"""Signed comparison margins: sign convention, summaries, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.readout import ReadoutConfig, compare_pairs
+from repro.metrics import (
+    DEFAULT_HIST_BINS,
+    DEFAULT_HIST_LIMIT,
+    histogram_edges,
+    margin_histogram,
+    relative_margins,
+    summarize_margins,
+)
+
+
+class TestRelativeMargins:
+    def test_known_values(self):
+        freqs = np.array([110.0, 90.0, 100.0, 100.0])
+        pairs = np.array([[0, 1], [2, 3]])
+        margins = relative_margins(freqs, pairs)
+        assert margins[0] == pytest.approx(20.0 / 100.0)
+        assert margins[1] == 0.0
+
+    def test_sign_matches_compare_pairs(self):
+        from repro.transistor import ptm90
+
+        rng = np.random.default_rng(7)
+        freqs = rng.uniform(90.0e6, 110.0e6, size=(5, 16))
+        pairs = np.array([[2 * k, 2 * k + 1] for k in range(8)])
+        margins = relative_margins(freqs, pairs)
+        bits = compare_pairs(freqs, pairs, ptm90(), ReadoutConfig())
+        assert np.array_equal(margins > 0, bits.astype(bool))
+
+    def test_batch_axes_preserved(self):
+        freqs = np.ones((3, 4, 8))
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        assert relative_margins(freqs, pairs).shape == (3, 4, 3)
+
+    def test_antisymmetric_in_pair_order(self):
+        freqs = np.array([105.0, 95.0])
+        fwd = relative_margins(freqs, np.array([[0, 1]]))
+        rev = relative_margins(freqs, np.array([[1, 0]]))
+        assert fwd[0] == pytest.approx(-rev[0])
+
+    def test_bad_pairs_shape_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            relative_margins(np.ones(4), np.array([0, 1]))
+
+
+class TestSummarizeMargins:
+    def test_percentiles_of_abs(self):
+        margins = np.array([-0.1, 0.2, -0.3, 0.4])
+        summary = summarize_margins(margins, percentiles=(50.0,))
+        assert summary.n_values == 4
+        assert summary.min_abs == pytest.approx(0.1)
+        assert summary.mean_abs == pytest.approx(0.25)
+        assert summary.percentile(50) == pytest.approx(0.25)
+
+    def test_default_percentile_set(self):
+        summary = summarize_margins(np.linspace(-1, 1, 101))
+        assert sorted(summary.abs_percentiles) == [5.0, 25.0, 50.0, 75.0, 95.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_margins(np.array([]))
+
+
+class TestHistogram:
+    def test_edges_are_symmetric_with_zero_edge(self):
+        edges = histogram_edges()
+        assert edges.size == DEFAULT_HIST_BINS + 1
+        assert edges[0] == -DEFAULT_HIST_LIMIT
+        assert edges[-1] == DEFAULT_HIST_LIMIT
+        # an even bin count puts zero on an edge: no bin straddles a flip
+        assert 0.0 in edges
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            histogram_edges(limit=0.0)
+        with pytest.raises(ValueError, match="bins"):
+            histogram_edges(n_bins=1)
+
+    def test_counts_total_even_with_outliers(self):
+        edges = histogram_edges(limit=0.1, n_bins=4)
+        margins = np.array([-5.0, -0.09, 0.01, 0.09, 5.0])
+        counts = margin_histogram(margins, edges)
+        assert counts.dtype == np.int64
+        assert counts.sum() == margins.size
+        assert counts[0] == 2 and counts[-1] == 2  # outliers clipped in
+
+    def test_shard_counts_sum_to_whole(self):
+        """The property the parallel reduction relies on."""
+        rng = np.random.default_rng(3)
+        margins = rng.normal(0.0, 0.05, size=(10, 32))
+        edges = histogram_edges()
+        whole = margin_histogram(margins, edges)
+        parts = sum(
+            margin_histogram(shard, edges) for shard in np.array_split(margins, 3)
+        )
+        assert np.array_equal(whole, parts)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError, match="edges"):
+            margin_histogram(np.array([0.0]), np.array([0.0, 1.0]))

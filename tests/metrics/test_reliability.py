@@ -38,6 +38,57 @@ class TestReliability:
         assert report.std_flip_fraction == 0.0
 
 
+class TestReliabilityEdgeCases:
+    def test_single_chip_population(self):
+        """One chip: mean == worst == its flip fraction, std pinned to 0."""
+        report = reliability([np.array([0, 1, 1, 0])], [np.array([1, 1, 1, 0])])
+        assert report.per_chip.shape == (1,)
+        assert report.mean_flip_fraction == 0.25
+        assert report.worst_flip_fraction == 0.25
+        assert report.std_flip_fraction == 0.0
+
+    def test_single_chip_batched_fast_path(self):
+        golden = np.array([[0, 1, 1, 0]])
+        observed = np.array([[1, 1, 1, 0]])
+        report = reliability(golden, observed)
+        assert report.per_chip.tolist() == [0.25]
+        assert report.std_flip_fraction == 0.0
+
+    def test_zero_flip_population(self):
+        goldens = [np.array([0, 1, 1]), np.array([1, 0, 1])]
+        report = reliability(goldens, [g.copy() for g in goldens])
+        assert report.per_chip.tolist() == [0.0, 0.0]
+        assert report.mean_flip_fraction == 0.0
+        assert report.worst_flip_fraction == 0.0
+        assert report.std_flip_fraction == 0.0
+        assert report.mean_reliability == 1.0
+
+    def test_worst_flip_fraction_tie(self):
+        """Several chips sharing the max: worst is that value, reported
+        once, and every tied chip stays visible in per_chip."""
+        goldens = [np.zeros(4, int)] * 3
+        observeds = [
+            np.array([1, 1, 0, 0]),  # 0.5
+            np.array([0, 0, 1, 1]),  # 0.5 (tied worst)
+            np.array([1, 0, 0, 0]),  # 0.25
+        ]
+        report = reliability(goldens, observeds)
+        assert report.worst_flip_fraction == 0.5
+        assert np.count_nonzero(report.per_chip == 0.5) == 2
+
+    def test_all_chips_tied_at_total_flip(self):
+        goldens = np.zeros((3, 4), int)
+        observeds = np.ones((3, 4), int)
+        report = reliability(goldens, observeds)
+        assert report.worst_flip_fraction == 1.0
+        assert report.mean_flip_fraction == 1.0
+        assert report.std_flip_fraction == 0.0
+
+    def test_batched_empty_bit_axis_rejected(self):
+        with pytest.raises(ValueError, match="Hamming"):
+            reliability(np.zeros((2, 0)), np.zeros((2, 0)))
+
+
 class TestFlipCurve:
     def test_one_report_per_point(self):
         goldens = [np.array([0, 1, 1, 0])]

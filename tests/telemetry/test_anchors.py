@@ -132,3 +132,27 @@ class TestRender:
 
     def test_empty(self):
         assert "no anchors" in render_verdicts([])
+
+
+class TestForecastRecallBands:
+    """The forensics warn bands: one-sided encoding against an ideal 1.0."""
+
+    @pytest.fixture(
+        params=["conventional-forecast-recall", "aro-forecast-recall"]
+    )
+    def anchor(self, request):
+        return {a.name: a for a in PAPER_ANCHORS}[request.param]
+
+    def test_present_and_sourced_from_e13(self, anchor):
+        assert anchor.experiment == "e13"
+        assert anchor.metric.endswith(".forecast_recall")
+
+    def test_band_edges(self, anchor):
+        assert anchor.judge(1.0) == "pass"
+        assert anchor.judge(0.8) == "pass"  # the gate: recall >= 0.8
+        assert anchor.judge(0.79) == "warn"
+        assert anchor.judge(0.65) == "warn"
+        assert anchor.judge(0.64) == "fail"
+
+    def test_e13_joins_anchor_experiments(self):
+        assert "e13" in ANCHOR_EXPERIMENTS

@@ -187,3 +187,28 @@ class TestInstrumentedLoops:
         recs = read_events(tmp_path / "ev.jsonl")
         aging = [r for r in recs if r["stage"] == "aging.sample_prefactors"]
         assert aging and aging[-1]["done"] == aging[-1]["total"] == 3
+
+
+class TestSessionExceptionSafety:
+    """emitter_session must flush and uninstall when the body raises."""
+
+    def test_body_exception_uninstalls_and_closes(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with telemetry.emitter_session(path) as emitter:
+                emitter.lifecycle("run.start")
+                raise RuntimeError("boom")
+        assert telemetry.active_emitter() is None
+        assert emitter.closed
+        # every event written before the crash is on disk (per-write flush)
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["run.start"]
+
+    def test_slot_reusable_after_crash(self, tmp_path):
+        with pytest.raises(ValueError):
+            with telemetry.emitter_session(tmp_path / "a.jsonl"):
+                raise ValueError
+        with telemetry.emitter_session(tmp_path / "b.jsonl") as emitter:
+            assert telemetry.active_emitter() is emitter

@@ -141,3 +141,103 @@ class TestExecutionFields:
         report = capsys.readouterr().out
         assert "jobs=2" in report
         assert "0 hit(s) / 1 miss(es)" in report
+
+
+@pytest.fixture(scope="module")
+def explain_artifacts(tmp_path_factory):
+    """Real explain + ledger artefacts, produced the way CI's smoke does."""
+    root = tmp_path_factory.mktemp("explain")
+    json_path = root / "explain.json"
+    ledger_path = root / "ledger.jsonl"
+    code = cli_main(
+        ["explain", "--chips", "3", "--ros", "16", "--seed", "3",
+         "--json", str(json_path), "--ledger", str(ledger_path)]
+    )
+    assert code == 0
+    return json_path, ledger_path
+
+
+class TestValidateLedger:
+    def _entries(self, path):
+        return [json.loads(l) for l in path.read_text().splitlines()]
+
+    def test_real_ledger_is_clean(self, explain_artifacts):
+        _, ledger = explain_artifacts
+        assert validate_metrics.validate_ledger_entries(self._entries(ledger)) == []
+
+    def test_non_finite_scalar_flagged(self, explain_artifacts):
+        _, ledger = explain_artifacts
+        entries = self._entries(ledger)
+        entries[0]["scalars"]["ro-puf.margin_p5_pct"] = float("nan")
+        problems = validate_metrics.validate_ledger_entries(entries)
+        assert any("not finite" in p for p in problems)
+
+    def test_missing_e13_field_flagged(self, explain_artifacts):
+        """The ledger drops NaN/inf on write, so absence is the symptom."""
+        _, ledger = explain_artifacts
+        entries = self._entries(ledger)
+        del entries[0]["scalars"]["aro-puf.forecast_recall"]
+        problems = validate_metrics.validate_ledger_entries(entries)
+        assert any("aro-puf.forecast_recall" in p for p in problems)
+
+    def test_out_of_range_recall_flagged(self, explain_artifacts):
+        _, ledger = explain_artifacts
+        entries = self._entries(ledger)
+        entries[0]["scalars"]["ro-puf.forecast_recall"] = 1.7
+        problems = validate_metrics.validate_ledger_entries(entries)
+        assert any("outside [0, 1]" in p for p in problems)
+
+    def test_non_e13_entries_only_need_finite_scalars(self):
+        entries = [{"experiment": "e2", "scalars": {"x": 1.0}}]
+        assert validate_metrics.validate_ledger_entries(entries) == []
+
+    def test_main_ledger_mode(self, explain_artifacts, capsys):
+        _, ledger = explain_artifacts
+        assert validate_metrics.main(["--ledger", str(ledger)]) == 0
+        assert "ledger" in capsys.readouterr().out
+
+
+class TestValidateExplain:
+    def test_real_payload_is_clean(self, explain_artifacts):
+        json_path, _ = explain_artifacts
+        payload = json.loads(json_path.read_text())
+        assert validate_metrics.validate_explain_payload(payload) == []
+
+    def test_wrong_format_flagged(self, explain_artifacts):
+        json_path, _ = explain_artifacts
+        payload = json.loads(json_path.read_text())
+        payload["format"] = 99
+        problems = validate_metrics.validate_explain_payload(payload)
+        assert any("format" in p for p in problems)
+
+    def test_non_finite_forecast_flagged(self, explain_artifacts):
+        json_path, _ = explain_artifacts
+        payload = json.loads(json_path.read_text())
+        del payload["designs"]["ro-puf"]["forecast"]["recall"]
+        problems = validate_metrics.validate_explain_payload(payload)
+        assert any("forecast.recall" in p for p in problems)
+
+    def test_histogram_bin_mismatch_flagged(self, explain_artifacts):
+        json_path, _ = explain_artifacts
+        payload = json.loads(json_path.read_text())
+        hist = payload["designs"]["aro-puf"]["histogram"]
+        first = next(iter(hist["counts"]))
+        hist["counts"][first] = hist["counts"][first][:-1]
+        problems = validate_metrics.validate_explain_payload(payload)
+        assert any("bins" in p for p in problems)
+
+    def test_missing_designs_flagged(self):
+        problems = validate_metrics.validate_explain_payload(
+            {"format": 1, "kind": "explain", "config": {}}
+        )
+        assert any("designs" in p for p in problems)
+
+    def test_main_explain_mode(self, explain_artifacts, capsys):
+        json_path, _ = explain_artifacts
+        assert validate_metrics.main(["--explain", str(json_path)]) == 0
+        assert "2 design(s)" in capsys.readouterr().out
+
+    def test_main_explain_mode_rejects_metrics_payload(
+        self, metrics_file, capsys
+    ):
+        assert validate_metrics.main(["--explain", str(metrics_file)]) == 1

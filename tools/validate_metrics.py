@@ -1,18 +1,29 @@
 #!/usr/bin/env python
-"""Validate a ``--metrics-out`` artefact: CI's telemetry smoke check.
+"""Validate observability artefacts: CI's telemetry smoke check.
 
 Usage::
 
     python -m repro.cli run e2 --chips 4 --ros 16 --metrics-out /tmp/m.json
     python tools/validate_metrics.py /tmp/m.json
+    python tools/validate_metrics.py --ledger runs/ledger.jsonl
+    python tools/validate_metrics.py --explain explain.json
 
-Checks that the file is valid JSON, carries the expected top-level
-sections (``format``, ``version``, ``spans``, ``counters``, ``gauges``),
-that every
-span subtree is well-formed (name + non-negative duration), and that the
-embedded manifest satisfies :data:`repro.telemetry.MANIFEST_SCHEMA`.
+Default mode checks a ``--metrics-out`` payload: valid JSON, the
+expected top-level sections (``format``, ``version``, ``spans``,
+``counters``, ``gauges``), well-formed span subtrees (name +
+non-negative duration), and a manifest satisfying
+:data:`repro.telemetry.MANIFEST_SCHEMA`.
+
+``--ledger`` checks a run-ledger JSONL file: every recorded scalar must
+be finite (the ledger silently drops NaN/inf at write time, so a
+*missing* required field is how a poisoned scalar manifests) and every
+``e13`` entry must carry the full margin-forensics field set per design.
+
+``--explain`` checks a ``repro explain --json`` payload against the
+schema CI's explain smoke job relies on.
+
 Exit status 0 on success, 1 on any violation — wired into CI so a
-regression in the telemetry pipeline fails the build, not a user's
+regression in the observability pipeline fails the build, not a user's
 measurement campaign.
 
 Needs the package importable (run with ``PYTHONPATH=src`` from the repo
@@ -23,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import sys
 
@@ -105,27 +117,209 @@ def _check_execution_fields(manifest) -> list:
     return problems
 
 
+#: scalar fields every design block of an e13 ledger entry must carry.
+#: Because the ledger drops non-finite values on write, "present" is the
+#: proof that the experiment produced a real number for each of these.
+E13_REQUIRED_FIELDS = (
+    "margin_p5_pct",
+    "margin_p50_pct",
+    "drift_rms_pct",
+    "at_risk_pct",
+    "flipped_pct",
+    "forecast_recall",
+    "forecast_precision",
+)
+
+#: fields whose values are probabilities/rates bounded to [0, 1]
+_UNIT_INTERVAL_FIELDS = ("forecast_recall", "forecast_precision")
+
+
+def _finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_ledger_entries(entries) -> list:
+    """All problems in a run ledger's parsed JSONL entries (empty = ok).
+
+    Every scalar of every entry must be a finite number; ``e13`` entries
+    must additionally carry the complete margin-forensics field set for
+    each design they mention (a missing field means the experiment
+    produced NaN/inf and the ledger writer discarded it).
+    """
+    problems = []
+    for i, entry in enumerate(entries):
+        where = f"entry[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not a JSON object")
+            continue
+        experiment = entry.get("experiment")
+        if isinstance(experiment, str) and experiment:
+            where = f"entry[{i}] ({experiment})"
+        scalars = entry.get("scalars")
+        if not isinstance(scalars, dict):
+            problems.append(f"{where}: missing 'scalars' object")
+            continue
+        for key, value in scalars.items():
+            if not _finite_number(value):
+                problems.append(f"{where}: scalar {key!r} is not finite: {value!r}")
+        if experiment != "e13":
+            continue
+        designs = sorted({k.split(".")[0] for k in scalars if "." in k})
+        if not designs:
+            problems.append(f"{where}: e13 entry carries no per-design scalars")
+        for design in designs:
+            for field in E13_REQUIRED_FIELDS:
+                key = f"{design}.{field}"
+                if key not in scalars:
+                    problems.append(
+                        f"{where}: missing {key!r} (forensics produced a "
+                        "non-finite value, or the field set changed)"
+                    )
+            for field in _UNIT_INTERVAL_FIELDS:
+                value = scalars.get(f"{design}.{field}")
+                if value is not None and not 0.0 <= value <= 1.0:
+                    problems.append(
+                        f"{where}: {design}.{field} = {value!r} outside [0, 1]"
+                    )
+    return problems
+
+
+def validate_explain_payload(payload) -> list:
+    """All problems in a ``repro explain --json`` payload (empty = ok)."""
+    from repro.forensics.export import EXPLAIN_FORMAT
+
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("format") != EXPLAIN_FORMAT:
+        problems.append(
+            f"format is {payload.get('format')!r}, expected {EXPLAIN_FORMAT}"
+        )
+    if payload.get("kind") != "explain":
+        problems.append(f"kind is {payload.get('kind')!r}, expected 'explain'")
+    if not isinstance(payload.get("config"), dict):
+        problems.append("missing 'config' object")
+    designs = payload.get("designs")
+    if not isinstance(designs, dict) or not designs:
+        problems.append("missing or empty 'designs' object")
+        return problems
+    for name, block in designs.items():
+        where = f"designs[{name!r}]"
+        if not isinstance(block, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for section in ("margin_summary", "forecast", "histogram", "chip"):
+            if not isinstance(block.get(section), dict):
+                problems.append(f"{where}: missing section {section!r}")
+        forecast = block.get("forecast") or {}
+        for field in ("k", "drift_scale", "threshold", "precision", "recall"):
+            if not _finite_number(forecast.get(field)):
+                problems.append(f"{where}: forecast.{field} is not finite")
+        for field in ("precision", "recall"):
+            value = forecast.get(field)
+            if _finite_number(value) and not 0.0 <= value <= 1.0:
+                problems.append(f"{where}: forecast.{field} outside [0, 1]")
+        hist = block.get("histogram") or {}
+        edges = hist.get("edges")
+        counts = hist.get("counts")
+        if not isinstance(edges, list) or len(edges) < 3:
+            problems.append(f"{where}: histogram.edges must list >= 3 edges")
+        elif not isinstance(counts, dict) or not counts:
+            problems.append(f"{where}: histogram.counts is missing or empty")
+        else:
+            for year, row in counts.items():
+                if not isinstance(row, list) or len(row) != len(edges) - 1:
+                    problems.append(
+                        f"{where}: histogram.counts[{year!r}] must have "
+                        f"{len(edges) - 1} bins"
+                    )
+                elif any(not isinstance(c, int) or c < 0 for c in row):
+                    problems.append(
+                        f"{where}: histogram.counts[{year!r}] has "
+                        "non-integer or negative counts"
+                    )
+        chip = block.get("chip") or {}
+        bits = chip.get("bits")
+        if not isinstance(bits, list) or not bits:
+            problems.append(f"{where}: chip.bits is missing or empty")
+        else:
+            required = (
+                "bit",
+                "ro_a",
+                "ro_b",
+                "fresh_margin",
+                "horizon_margin",
+                "bti_shift",
+                "hci_shift",
+                "status",
+            )
+            for j, row in enumerate(bits):
+                missing = [f for f in required if f not in row]
+                if missing:
+                    problems.append(
+                        f"{where}: chip.bits[{j}] missing fields {missing}"
+                    )
+                    break
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="validate a repro.cli --metrics-out JSON artefact"
+        description="validate repro observability artefacts"
     )
-    parser.add_argument("path", type=pathlib.Path, help="metrics JSON file")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--ledger",
+        action="store_true",
+        help="treat PATH as a run-ledger JSONL file",
+    )
+    mode.add_argument(
+        "--explain",
+        action="store_true",
+        help="treat PATH as a 'repro explain --json' payload",
+    )
+    parser.add_argument("path", type=pathlib.Path, help="artefact to validate")
     args = parser.parse_args(argv)
 
     try:
-        payload = json.loads(args.path.read_text())
+        text = args.path.read_text()
     except OSError as exc:
         print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
         return 1
+
+    try:
+        if args.ledger:
+            entries = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+        else:
+            payload = json.loads(text)
     except json.JSONDecodeError as exc:
         print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
         return 1
 
-    problems = validate_payload(payload)
+    if args.ledger:
+        problems = validate_ledger_entries(entries)
+        summary = f"{len(entries)} ledger entr(ies), all scalars finite"
+    elif args.explain:
+        problems = validate_explain_payload(payload)
+        summary = (
+            f"explain payload, {len(payload.get('designs') or {})} design(s)"
+        )
+    else:
+        problems = validate_payload(payload)
+        summary = ""
     if problems:
         for problem in problems:
             print(f"invalid: {problem}", file=sys.stderr)
         return 1
+    if summary:
+        print(f"ok: {args.path} — {summary}")
+        return 0
     counters = payload.get("counters") or {}
     manifest = payload["manifest"]
     execution = f"jobs={manifest.get('jobs')}"
