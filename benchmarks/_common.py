@@ -78,6 +78,7 @@ def _write_payload(
     name: str,
     values: Mapping[str, float],
     counters: Optional[Mapping[str, float]] = None,
+    memory: Optional[Mapping[str, float]] = None,
 ) -> None:
     payload: Dict[str, Any] = {
         "name": name,
@@ -86,6 +87,8 @@ def _write_payload(
     }
     if counters:
         payload["counters"] = {k: float(v) for k, v in counters.items()}
+    if memory:
+        payload["memory"] = {k: float(v) for k, v in memory.items()}
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
@@ -96,6 +99,7 @@ def emit(
     text: str,
     values: Optional[Mapping[str, float]] = None,
     counters: Optional[Mapping[str, float]] = None,
+    memory: Optional[Mapping[str, float]] = None,
 ) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
@@ -105,12 +109,15 @@ def emit(
     ``<name>.json`` for :mod:`tools.bench_compare`, together with the run
     manifest.  ``counters`` is an optional telemetry counter snapshot
     (work-done metrics), diffed informationally by ``bench_compare``
-    rather than regression-gated.
+    rather than regression-gated.  ``memory`` is an optional mapping of
+    memory metrics (``peak_rss_bytes``, chips/sec footprints from the
+    out-of-core store gates); older artefacts without the section diff as
+    ``n/a``, never as an error.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if values is not None:
-        _write_payload(name, values, counters)
+        _write_payload(name, values, counters, memory)
     print(f"\n{text}\n")
 
 

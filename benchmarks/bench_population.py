@@ -22,9 +22,21 @@ can diff work alongside wall time.
 ``--jobs`` scaling curve end-to-end and enforces the >= 2x floor at four
 workers (skipped on boxes with fewer than four cores; the bit-identity
 companion check runs everywhere).
+
+``TestStoreOutOfCore`` gates the streaming population store: the
+``--store mmap`` sweep must be bit-identical to the dense serial path at
+paper scale, its overhead at in-RAM-feasible sizes must stay bounded,
+and a fresh-interpreter subprocess sweep (the only honest way to measure
+a peak-RSS high-water mark) must complete a 50k-chip E2 story inside a
+fixed memory ceiling at a useful chips/sec.  Set ``REPRO_BENCH_MILLION=1``
+to additionally run the full 1,000,000-chip x 128-bit acceptance sweep
+(< 4 GB peak RSS; needs ~65 GB of scratch disk and tens of minutes).
 """
 
+import json
 import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -409,3 +421,198 @@ class TestParallelScaling:
                 )
         finally:
             parallel.close()
+
+
+#: a self-contained E2-style sweep run in a *fresh* interpreter: the
+#: peak-RSS gate must see only the streaming path's own high-water mark,
+#: not whatever the pytest process happened to allocate before it.  The
+#: child prints one JSON line: wall time, chips/sec of response rows
+#: produced, ``ru_maxrss`` in bytes and the 10-year mean flip fraction
+#: (a sanity anchor: the streamed sweep still lands in the paper's band).
+_STORE_SWEEP_SCRIPT = """\
+import json, sys, time
+from repro.analysis import DEFAULT_YEARS
+from repro.core import aro_design
+from repro.metrics.reliability import reliability
+from repro.store import make_store_study
+from repro.telemetry import peak_rss_bytes
+
+n_chips, n_ros, block_size = (int(x) for x in sys.argv[1:4])
+design = aro_design(n_ros=n_ros)
+t0 = time.perf_counter()
+with make_store_study(design, n_chips, block_size=block_size) as study:
+    goldens = study.responses()
+    flips = [
+        reliability(goldens, study.responses(t_years=t)).mean_flip_fraction
+        for t in DEFAULT_YEARS
+    ]
+elapsed = time.perf_counter() - t0
+print(json.dumps({
+    "elapsed_s": elapsed,
+    "chips_per_s": n_chips * (len(DEFAULT_YEARS) + 1) / elapsed,
+    "peak_rss_bytes": peak_rss_bytes(),
+    "mean_flip_10y": flips[-1],
+}))
+"""
+
+
+def _run_store_sweep_subprocess(n_chips, n_ros, block_size, timeout_s):
+    out = subprocess.run(
+        [sys.executable, "-c", _STORE_SWEEP_SCRIPT]
+        + [str(n_chips), str(n_ros), str(block_size)],
+        capture_output=True,
+        text=True,
+        timeout=timeout_s,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    assert out.returncode == 0, (
+        f"store sweep subprocess failed:\n{out.stderr[-2000:]}"
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.slow
+class TestStoreOutOfCore:
+    """``--store mmap``: bit-identity, bounded overhead, bounded RSS."""
+
+    #: measured ~0.21 GB at this scale on the reference box; the dense
+    #: path needs >1 GB here, so the ceiling separates the two regimes
+    #: while absorbing allocator/platform noise
+    RSS_N_CHIPS = 50_000
+    RSS_N_ROS = 64
+    RSS_BLOCK = 2_000
+    RSS_CEILING_BYTES = 512 * 2**20
+    #: reference box streams ~25k chip-rows/sec; the floor only catches a
+    #: collapse (an accidental refabrication per year point, say), not
+    #: slow CI hardware
+    CHIPS_PER_S_FLOOR = 2_000.0
+
+    #: overhead is measured where the kernels, not the store's fixed
+    #: per-corner costs (spill files, block bookkeeping), dominate — the
+    #: regime the flag exists for.  2k chips x 256 ROs is comfortably
+    #: in-RAM-feasible (~40 MB/column) yet compute-bound.  The design
+    #: target is < 15 %; the hard gate is looser because single-core CI
+    #: boxes time both contenders noisily — the emitted artefact tracks
+    #: the honest number for bench_compare.
+    OVERHEAD_N_CHIPS = 2_000
+    OVERHEAD_HARD_CEILING = 0.50
+
+    def test_store_bit_identical_sweep(self):
+        """Dense and streamed sweeps agree bit-for-bit at paper scale."""
+        from repro.store import make_store_study
+
+        design = aro_design()
+        years = list(DEFAULT_YEARS)
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        g_ram, r_ram = _sweep_batched(batch, years)
+        with make_store_study(design, N_CHIPS, rng=SEED, block_size=7) as store:
+            g_mm = store.responses()
+            r_mm = [
+                reliability(g_mm, store.responses(t_years=t)) for t in years
+            ]
+        assert np.array_equal(g_ram, g_mm)
+        for a, b in zip(r_ram, r_mm):
+            assert a.mean_flip_fraction == b.mean_flip_fraction
+            assert np.array_equal(a.per_chip, b.per_chip)
+
+    def test_store_overhead(self):
+        """The streamed sweep stays near the dense one where both fit."""
+        from repro.store import make_store_study
+
+        design = aro_design()
+        years = list(DEFAULT_YEARS)
+        n_chips = self.OVERHEAD_N_CHIPS
+        batch = make_batch_study(design, n_chips=n_chips, rng=SEED)
+        t_ram = best_of(lambda: _sweep_batched(batch, years), rounds=5)
+
+        with make_store_study(design, n_chips, rng=SEED) as store:
+
+            def sweep_store():
+                store.drop_cached_corners()
+                goldens = store.responses()
+                for t in years:
+                    store.responses(t_years=t)
+                return goldens
+
+            t_mm = best_of(sweep_store, rounds=5)
+        overhead = t_mm / t_ram - 1.0
+        emit(
+            "store_overhead",
+            f"E2 aging sweep, {n_chips} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  in-RAM engine : {t_ram * 1e3:8.2f} ms\n"
+            f"  mmap store    : {t_mm * 1e3:8.2f} ms\n"
+            f"  overhead      : {100.0 * overhead:8.2f} %",
+            values={
+                "ram_s": t_ram,
+                "mmap_s": t_mm,
+                "mmap_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.OVERHEAD_HARD_CEILING, (
+            f"mmap sweep costs {overhead:+.1%} over the in-RAM engine "
+            f"({t_mm * 1e3:.2f} ms vs {t_ram * 1e3:.2f} ms); "
+            f"hard ceiling is {self.OVERHEAD_HARD_CEILING:.0%}"
+        )
+
+    def test_store_peak_rss_gate(self):
+        """A 50k-chip E2 story fits the streaming-path memory ceiling."""
+        stats = _run_store_sweep_subprocess(
+            self.RSS_N_CHIPS, self.RSS_N_ROS, self.RSS_BLOCK, timeout_s=580
+        )
+        peak = stats["peak_rss_bytes"]
+        rate = stats["chips_per_s"]
+        emit(
+            "store_peak_rss",
+            f"out-of-core E2 sweep, {self.RSS_N_CHIPS} chips x "
+            f"{self.RSS_N_ROS} ROs, block {self.RSS_BLOCK} (aro-puf)\n"
+            f"  wall time : {stats['elapsed_s']:8.2f} s\n"
+            f"  chip rows : {rate:8.0f} /s\n"
+            f"  peak RSS  : {peak / 2**20:8.1f} MiB\n"
+            f"  flip @10y : {100.0 * stats['mean_flip_10y']:8.2f} %",
+            values={
+                "elapsed_s": stats["elapsed_s"],
+                "chips_per_s": rate,
+            },
+            memory={"peak_rss_bytes": float(peak)},
+        )
+        assert peak <= self.RSS_CEILING_BYTES, (
+            f"streamed sweep peaked at {peak / 2**20:.0f} MiB, ceiling "
+            f"{self.RSS_CEILING_BYTES / 2**20:.0f} MiB"
+        )
+        assert rate >= self.CHIPS_PER_S_FLOOR, (
+            f"streamed sweep produced {rate:.0f} chip rows/sec, floor "
+            f"{self.CHIPS_PER_S_FLOOR:.0f}"
+        )
+
+    #: the ISSUE's acceptance run: 1M chips x 256 ROs (128 response bits)
+    #: in < 4 GB peak RSS.  Opt-in: needs ~65 GB scratch disk and tens of
+    #: minutes of single-core time.
+    MILLION_CEILING_BYTES = 4 * 2**30
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_BENCH_MILLION"),
+        reason="set REPRO_BENCH_MILLION=1 to run the million-chip sweep",
+    )
+    def test_million_chip_sweep(self):
+        stats = _run_store_sweep_subprocess(
+            1_000_000, 256, 20_000, timeout_s=4 * 3600
+        )
+        peak = stats["peak_rss_bytes"]
+        emit(
+            "store_million_chips",
+            f"out-of-core E2 sweep, 1,000,000 chips x 256 ROs (128 bits)\n"
+            f"  wall time : {stats['elapsed_s']:8.1f} s\n"
+            f"  chip rows : {stats['chips_per_s']:8.0f} /s\n"
+            f"  peak RSS  : {peak / 2**30:8.2f} GiB\n"
+            f"  flip @10y : {100.0 * stats['mean_flip_10y']:8.2f} %",
+            values={
+                "elapsed_s": stats["elapsed_s"],
+                "chips_per_s": stats["chips_per_s"],
+            },
+            memory={"peak_rss_bytes": float(peak)},
+        )
+        assert peak <= self.MILLION_CEILING_BYTES, (
+            f"million-chip sweep peaked at {peak / 2**30:.2f} GiB, "
+            f"ceiling 4 GiB"
+        )

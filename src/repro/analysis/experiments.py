@@ -99,11 +99,16 @@ class ExperimentConfig:
     the 90 nm card, with the standard 10-year consumer mission.
 
     ``jobs`` shards the batched engine's chip axis over that many worker
-    processes (``jobs=1`` stays in-process).  It changes wall-clock only:
-    every experiment that goes through :meth:`batch_study_for` (E1, E2,
-    E3, E5) returns bit-identical numbers for any worker count, so
-    ``jobs`` is deliberately *not* part of the result-defining config the
-    ledger and cache key digest.
+    processes (``jobs=1`` stays in-process).  ``store`` selects the
+    population backing: ``"ram"`` (default) is the dense in-RAM engine
+    and the bit-identity reference; ``"mmap"`` streams the population
+    through the out-of-core :mod:`repro.store` segments with bounded
+    RSS, ``block_size`` chips at a time, under ``store_dir`` (a temp
+    directory when unset).  All four knobs change wall-clock and memory
+    only: every experiment that goes through :meth:`batch_study_for`
+    (E1, E2, E3, E5, E13) returns bit-identical numbers for any worker
+    count, store backing or block size, so none of them is part of the
+    result-defining config the ledger and cache key digest.
     """
 
     n_chips: int = 50
@@ -112,10 +117,21 @@ class ExperimentConfig:
     seed: int = DEFAULT_SEED
     mission: MissionProfile = field(default_factory=MissionProfile)
     jobs: int = 1
+    store: str = "ram"
+    block_size: Optional[int] = None
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.store not in ("ram", "mmap"):
+            raise ValueError(
+                f"store must be 'ram' or 'mmap', got {self.store!r}"
+            )
+        if self.block_size is not None and self.block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
 
     def designs(self) -> Dict[str, PufDesign]:
         """The two contenders, keyed by their registry names."""
@@ -137,11 +153,15 @@ class ExperimentConfig:
         silicon: responses are bit-identical to the per-chip path).
 
         With ``jobs > 1`` the study is the chip-sharded parallel engine;
-        callers should ``closing(...)`` the returned study so its worker
-        pool is released promptly (the serial engine's ``close`` is a
-        no-op, so the pattern is engine-agnostic).
+        with ``store="mmap"`` it is out-of-core (the serial
+        :class:`~repro.store.study.StoreStudy`, or the parallel engine
+        with workers attached to one shared store).  Callers should
+        ``closing(...)`` the returned study so worker pools and owned
+        store directories are released promptly (the dense serial
+        engine's ``close`` is a no-op, so the pattern is
+        engine-agnostic).
         """
-        if self.jobs > 1:
+        if self.jobs > 1 or self.store == "mmap":
             from ..parallel import make_parallel_study
 
             return make_parallel_study(
@@ -150,6 +170,9 @@ class ExperimentConfig:
                 mission=self.mission,
                 rng=self.seed,
                 jobs=self.jobs,
+                store=self.store,
+                block_size=self.block_size,
+                store_dir=self.store_dir,
             )
         return make_batch_study(
             design, self.n_chips, mission=self.mission, rng=self.seed

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli run e2 --profile --metrics-out metrics.json
     python -m repro.cli run e2 --ledger runs/ledger.jsonl --events runs/events.jsonl
     python -m repro.cli run e2 --jobs 4
+    python -m repro.cli run e2 --chips 1000000 --ros 128 --store mmap
     python -m repro.cli run all --cache runs/cache
     python -m repro.cli history --ledger runs/ledger.jsonl
     python -m repro.cli check-anchors --chips 25 --ros 128
@@ -48,6 +49,12 @@ Execution flags:
 
 * ``--jobs N`` shards the batched engine's chip axis over N worker
   processes (E1/E2/E3/E5); results are bit-identical for any N;
+* ``--store mmap`` evaluates out-of-core: the population lives in lazily
+  fabricated memory-mapped column segments and is streamed block by
+  block, bounding peak RSS at any chip count (million-chip sweeps in a
+  few GB); responses are bit-identical to the in-RAM default.
+  ``--block-size`` sets the fabrication block in chips and
+  ``--store-dir`` persists the segments for re-attachment;
 * ``--cache DIR`` (``run`` / ``check-anchors``) reuses stored results
   when the content-addressed (experiment, config, version) key matches,
   printing an explicit ``cache hit:`` marker and recording hits/misses
@@ -196,6 +203,31 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for the batched engine (default 1 = serial; "
         "results are bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--store",
+        choices=["ram", "mmap"],
+        default="ram",
+        help="population storage: 'ram' holds the dense tensors in memory "
+        "(default, the bit-identity reference); 'mmap' streams lazily "
+        "fabricated memory-mapped column segments, bounding peak RSS at "
+        "any chip count (bit-identical to 'ram')",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=None,
+        metavar="CHIPS",
+        help="chips per store fabrication block with --store mmap "
+        "(default: sized for ~2M elements per column block)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for --store mmap segments (default: a temporary "
+        "directory, removed when the run ends; a named directory persists "
+        "and is re-attached by later runs of the same design+seed)",
     )
 
 
@@ -432,10 +464,14 @@ def _collect_manifest(
 ) -> telemetry.RunManifest:
     """One manifest per CLI invocation (all its ledger entries share it).
 
-    ``jobs`` and the cache summary ride as top-level manifest fields, not
-    inside ``config``: they change how the run executed, never what it
-    measured, so the ledger's config digest must not see them.
+    ``jobs``, the store mode and the cache summary ride as top-level
+    manifest fields, not inside ``config``: they change how the run
+    executed, never what it measured, so the ledger's config digest must
+    not see them.  Out-of-core runs additionally sample the process peak
+    RSS — the number the store exists to bound — so the ledger records
+    the memory high-water mark alongside the scalars it produced.
     """
+    peak = telemetry.peak_rss_bytes() if config.store == "mmap" else None
     return telemetry.RunManifest.collect(
         seed=config.seed,
         config={
@@ -448,18 +484,23 @@ def _collect_manifest(
         argv=sys.argv,
         jobs=config.jobs,
         cache=cache_summary,
+        store=config.store,
+        block_size=config.block_size,
+        peak_rss_bytes=peak,
     )
 
 
 def _result_config(config: exp.ExperimentConfig) -> Dict[str, Any]:
     """The result-determining config dict a cache key digests.
 
-    Everything that changes the numbers is in; ``jobs`` — bit-identical
-    by construction — is excluded, so a result computed at any worker
-    count satisfies a request at any other.
+    Everything that changes the numbers is in; ``jobs``, ``store``,
+    ``block_size`` and ``store_dir`` — all bit-identical by construction
+    — are excluded, so a result computed at any worker count or store
+    mode satisfies a request at any other.
     """
     cfg = dataclasses.asdict(config)
-    cfg.pop("jobs", None)
+    for key in ("jobs", "store", "block_size", "store_dir"):
+        cfg.pop(key, None)
     return cfg
 
 
@@ -691,6 +732,12 @@ def main(argv: Optional[list] = None) -> int:
         kwargs["seed"] = args.seed
     if getattr(args, "jobs", None) is not None:
         kwargs["jobs"] = args.jobs
+    if getattr(args, "store", None) is not None:
+        kwargs["store"] = args.store
+    if getattr(args, "block_size", None) is not None:
+        kwargs["block_size"] = args.block_size
+    if getattr(args, "store_dir", None) is not None:
+        kwargs["store_dir"] = args.store_dir
     if getattr(args, "eval_duty", None) is not None:
         kwargs["mission"] = MissionProfile(eval_duty=args.eval_duty)
     config = exp.ExperimentConfig(**kwargs)

@@ -160,6 +160,55 @@ def _stage_weights(
     return weights
 
 
+def frequency_block_kernel(
+    od: np.ndarray,
+    scratch: np.ndarray,
+    vth_rows: np.ndarray,
+    *,
+    vdd: float,
+    neg_alpha: float,
+    w_flat: np.ndarray,
+    period_out: np.ndarray,
+    tc_rows: Optional[np.ndarray] = None,
+    tc_coeff: float = 0.0,
+    subtract_aging=None,
+) -> None:
+    """One chip-axis block of the batched frequency kernel, into ``period_out``.
+
+    The exact operation sequence — subtract, optional tc term, optional
+    aging subtraction, ``exp(-alpha * log(od))`` in place, one BLAS
+    matvec — shared by :class:`BatchStudy` and the out-of-core
+    :class:`repro.store.study.StoreStudy`, so the two paths are
+    bit-identical by construction rather than by parallel maintenance.
+    ``subtract_aging(od, scratch)`` performs ``od -= delta`` for this
+    block; the caller owns the (memoised vs factored) grouping choice.
+    Must run inside ``np.errstate(invalid="ignore", divide="ignore")``;
+    ``period_out`` holds *periods* — the caller checks finiteness and
+    takes the reciprocal.
+    """
+    np.subtract(vdd, vth_rows, out=od)
+    if tc_rows is not None:
+        # off nominal temperature the tc mismatch term is non-zero
+        np.multiply(tc_rows, tc_coeff, out=scratch)
+        od -= scratch
+    if subtract_aging is not None:
+        subtract_aging(od, scratch)
+    # od ** -alpha as exp(-alpha * log(od)), in place (see
+    # batch_frequencies_from_overdrive); non-positive overdrives surface
+    # as NaN/inf periods for the caller's finiteness check.
+    np.log(od, out=od)
+    od *= neg_alpha
+    np.exp(od, out=od)
+    # the (stage, polarity) reduction as one BLAS matvec on no-copy
+    # views — what tensordot does internally, minus its per-call
+    # reshaping overhead
+    np.dot(
+        od.reshape(-1, w_flat.shape[0]),
+        w_flat,
+        out=period_out.reshape(-1),
+    )
+
+
 def batch_frequencies_from_overdrive(
     overdrive: np.ndarray, tech: TechnologyCard, weights: np.ndarray
 ) -> np.ndarray:
@@ -335,35 +384,28 @@ class BatchStudy:
                 stop = min(start + od_buf.shape[0], n_chips)
                 telemetry.progress("batch.frequencies", stop, n_chips)
                 rows = slice(start, stop)
-                od = od_buf[: stop - start]
-                scratch = scratch_buf[: stop - start]
-                np.subtract(vdd, self.view.vth[rows], out=od)
-                if delta_temp != 0.0:
-                    # off nominal temperature the tc mismatch term is non-zero
-                    np.multiply(
-                        self.view.tc_scale[rows],
-                        tech.vth_tc * delta_temp,
-                        out=scratch,
-                    )
-                    od -= scratch
                 if t > 0.0:
                     if delta is not None:
-                        od -= delta[rows]
+                        def subtract(od, scratch, rows=rows):
+                            od -= delta[rows]
                     else:
-                        self.aging.subtract_delta_into(t, od, scratch, rows=rows)
-                # od ** -alpha as exp(-alpha * log(od)), in place (see
-                # batch_frequencies_from_overdrive); non-positive overdrives
-                # surface as NaN/inf periods, checked once after the loop.
-                np.log(od, out=od)
-                od *= neg_alpha
-                np.exp(od, out=od)
-                # the (stage, polarity) reduction as one BLAS matvec on
-                # no-copy views — what tensordot does internally, minus
-                # its per-call reshaping overhead
-                np.dot(
-                    od.reshape(-1, w_flat.shape[0]),
-                    w_flat,
-                    out=period[rows].reshape(-1),
+                        def subtract(od, scratch, rows=rows):
+                            self.aging.subtract_delta_into(t, od, scratch, rows=rows)
+                else:
+                    subtract = None
+                frequency_block_kernel(
+                    od_buf[: stop - start],
+                    scratch_buf[: stop - start],
+                    self.view.vth[rows],
+                    vdd=vdd,
+                    neg_alpha=neg_alpha,
+                    w_flat=w_flat,
+                    period_out=period[rows],
+                    tc_rows=(
+                        self.view.tc_scale[rows] if delta_temp != 0.0 else None
+                    ),
+                    tc_coeff=tech.vth_tc * delta_temp,
+                    subtract_aging=subtract,
                 )
         if not np.isfinite(period).all():
             telemetry.end_span(sp)

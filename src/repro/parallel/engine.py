@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import itertools
 import os
+import pathlib
+import tempfile
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import List, Optional, Union
@@ -81,11 +83,16 @@ class ParallelBatchStudy:
         rng: RngLike = None,
         jobs: int = 2,
         mp_context=None,
+        store: str = "ram",
+        block_size: Optional[int] = None,
+        store_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if n_chips < 1:
             raise ValueError("n_chips must be positive")
+        if store not in ("ram", "mmap"):
+            raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
         mission = mission or MissionProfile()
         # Consume the RNG exactly like make_batch_study / make_study
         # (fabrication child first, then aging), then derive the whole
@@ -98,6 +105,32 @@ class ParallelBatchStudy:
         token = f"pid{os.getpid()}-study{next(_study_counter)}"
         self.design = design
         self.mission = mission
+        # With --store mmap the coordinator lays down one shared (still
+        # unmaterialised) store; workers attach by path and fabricate
+        # their own row windows into the common segments, so no tensor
+        # ever crosses a process boundary in either direction.
+        self._store_root: Optional[pathlib.Path] = None
+        self._own_store = False
+        self._population_store = None
+        if store == "mmap":
+            from ..store import PopulationStore
+
+            if store_dir is None:
+                self._store_root = pathlib.Path(
+                    tempfile.mkdtemp(prefix="repro-store-")
+                )
+                self._own_store = True
+            else:
+                self._store_root = pathlib.Path(store_dir)
+            self._population_store = PopulationStore.create(
+                self._store_root,
+                design,
+                n_chips,
+                mission=mission,
+                idle_policy=idle_policy,
+                keys=(fab_keys, aging_keys),
+                block_size=block_size,
+            )
         self._specs = [
             ShardSpec(
                 design=design,
@@ -106,6 +139,9 @@ class ParallelBatchStudy:
                 chip_start=start,
                 fab_keys=tuple(fab_keys[start:stop]),
                 aging_keys=tuple(aging_keys[start:stop]),
+                store_root=(
+                    str(self._store_root) if self._store_root is not None else None
+                ),
             )
             for start, stop in shard_bounds(n_chips, jobs)
         ]
@@ -142,10 +178,23 @@ class ParallelBatchStudy:
         return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; pool restarts on use)."""
+        """Shut the worker pool down (idempotent; pool restarts on use).
+
+        A coordinator-owned mmap store (one created in a temp directory
+        rather than adopted from ``store_dir``) is deleted with the pool:
+        its segments are scratch space for this study, not a cache.
+        """
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        store, self._population_store = self._population_store, None
+        if store is not None:
+            store.close()
+        if self._own_store and self._store_root is not None:
+            from ..store import remove_store
+
+            remove_store(self._store_root)
+            self._store_root = None
 
     def __enter__(self) -> "ParallelBatchStudy":
         return self
@@ -371,17 +420,38 @@ def make_parallel_study(
     rng: RngLike = None,
     jobs: int = 1,
     mp_context=None,
+    store: str = "ram",
+    block_size: Optional[int] = None,
+    store_dir: Optional[str] = None,
 ) -> Union[BatchStudy, ParallelBatchStudy]:
-    """Drop-in for :func:`make_batch_study` with a ``--jobs`` knob.
+    """Drop-in for :func:`make_batch_study` with ``--jobs``/``--store`` knobs.
 
-    ``jobs <= 1`` returns the serial :class:`BatchStudy` unchanged (no
-    pool, no pickling); ``jobs > 1`` returns a :class:`ParallelBatchStudy`
-    sharded over ``min(jobs, n_chips)`` worker processes.  Either way the
-    same seed produces bit-identical responses, frequencies and deltas.
+    ``jobs <= 1`` returns a serial engine (no pool, no pickling): the
+    dense in-RAM :class:`BatchStudy` for ``store="ram"``, the out-of-core
+    :class:`~repro.store.study.StoreStudy` for ``store="mmap"``.
+    ``jobs > 1`` returns a :class:`ParallelBatchStudy` sharded over
+    ``min(jobs, n_chips)`` worker processes — with ``store="mmap"`` the
+    workers share one mmap store instead of fabricating in-RAM shards.
+    Every combination of the two knobs produces bit-identical responses,
+    frequencies and deltas under the same seed.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if store not in ("ram", "mmap"):
+        raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
     if jobs == 1:
+        if store == "mmap":
+            from ..store import make_store_study
+
+            return make_store_study(
+                design,
+                n_chips,
+                mission=mission,
+                idle_policy=idle_policy,
+                rng=rng,
+                block_size=block_size,
+                store_dir=store_dir,
+            )
         return make_batch_study(
             design, n_chips, mission=mission, idle_policy=idle_policy, rng=rng
         )
@@ -393,4 +463,7 @@ def make_parallel_study(
         rng=rng,
         jobs=jobs,
         mp_context=mp_context,
+        store=store,
+        block_size=block_size,
+        store_dir=store_dir,
     )

@@ -71,6 +71,14 @@ class ShardSpec:
     fab_keys, aging_keys:
         This shard's slice of the population's fabrication / aging spawn
         keys (ints; see :func:`repro._rng.spawn_keys`).
+    store_root:
+        When set, the path of a shared
+        :class:`~repro.store.store.PopulationStore`: the worker attaches
+        to its mmap segments (by path + row offset) and evaluates
+        out-of-core over rows ``[chip_start, chip_start + n_chips)``
+        instead of fabricating an in-RAM shard.  The keys still ride
+        along — they are a few bytes per chip and double as the worker's
+        identity check against the store's persisted key lists.
     """
 
     design: PufDesign
@@ -79,6 +87,7 @@ class ShardSpec:
     chip_start: int
     fab_keys: Tuple[int, ...]
     aging_keys: Tuple[int, ...]
+    store_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.fab_keys:

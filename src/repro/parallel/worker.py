@@ -26,10 +26,11 @@ initializer (and again, defensively, at the top of every task).
 
 from __future__ import annotations
 
+import pathlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from ..forensics import hook as _hook_mod
 from ..telemetry import events as _events_mod
 from ..telemetry import tracer as _tracer_mod
 from ..variation.chip import ChipPopulation
+from .cache import ResultCache
 from .sharding import ShardSpec
 
 
@@ -126,7 +128,7 @@ def worker_init() -> None:
 #: token.  Tasks are distributed by the pool, not pinned, so one worker
 #: may see several shards over a study's lifetime; the LRU bound keeps a
 #: long-lived worker from accumulating every shard of every study.
-_SHARD_CACHE: "OrderedDict[str, BatchStudy]" = OrderedDict()
+_SHARD_CACHE: "OrderedDict[str, Union[BatchStudy, object]]" = OrderedDict()
 _SHARD_CACHE_SIZE = 8
 
 
@@ -168,14 +170,50 @@ def fabricate_shard(spec: ShardSpec) -> BatchStudy:
         )
 
 
-def _cached_shard(token: str, spec: ShardSpec) -> BatchStudy:
+def attach_shard(spec: ShardSpec):
+    """Attach a :class:`~repro.store.study.StoreStudy` window to the
+    coordinator's shared segments (``spec.store_root`` is set).
+
+    Nothing is re-fabricated eagerly: the worker's study materialises the
+    store blocks overlapping its row window on first touch, writing into
+    the *same* files every other worker maps, so a block is fabricated at
+    most once per sweep across the whole pool (identical bytes if two
+    workers ever race on a boundary block).  The worker's frequency memo
+    spills next to the store, keeping worker RSS block-bounded too.
+    """
+    from ..store import PopulationStore, StoreStudy
+
+    root = pathlib.Path(spec.store_root)
+    with telemetry.span(
+        "parallel.attach_shard",
+        chip_start=spec.chip_start,
+        n_chips=spec.n_chips,
+    ):
+        store = PopulationStore.attach(
+            root,
+            spec.design,
+            mission=spec.mission,
+            idle_policy=spec.idle_policy,
+        )
+        return StoreStudy(
+            spec.design,
+            store,
+            mission=spec.mission,
+            idle_policy=spec.idle_policy,
+            row_start=spec.chip_start,
+            row_stop=spec.chip_start + spec.n_chips,
+            spill=ResultCache(root / "spill"),
+        )
+
+
+def _cached_shard(token: str, spec: ShardSpec):
     shard = _SHARD_CACHE.get(token)
     if shard is not None:
         _SHARD_CACHE.move_to_end(token)
         telemetry.count("parallel.shard_cache_hits")
         return shard
     telemetry.count("parallel.shard_cache_misses")
-    shard = fabricate_shard(spec)
+    shard = attach_shard(spec) if spec.store_root else fabricate_shard(spec)
     _SHARD_CACHE[token] = shard
     if len(_SHARD_CACHE) > _SHARD_CACHE_SIZE:
         _SHARD_CACHE.popitem(last=False)
@@ -230,6 +268,11 @@ def evaluate_shard(
                     req.t_years,
                     conditions=req.conditions,
                 )
+            if isinstance(out, np.memmap):
+                # a store-backed shard hands back a read-only memmap of
+                # its spilled corner; materialise the shard slice so the
+                # reply pickles as plain bytes
+                out = np.array(out)
             arrays.append(out)
         span_totals = _span_totals(tracer)
         counters = dict(tracer.counters)

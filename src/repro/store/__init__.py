@@ -1,0 +1,36 @@
+"""Out-of-core population storage and evaluation (``--store mmap``).
+
+The streaming counterpart of the in-RAM population engine: a
+:class:`~repro.store.store.PopulationStore` holds the population's
+process and aging columns as lazily fabricated, memory-mapped ``.npy``
+segments, and a :class:`~repro.store.study.StoreStudy` evaluates them
+block by block with bounded RSS — bit-identical responses at any block
+size and worker count, million-chip sweeps on laptop RAM.
+"""
+
+from .store import (
+    AGING_COLUMNS,
+    COLUMNS,
+    FAB_COLUMNS,
+    STORE_FORMAT,
+    PopulationStore,
+    default_block_size,
+    flush_rows,
+    release_rows,
+    remove_store,
+)
+from .study import StoreStudy, make_store_study
+
+__all__ = [
+    "AGING_COLUMNS",
+    "COLUMNS",
+    "FAB_COLUMNS",
+    "STORE_FORMAT",
+    "PopulationStore",
+    "StoreStudy",
+    "default_block_size",
+    "flush_rows",
+    "make_store_study",
+    "release_rows",
+    "remove_store",
+]

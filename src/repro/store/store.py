@@ -1,0 +1,583 @@
+"""Memory-mapped columnar population store (out-of-core fabrication).
+
+A :class:`PopulationStore` is the on-disk form of what
+:class:`~repro.core.population.PopulationView` plus
+:class:`~repro.aging.simulator.PopulationAging` hold in RAM: one
+``.npy``-backed mmap segment per population column —
+
+* ``vth`` — threshold tensor, ``(n_chips, n_ros, n_stages, 2)`` volts;
+* ``tc_scale`` — temperature-coefficient mismatch, same shape;
+* ``bti_coeff`` / ``hci_coeff`` — the *folded* aging coefficient
+  tensors of :class:`~repro.aging.simulator.PopulationAging` (prefactor
+  x Arrhenius x polarity factor), same shape;
+* ``bti_dir`` / ``hci_dir`` — the coefficients further folded with the
+  mission's duty/transition powers (``PopulationAging``'s ``_bti_dir`` /
+  ``_hci_dir``), the form the hot frequency path multiplies by a scalar
+  of ``t`` — stored so a sweep pays the folding once at fabrication,
+  exactly like the in-RAM engine, instead of once per corner
+
+— fabricated lazily, block-by-block, from the
+:func:`repro._rng.spawn_keys` discipline.  The full population's
+fabrication and aging key lists are derived **once** at creation and
+persisted next to the segments, so materialising chips ``[lo, hi)``
+later (in any process, in any order) replays exactly the child streams
+a serial :func:`~repro.core.population.make_batch_study` would have
+consumed for those rows: every materialised byte is independent of
+which blocks were touched before it.
+
+Column segments are created *sparse* at final size and a per-column
+block bitmap (``<col>.flags.npy``) records which blocks hold real
+bytes; the flag for a block is raised only after its rows are written
+and flushed, so readers in other processes never observe half-written
+blocks as materialised (re-fabricating a block concurrently writes the
+same bytes — the race is benign by determinism).  Columns that an
+evaluation never reads (``tc_scale`` at nominal temperature, the aging
+coefficients at ``t = 0``) are never fabricated and never cost disk.
+
+The store deliberately knows nothing about frequencies or responses —
+that is :class:`~repro.store.study.StoreStudy` — and holds no RNG
+state: identity lives in ``meta.json`` (a content key digesting the
+design/mission fingerprint and the key lists), which is what lets the
+parallel engine's workers attach to the coordinator's segments by path
+instead of receiving tensors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap as _mmaplib
+import os
+import pathlib
+import shutil
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import telemetry
+from .._rng import RngLike, as_generator, spawn, spawn_keys
+from ..aging import hci, nbti
+from ..aging.schedule import IdlePolicy, MissionProfile
+from ..aging.simulator import AgingSimulator
+from ..core.base import PufDesign
+from ..variation.chip import NMOS, PMOS
+
+PathLike = Union[str, pathlib.Path]
+
+#: layout version of the on-disk store, bumped on format changes
+STORE_FORMAT = 1
+
+#: columns fabricated from the *fabrication* key of a chip
+FAB_COLUMNS = ("vth", "tc_scale")
+#: columns fabricated from the *aging* key of a chip.  The ``_coeff``
+#: pair keeps the exact grouping the mechanism-attribution path needs;
+#: the ``_dir`` pair is the same data pre-multiplied by the mission's
+#: duty/transition powers for the hot frequency path.  An evaluation
+#: materialises only the pair it reads, so a plain aging sweep never
+#: pays disk for the raw coefficients (nor vice versa).
+AGING_COLUMNS = ("bti_coeff", "hci_coeff", "bti_dir", "hci_dir")
+#: every column, in canonical order
+COLUMNS = FAB_COLUMNS + AGING_COLUMNS
+
+#: default block granularity in per-column tensor elements (~16 MiB of
+#: float64 per column block at the paper's 256-RO geometry): big enough
+#: to amortise the per-block Python overhead, small enough that a
+#: handful of in-flight blocks stays far below the RSS budget
+DEFAULT_BLOCK_ELEMS = 2_000_000
+
+_GRAN = _mmaplib.ALLOCATIONGRANULARITY
+
+
+def default_block_size(n_ros: int, n_stages: int) -> int:
+    """Chips per block for the default ~16 MiB column-block budget."""
+    per_chip = int(n_ros) * int(n_stages) * 2
+    return max(1, DEFAULT_BLOCK_ELEMS // per_chip)
+
+
+def _design_fingerprint(
+    design: PufDesign,
+    mission: MissionProfile,
+    idle_policy: Optional[IdlePolicy],
+    n_chips: int,
+) -> Dict[str, object]:
+    """The JSON-stable identity of what the store's bytes depend on.
+
+    Everything that changes a stored value must appear here; knobs that
+    only change how fast the values are produced (block size, jobs) must
+    not.  ``CellDescriptor`` is fingerprinted field-by-field because its
+    ``_builder`` callable repr carries a memory address; pairing and
+    readout are *excluded* — they shape responses, not the stored
+    process/aging columns.
+    """
+    cell = design.cell
+    return {
+        "format": STORE_FORMAT,
+        "design": {
+            "name": design.name,
+            "n_ros": design.n_ros,
+            "n_stages": design.n_stages,
+            "tech": repr(design.tech),
+            "layout": str(design.layout),
+            "cell": {
+                "kind": str(cell.kind),
+                "n_stages": cell.n_stages,
+                "stage0_penalty": cell.stage0_penalty,
+                "c_load_factor": cell.c_load_factor,
+                "idle_inputs": sorted(cell.idle_inputs.items()),
+                "active_inputs": sorted(cell.active_inputs.items()),
+            },
+        },
+        "mission": repr(mission),
+        "idle_policy": str(idle_policy),
+        "n_chips": int(n_chips),
+    }
+
+
+def _content_key(fingerprint: Dict[str, object], keys_digest: str) -> str:
+    blob = json.dumps(
+        {"fingerprint": fingerprint, "keys_sha256": keys_digest},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _keys_digest(fab_keys: np.ndarray, aging_keys: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(fab_keys).tobytes())
+    digest.update(np.ascontiguousarray(aging_keys).tobytes())
+    return digest.hexdigest()
+
+
+def _row_byte_span(mm: np.memmap, lo: int, hi: int) -> Tuple[int, int]:
+    """Page-aligned ``(start, length)`` of rows ``[lo, hi)`` inside the
+    underlying ``mmap`` buffer (which starts at the granularity-aligned
+    file offset below the array data)."""
+    row_nbytes = mm.strides[0]
+    data0 = mm.offset % _GRAN
+    start = data0 + lo * row_nbytes
+    stop = data0 + hi * row_nbytes
+    aligned_start = (start // _GRAN) * _GRAN
+    aligned_stop = min(-(-stop // _GRAN) * _GRAN, len(mm._mmap))
+    return aligned_start, max(0, aligned_stop - aligned_start)
+
+
+def flush_rows(mm: np.memmap, lo: int, hi: int) -> None:
+    """msync rows ``[lo, hi)`` of a writable memmap to the file."""
+    start, length = _row_byte_span(mm, lo, hi)
+    if length:
+        mm._mmap.flush(start, length)
+
+
+def release_rows(mm: np.memmap, lo: int, hi: int) -> None:
+    """Drop rows ``[lo, hi)`` from the process's resident set.
+
+    ``MADV_DONTNEED`` on a shared file mapping unmaps the PTEs without
+    touching the page cache, so the data stays warm for re-reads while
+    the pages stop counting against this process's RSS — the mechanism
+    that keeps a million-chip sweep under the memory gate.  No-op where
+    the platform lacks ``madvise`` (the sweep still works, just with the
+    OS deciding eviction).
+    """
+    if not hasattr(_mmaplib, "MADV_DONTNEED"):  # pragma: no cover
+        return
+    start, length = _row_byte_span(mm, lo, hi)
+    if length:
+        try:
+            mm._mmap.madvise(_mmaplib.MADV_DONTNEED, start, length)
+        except (AttributeError, OSError):  # pragma: no cover - best effort
+            pass
+
+
+class PopulationStore:
+    """Columnar, block-lazily-fabricated population segments on disk.
+
+    Construct through :meth:`create` (derives and persists the key
+    lists; reuses a matching existing store in place) or :meth:`attach`
+    (maps an existing store after verifying its identity against the
+    supplied design/mission).  All processes attached to one root see
+    one coherent population: segments are shared file mappings and the
+    block bitmaps are only raised after a flush.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        design: PufDesign,
+        mission: MissionProfile,
+        idle_policy: Optional[IdlePolicy],
+        n_chips: int,
+        block_size: int,
+        fab_keys: np.ndarray,
+        aging_keys: np.ndarray,
+        content_key: str,
+    ):
+        self.root = pathlib.Path(root)
+        self.design = design
+        self.mission = mission
+        self.idle_policy = idle_policy
+        self.n_chips = int(n_chips)
+        self.block_size = int(block_size)
+        self.n_blocks = -(-self.n_chips // self.block_size)
+        self.content_key = content_key
+        self._fab_keys = fab_keys
+        self._aging_keys = aging_keys
+        self._model = design.variation_model()
+        self._k_t = nbti.temperature_acceleration(
+            mission.temperature_k, design.tech.nbti
+        )
+        # Mission-folded duty/transition powers for the ``_dir`` columns,
+        # built with the same expressions, on the same (1, 1, s, 2)
+        # layout, as PopulationAging.__init__ builds ``_bti_dir`` /
+        # ``_hci_dir`` — the stored products are bit-identical to the
+        # in-RAM tensors.
+        simulator = AgingSimulator(
+            design.tech, design.cell, mission, idle_policy=idle_policy
+        )
+        stress = simulator.stress
+        n_stages = stress.n_stages
+        duty = np.empty((1, 1, n_stages, 2))
+        duty[0, 0, :, PMOS] = stress.nbti_duty[:, PMOS]
+        duty[0, 0, :, NMOS] = stress.pbti_duty[:, NMOS]
+        tpy = np.empty((1, 1, n_stages, 2))
+        tpy[0, 0, :, PMOS] = stress.transitions_per_year[:, PMOS]
+        tpy[0, 0, :, NMOS] = stress.transitions_per_year[:, NMOS]
+        self._duty_pow = duty ** design.tech.nbti.n
+        self._tpy_pow = (
+            tpy / design.tech.hci.ref_transitions
+        ) ** design.tech.hci.m
+        self._cols: Dict[str, np.memmap] = {}
+        self._flags: Dict[str, np.memmap] = {}
+        self._closed = False
+
+    # ---- construction ------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: PathLike,
+        design: PufDesign,
+        n_chips: int,
+        *,
+        mission: Optional[MissionProfile] = None,
+        idle_policy: Optional[IdlePolicy] = None,
+        rng: RngLike = None,
+        keys: Optional[Tuple[Sequence[int], Sequence[int]]] = None,
+        block_size: Optional[int] = None,
+    ) -> "PopulationStore":
+        """Create (or adopt) the store for one population at ``root``.
+
+        Consumes ``rng`` exactly like
+        :func:`~repro.core.population.make_batch_study` — ``fab_rng,
+        aging_rng = spawn(rng, 2)``, then one full-population
+        :func:`~repro._rng.spawn_keys` draw from each — unless ``keys``
+        supplies pre-derived ``(fab_keys, aging_keys)`` (the parallel
+        engine already holds them).  If ``root`` contains a store with
+        the same content key it is adopted as-is, keeping its segments,
+        bitmaps and block size; a mismatching store is an error, never
+        silently overwritten.
+        """
+        if n_chips <= 0:
+            raise ValueError("n_chips must be positive")
+        mission = mission or MissionProfile()
+        if keys is None:
+            fab_rng, aging_rng = spawn(rng, 2)
+            fab_keys = np.asarray(spawn_keys(fab_rng, n_chips), dtype=np.int64)
+            aging_keys = np.asarray(spawn_keys(aging_rng, n_chips), dtype=np.int64)
+        else:
+            fab_keys = np.asarray(list(keys[0]), dtype=np.int64)
+            aging_keys = np.asarray(list(keys[1]), dtype=np.int64)
+            if fab_keys.shape != (n_chips,) or aging_keys.shape != (n_chips,):
+                raise ValueError("keys must supply one fab and one aging key per chip")
+        fingerprint = _design_fingerprint(design, mission, idle_policy, n_chips)
+        content_key = _content_key(fingerprint, _keys_digest(fab_keys, aging_keys))
+        if block_size is None:
+            block_size = default_block_size(design.n_ros, design.n_stages)
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+
+        root = pathlib.Path(root)
+        meta_path = root / "meta.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("content_key") != content_key:
+                raise ValueError(
+                    f"{root} already holds a different population "
+                    f"(content key mismatch); refusing to overwrite"
+                )
+            block_size = int(meta["block_size"])
+            return cls(
+                root,
+                design=design,
+                mission=mission,
+                idle_policy=idle_policy,
+                n_chips=n_chips,
+                block_size=block_size,
+                fab_keys=fab_keys,
+                aging_keys=aging_keys,
+                content_key=content_key,
+            )
+
+        root.mkdir(parents=True, exist_ok=True)
+        np.save(root / "fab_keys.npy", fab_keys)
+        np.save(root / "aging_keys.npy", aging_keys)
+        n_blocks = -(-n_chips // block_size)
+        shape = (n_chips, design.n_ros, design.n_stages, 2)
+        for name in COLUMNS:
+            # sparse at final size: ftruncate allocates no blocks, so an
+            # unread column never costs disk
+            seg = np.lib.format.open_memmap(
+                root / f"{name}.npy", mode="w+", dtype=np.float64, shape=shape
+            )
+            del seg
+            flags = np.lib.format.open_memmap(
+                root / f"{name}.flags.npy",
+                mode="w+",
+                dtype=np.uint8,
+                shape=(n_blocks,),
+            )
+            flags[:] = 0
+            flags.flush()
+            del flags
+        meta = {
+            "format": STORE_FORMAT,
+            "content_key": content_key,
+            "fingerprint": fingerprint,
+            "n_chips": int(n_chips),
+            "block_size": int(block_size),
+            "columns": list(COLUMNS),
+        }
+        tmp = meta_path.with_name(meta_path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True, default=str) + "\n")
+        os.replace(tmp, meta_path)
+        return cls(
+            root,
+            design=design,
+            mission=mission,
+            idle_policy=idle_policy,
+            n_chips=n_chips,
+            block_size=block_size,
+            fab_keys=fab_keys,
+            aging_keys=aging_keys,
+            content_key=content_key,
+        )
+
+    @classmethod
+    def attach(
+        cls,
+        root: PathLike,
+        design: PufDesign,
+        *,
+        mission: Optional[MissionProfile] = None,
+        idle_policy: Optional[IdlePolicy] = None,
+    ) -> "PopulationStore":
+        """Map an existing store, verifying it is *this* population.
+
+        Workers call this with the design/mission from their shard spec;
+        the recomputed fingerprint plus the persisted key lists must
+        reproduce the stored content key, so attaching to the wrong
+        store (or a corrupted one) fails loudly instead of silently
+        evaluating someone else's silicon.
+        """
+        root = pathlib.Path(root)
+        meta_path = root / "meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no population store at {root}")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"store format {meta.get('format')!r} != {STORE_FORMAT}"
+            )
+        mission = mission or MissionProfile()
+        n_chips = int(meta["n_chips"])
+        fab_keys = np.load(root / "fab_keys.npy")
+        aging_keys = np.load(root / "aging_keys.npy")
+        fingerprint = _design_fingerprint(design, mission, idle_policy, n_chips)
+        content_key = _content_key(fingerprint, _keys_digest(fab_keys, aging_keys))
+        if content_key != meta.get("content_key"):
+            raise ValueError(
+                f"store at {root} does not match the supplied design/mission "
+                "(content key mismatch)"
+            )
+        return cls(
+            root,
+            design=design,
+            mission=mission,
+            idle_policy=idle_policy,
+            n_chips=n_chips,
+            block_size=int(meta["block_size"]),
+            fab_keys=fab_keys,
+            aging_keys=aging_keys,
+            content_key=content_key,
+        )
+
+    # ---- segments ----------------------------------------------------
+
+    def column(self, name: str) -> np.memmap:
+        """The shared writable mapping of one column segment."""
+        if name not in COLUMNS:
+            raise KeyError(f"unknown column {name!r}")
+        mm = self._cols.get(name)
+        if mm is None:
+            mm = np.load(self.root / f"{name}.npy", mmap_mode="r+")
+            self._cols[name] = mm
+        return mm
+
+    def _flag_map(self, name: str) -> np.memmap:
+        mm = self._flags.get(name)
+        if mm is None:
+            mm = np.load(self.root / f"{name}.flags.npy", mmap_mode="r+")
+            self._flags[name] = mm
+        return mm
+
+    def materialised_blocks(self, name: str) -> int:
+        """How many blocks of ``name`` hold fabricated bytes (testing aid)."""
+        return int(np.count_nonzero(self._flag_map(name)))
+
+    # ---- fabrication -------------------------------------------------
+
+    def ensure_rows(self, start: int, stop: int, columns: Iterable[str]) -> None:
+        """Materialise every block overlapping rows ``[start, stop)``.
+
+        Only the named ``columns`` are fabricated (and only where their
+        block flag is still down); a later call needing another column of
+        the same rows replays the same chip draws and fills just the
+        missing segment — the spawn-key discipline makes the replay
+        byte-identical.
+        """
+        if not 0 <= start <= stop <= self.n_chips:
+            raise ValueError(f"rows [{start}, {stop}) outside 0..{self.n_chips}")
+        columns = [c for c in COLUMNS if c in set(columns)]
+        if start == stop or not columns:
+            return
+        first = start // self.block_size
+        last = (stop - 1) // self.block_size
+        for block in range(first, last + 1):
+            self._ensure_block(block, columns)
+
+    def _ensure_block(self, block: int, columns: Sequence[str]) -> None:
+        fab_needed = [
+            c for c in FAB_COLUMNS if c in columns and not self._flag_map(c)[block]
+        ]
+        aging_needed = [
+            c for c in AGING_COLUMNS if c in columns and not self._flag_map(c)[block]
+        ]
+        if not fab_needed and not aging_needed:
+            return
+        lo = block * self.block_size
+        hi = min(lo + self.block_size, self.n_chips)
+        with telemetry.span(
+            "store.materialise_block",
+            block=block,
+            n_chips=hi - lo,
+            columns=",".join(fab_needed + aging_needed),
+        ):
+            if fab_needed:
+                self._fabricate_process(lo, hi, fab_needed)
+            if aging_needed:
+                self._fabricate_aging(lo, hi, aging_needed)
+        telemetry.count("store.blocks_materialised")
+
+    def _fabricate_process(self, lo: int, hi: int, columns: Sequence[str]) -> None:
+        """Replay the fabrication child streams for rows ``[lo, hi)``."""
+        cols = {name: self.column(name) for name in columns}
+        for i in range(lo, hi):
+            chip = self._model.sample_chip(
+                as_generator(int(self._fab_keys[i])), chip_id=i
+            )
+            if "vth" in cols:
+                cols["vth"][i] = chip.vth
+            if "tc_scale" in cols:
+                cols["tc_scale"][i] = chip.tc_scale
+        self._publish(cols, lo, hi)
+
+    def _fabricate_aging(self, lo: int, hi: int, columns: Sequence[str]) -> None:
+        """Replay the aging child streams for rows ``[lo, hi)``.
+
+        Draw order (NBTI prefactors before HCI, one child per chip) and
+        the coefficient folding (Arrhenius ``k_T``, ``pbti_factor``,
+        ``PMOS_HCI_FACTOR``) mirror
+        :meth:`repro.aging.simulator.PopulationAging.sample` /
+        ``__init__`` element for element, so the stored coefficients are
+        bit-identical to the in-RAM tensors — and the ``_dir`` columns,
+        one further multiply by the duty/transition powers, match the
+        in-RAM ``_bti_dir`` / ``_hci_dir`` products the same way.
+        """
+        tech = self.design.tech
+        params = tech.nbti
+        shape = (self.design.n_ros, self.design.n_stages, 2)
+        cols = {name: self.column(name) for name in columns}
+        want_bti = "bti_coeff" in cols or "bti_dir" in cols
+        want_hci = "hci_coeff" in cols or "hci_dir" in cols
+        duty_pow = self._duty_pow[0, 0]  # (n_stages, 2), broadcast per row
+        tpy_pow = self._tpy_pow[0, 0]
+        coeff = np.empty(shape)
+        for i in range(lo, hi):
+            gen = as_generator(int(self._aging_keys[i]))
+            nbti_a = nbti.sample_prefactors(shape, params, gen)
+            hci_b = hci.sample_prefactors(shape, tech.hci, gen)
+            if want_bti:
+                coeff[..., PMOS] = (1.0 * nbti_a[..., PMOS]) * self._k_t
+                coeff[..., NMOS] = (params.pbti_factor * nbti_a[..., NMOS]) * self._k_t
+                if "bti_coeff" in cols:
+                    cols["bti_coeff"][i] = coeff
+                if "bti_dir" in cols:
+                    np.multiply(coeff, duty_pow, out=cols["bti_dir"][i])
+            if want_hci:
+                coeff[..., PMOS] = hci.PMOS_HCI_FACTOR * hci_b[..., PMOS]
+                coeff[..., NMOS] = 1.0 * hci_b[..., NMOS]
+                if "hci_coeff" in cols:
+                    cols["hci_coeff"][i] = coeff
+                if "hci_dir" in cols:
+                    np.multiply(coeff, tpy_pow, out=cols["hci_dir"][i])
+        self._publish(cols, lo, hi)
+
+    def _publish(self, cols: Dict[str, np.memmap], lo: int, hi: int) -> None:
+        """Flush fabricated rows, drop them from RSS, raise the flags."""
+        block = lo // self.block_size
+        for name, mm in cols.items():
+            flush_rows(mm, lo, hi)
+            release_rows(mm, lo, hi)
+            flags = self._flag_map(name)
+            flags[block] = 1
+            flags.flush()
+
+    # ---- read-side RSS control ---------------------------------------
+
+    def release(self, columns: Iterable[str], lo: int, hi: int) -> None:
+        """Drop rows ``[lo, hi)`` of the named columns from this
+        process's resident set (see :func:`release_rows`)."""
+        for name in columns:
+            mm = self._cols.get(name)
+            if mm is not None:
+                release_rows(mm, lo, hi)
+
+    # ---- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every mapping (idempotent).  The files stay on disk —
+        directory ownership/cleanup belongs to whoever created the root."""
+        if self._closed:
+            return
+        self._closed = True
+        self._cols.clear()
+        self._flags.clear()
+
+    def __enter__(self) -> "PopulationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PopulationStore {str(self.root)!r} n_chips={self.n_chips} "
+            f"block_size={self.block_size}>"
+        )
+
+
+def remove_store(root: PathLike) -> None:
+    """Delete a store directory created by :meth:`PopulationStore.create`
+    (missing is fine — cleanup paths race with nothing)."""
+    shutil.rmtree(root, ignore_errors=True)

@@ -57,6 +57,7 @@ from .tracer import (
     end_span,
     gauge,
     install,
+    peak_rss_bytes,
     session,
     span,
     start_span,
@@ -121,6 +122,7 @@ __all__ = [
     "install_emitter",
     "latest_scalars",
     "package_version",
+    "peak_rss_bytes",
     "progress",
     "render_counters",
     "render_history",

@@ -54,11 +54,15 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "platform": {"type": "string"},
         "argv": {"type": "array"},
         # optional how-it-ran fields (absent on older manifests): worker
-        # count and result-cache usage.  Deliberately OUTSIDE "config" so
-        # the ledger's config digest — which keys comparable measurements
-        # — is unchanged by parallelism or caching.
+        # count, result-cache usage and population-store execution mode.
+        # Deliberately OUTSIDE "config" so the ledger's config digest —
+        # which keys comparable measurements — is unchanged by
+        # parallelism, caching or out-of-core execution.
         "jobs": {"type": ["integer", "null"]},
         "cache": {"type": ["object", "null"]},
+        "store": {"type": ["string", "null"]},
+        "block_size": {"type": ["integer", "null"]},
+        "peak_rss_bytes": {"type": ["integer", "null"]},
     },
 }
 
@@ -128,6 +132,13 @@ class RunManifest:
     #: result-cache usage summary ({"dir": ..., "hits": [...], "misses":
     #: [...]}), or None when no cache directory was given
     cache: Optional[Dict[str, Any]] = None
+    #: population-store execution mode ("ram" or "mmap"), or None when
+    #: not recorded (older manifests, non-population commands)
+    store: Optional[str] = None
+    #: store fabrication block size in chips (None = store default / ram)
+    block_size: Optional[int] = None
+    #: process peak RSS in bytes sampled at run end (None = not sampled)
+    peak_rss_bytes: Optional[int] = None
 
     @classmethod
     def collect(
@@ -137,6 +148,9 @@ class RunManifest:
         argv: Optional[list] = None,
         jobs: Optional[int] = None,
         cache: Optional[Dict[str, Any]] = None,
+        store: Optional[str] = None,
+        block_size: Optional[int] = None,
+        peak_rss_bytes: Optional[int] = None,
     ) -> "RunManifest":
         """Capture the current process's provenance tuple.
 
@@ -163,6 +177,9 @@ class RunManifest:
             argv=list(sys.argv if argv is None else argv),
             jobs=None if jobs is None else int(jobs),
             cache=None if cache is None else dict(cache),
+            store=None if store is None else str(store),
+            block_size=None if block_size is None else int(block_size),
+            peak_rss_bytes=None if peak_rss_bytes is None else int(peak_rss_bytes),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -176,7 +193,7 @@ class RunManifest:
         """Rebuild a manifest from its :meth:`to_dict` form (validated)."""
         validate_manifest(data)
         kwargs = {k: data[k] for k in MANIFEST_SCHEMA["required"]}
-        for key in ("jobs", "cache"):
+        for key in ("jobs", "cache", "store", "block_size", "peak_rss_bytes"):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)

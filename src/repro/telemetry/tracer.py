@@ -212,17 +212,42 @@ class Tracer:
 
     def peak_rss_kb(self) -> Optional[float]:
         """Process peak RSS in KiB (``ru_maxrss``), if the platform has it."""
-        try:
-            import resource
-        except ImportError:  # pragma: no cover - non-POSIX
-            return None
-        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        # ru_maxrss is KiB on Linux, bytes on macOS
-        import sys
+        peak = peak_rss_bytes()
+        return None if peak is None else peak / 1024.0
 
-        if sys.platform == "darwin":  # pragma: no cover - platform-specific
-            return peak / 1024.0
-        return float(peak)
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak RSS in bytes, if the platform exposes it.
+
+    The module-level form of :meth:`Tracer.peak_rss_kb` — callable with no
+    tracer installed, which is how the CLI samples the high-water mark of
+    an out-of-core (``--store mmap``) run for its manifest and ledger.
+
+    On Linux the ``VmHWM`` line of ``/proc/self/status`` is preferred
+    over ``ru_maxrss``: the kernel does not reset ``ru_maxrss`` across
+    ``vfork``+``exec`` (how CPython's subprocess spawns children), so a
+    child launched from a large parent inherits the *parent's* high-water
+    mark there, while ``VmHWM`` belongs to this process's own address
+    space.  ``ru_maxrss`` remains the fallback elsewhere.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024
 
 
 # ----------------------------------------------------------------------

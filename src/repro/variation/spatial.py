@@ -31,6 +31,7 @@ applied to the systematic field (see :class:`LayoutStyle`).
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 
 import numpy as np
 
@@ -91,6 +92,37 @@ def systematic_field(positions: np.ndarray, sigma: float) -> np.ndarray:
 #: way to the FFT grid synthesiser
 _CHOLESKY_LIMIT = 1024
 
+#: memoised Cholesky factors keyed by (positions, sigma, length).  The
+#: factor is a pure function of the kernel inputs, so reusing it across
+#: chips changes nothing about the draws: every chip still multiplies the
+#: same matrix by its own standard-normal vector.  Population fabrication
+#: calls this once per chip with identical grids, and the factorisation
+#: (not the matvec) dominates ``sample_chip`` wall-clock at paper scale.
+_CHOL_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_CHOL_CACHE_SIZE = 8
+
+
+def _cholesky_factor(
+    positions: np.ndarray, sigma: float, correlation_length: float
+) -> np.ndarray:
+    key = (positions.tobytes(), float(sigma), float(correlation_length))
+    chol = _CHOL_CACHE.get(key)
+    if chol is not None:
+        _CHOL_CACHE.move_to_end(key)
+        return chol
+    n = positions.shape[0]
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist2 = np.sum(diff**2, axis=-1)
+    cov = sigma**2 * np.exp(-0.5 * dist2 / correlation_length**2)
+    # jitter for numerical positive-definiteness
+    cov[np.diag_indices(n)] += 1e-12 * sigma**2 + 1e-18
+    chol = np.linalg.cholesky(cov)
+    chol.flags.writeable = False
+    _CHOL_CACHE[key] = chol
+    if len(_CHOL_CACHE) > _CHOL_CACHE_SIZE:
+        _CHOL_CACHE.popitem(last=False)
+    return chol
+
 
 def correlated_field(
     positions: np.ndarray,
@@ -121,12 +153,7 @@ def correlated_field(
         return np.zeros(n)
     gen = as_generator(rng)
     if n <= _CHOLESKY_LIMIT:
-        diff = positions[:, None, :] - positions[None, :, :]
-        dist2 = np.sum(diff**2, axis=-1)
-        cov = sigma**2 * np.exp(-0.5 * dist2 / correlation_length**2)
-        # jitter for numerical positive-definiteness
-        cov[np.diag_indices(n)] += 1e-12 * sigma**2 + 1e-18
-        chol = np.linalg.cholesky(cov)
+        chol = _cholesky_factor(positions, sigma, correlation_length)
         return chol @ gen.standard_normal(n)
     return _correlated_field_fft(positions, sigma, correlation_length, gen)
 

@@ -15,11 +15,13 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _write_results(path, name, values, counters=None):
+def _write_results(path, name, values, counters=None, memory=None):
     path.mkdir(parents=True, exist_ok=True)
     payload = {"name": name, "values": values}
     if counters is not None:
         payload["counters"] = counters
+    if memory is not None:
+        payload["memory"] = memory
     (path / f"{name}.json").write_text(json.dumps(payload))
 
 
@@ -109,6 +111,59 @@ class TestMain:
 
     def test_missing_dir_exit_two(self, tmp_path, capsys):
         assert bench_compare.main([str(tmp_path / "nope"), str(tmp_path)]) == 2
+
+
+class TestMemoryDiff:
+    """The tolerant memory section: artefacts from before the store PR
+    lack it entirely and must still diff cleanly."""
+
+    def test_union_with_missing_sides(self):
+        rows = bench_compare.compare_memory(
+            {"a:peak_rss_bytes": 1.0}, {"b:peak_rss_bytes": 2.0}
+        )
+        assert rows == [
+            ("a:peak_rss_bytes", 1.0, None),
+            ("b:peak_rss_bytes", None, 2.0),
+        ]
+
+    def test_old_artefact_without_memory_prints_na(
+        self, result_dirs, capsys
+    ):
+        # baseline predates the memory fields; candidate has them
+        old, new = result_dirs
+        _write_results(
+            new,
+            "store_gate",
+            {"elapsed_s": 5.0},
+            memory={"peak_rss_bytes": 2.0e8},
+        )
+        _write_results(old, "store_gate", {"elapsed_s": 5.0})
+        assert bench_compare.main([str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "memory (peak RSS" in out
+        assert "n/a" in out
+
+    def test_memory_growth_is_not_a_regression(self, result_dirs):
+        old, new = result_dirs
+        _write_results(
+            old, "gate", {"x": 1.0}, memory={"peak_rss_bytes": 1.0e8}
+        )
+        _write_results(
+            new, "gate", {"x": 1.0}, memory={"peak_rss_bytes": 9.0e8}
+        )
+        assert bench_compare.main([str(old), str(new), "--threshold", "0.5"]) == 0
+
+    def test_json_memory_section(self, result_dirs, tmp_path):
+        old, new = result_dirs
+        _write_results(
+            new, "gate", {"x": 1.0}, memory={"peak_rss_bytes": 2.0e8}
+        )
+        out = tmp_path / "diff.json"
+        assert bench_compare.main([str(old), str(new), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        rows = {row["metric"]: row for row in payload["memory"]}
+        assert rows["gate:peak_rss_bytes"]["baseline"] is None
+        assert rows["gate:peak_rss_bytes"]["candidate"] == pytest.approx(2.0e8)
 
 
 class TestLedgerDiff:

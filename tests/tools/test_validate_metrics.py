@@ -143,6 +143,76 @@ class TestExecutionFields:
         assert "0 hit(s) / 1 miss(es)" in report
 
 
+class TestStoreFields:
+    """The optional manifest store / block_size / peak_rss_bytes fields
+    (out-of-core store PR)."""
+
+    @pytest.fixture
+    def payload(self, metrics_file):
+        return json.loads(metrics_file.read_text())
+
+    def test_store_fields_accepted(self, payload):
+        payload["manifest"]["store"] = "mmap"
+        payload["manifest"]["block_size"] = 2000
+        payload["manifest"]["peak_rss_bytes"] = 209_000_000
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_absent_fields_accepted(self, payload):
+        """Older manifests without store fields stay valid."""
+        for key in ("store", "block_size", "peak_rss_bytes"):
+            payload["manifest"].pop(key, None)
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_unknown_store_flagged(self, payload):
+        payload["manifest"]["store"] = "tape"
+        assert any(
+            "store" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_non_positive_block_size_flagged(self, payload):
+        payload["manifest"]["block_size"] = 0
+        assert any(
+            "block_size" in p
+            for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_negative_peak_rss_flagged(self, payload):
+        payload["manifest"]["peak_rss_bytes"] = -1
+        assert any(
+            "peak_rss_bytes" in p
+            for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_non_finite_peak_rss_flagged(self, payload):
+        payload["manifest"]["peak_rss_bytes"] = float("nan")
+        assert any(
+            "peak_rss_bytes" in p
+            for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_cli_mmap_artefact_validates(self, tmp_path, capsys):
+        """End to end: a real --store mmap artefact passes the tool."""
+        out = tmp_path / "m.json"
+        code = cli_main(
+            [
+                "run", "e2", "--chips", "4", "--ros", "16",
+                "--store", "mmap", "--block-size", "3",
+                "--metrics-out", str(out),
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(out.read_text())["manifest"]
+        assert manifest["store"] == "mmap"
+        assert manifest["block_size"] == 3
+        assert manifest["peak_rss_bytes"] > 0
+        capsys.readouterr()
+        assert validate_metrics.main([str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "store=mmap" in report
+        assert "block_size=3" in report
+        assert "peak_rss=" in report
+
+
 @pytest.fixture(scope="module")
 def explain_artifacts(tmp_path_factory):
     """Real explain + ledger artefacts, produced the way CI's smoke does."""

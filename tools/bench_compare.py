@@ -13,7 +13,11 @@ by more than the threshold (default 20 %) is a **regression** (all
 tracked metrics — timings, flip percentages — are better when smaller).
 Telemetry ``counters`` sections (work-done metrics: kernel invocations,
 memo hit rates) are diffed and printed as well, but informationally —
-doing *more work* is not by itself a regression.  Run-ledger ``*.jsonl``
+doing *more work* is not by itself a regression.  ``memory`` sections
+(peak RSS and footprint numbers from store-mode benchmarks) are diffed
+informationally too, and tolerantly: artefacts written before the memory
+fields existed simply show ``n/a`` on their side of the table rather
+than failing the diff.  Run-ledger ``*.jsonl``
 files found in either directory are diffed the same informational way
 (experiment scalars have no universal "better" direction — the anchor
 registry judges those, see ``tools/check_anchors.py``).  Exit status is
@@ -110,6 +114,22 @@ def load_ledger_scalars(path: pathlib.Path) -> Dict[str, float]:
     return merged
 
 
+def compare_memory(
+    old: Dict[str, float], new: Dict[str, float]
+) -> List[Tuple[str, object, object]]:
+    """Pair up two ``memory`` sections over the *union* of their keys.
+
+    Unlike :func:`compare`, one-sided metrics are kept, with ``None``
+    standing in for the missing side: memory fields are newer than many
+    archived artefacts, and an old baseline without them must still diff
+    cleanly (the renderer prints ``n/a``, never raises).
+    """
+    rows: List[Tuple[str, object, object]] = []
+    for key in sorted(set(old) | set(new)):
+        rows.append((key, old.get(key), new.get(key)))
+    return rows
+
+
 def compare(
     old: Dict[str, float], new: Dict[str, float], threshold: float
 ) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
@@ -157,6 +177,8 @@ def main(argv=None) -> int:
         new = load_results(args.candidate)
         old_counters = load_results(args.baseline, section="counters")
         new_counters = load_results(args.candidate, section="counters")
+        old_memory = load_results(args.baseline, section="memory")
+        new_memory = load_results(args.candidate, section="memory")
         old_ledger = load_ledger_scalars(args.baseline)
         new_ledger = load_ledger_scalars(args.candidate)
     except FileNotFoundError as exc:
@@ -171,6 +193,7 @@ def main(argv=None) -> int:
         print("error: the result sets share no metrics", file=sys.stderr)
         return 2
     counter_rows, _, _ = compare(old_counters, new_counters, args.threshold)
+    memory_rows = compare_memory(old_memory, new_memory)
     ledger_rows, _, _ = compare(old_ledger, new_ledger, args.threshold)
 
     width = max(len(key) for key, *_ in rows)
@@ -190,6 +213,18 @@ def main(argv=None) -> int:
         print("\nwork done (telemetry counters, informational):")
         for key, a, b, change in counter_rows:
             print(f"{key:<{cwidth}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}")
+
+    if memory_rows:
+        mwidth = max(len(key) for key, *_ in memory_rows)
+        print("\nmemory (peak RSS / footprint, informational):")
+        for key, a, b in memory_rows:
+            a_text = "n/a" if a is None else f"{a:.6g}"
+            b_text = "n/a" if b is None else f"{b:.6g}"
+            if a is None or b is None or a == 0.0:
+                change_text = "    n/a"
+            else:
+                change_text = f"{(b - a) / abs(a):>+7.1%}"
+            print(f"{key:<{mwidth}}  {a_text:>12}  {b_text:>12}  {change_text}")
 
     if ledger_rows:
         lwidth = max(len(key) for key, *_ in ledger_rows)
@@ -218,6 +253,10 @@ def main(argv=None) -> int:
             "counters": [
                 {"metric": key, "baseline": a, "candidate": b, "change": change}
                 for key, a, b, change in counter_rows
+            ],
+            "memory": [
+                {"metric": key, "baseline": a, "candidate": b}
+                for key, a, b in memory_rows
             ],
             "ledger": [
                 {"metric": key, "baseline": a, "candidate": b, "change": change}

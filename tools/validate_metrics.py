@@ -90,17 +90,35 @@ def validate_payload(payload) -> list:
 
 
 def _check_execution_fields(manifest) -> list:
-    """Shape checks for the optional ``jobs`` / ``cache`` manifest fields.
+    """Shape checks for the optional execution manifest fields.
 
-    ``validate_manifest`` only type-checks them (integer-or-null /
-    object-or-null); this enforces the semantics the parallel engine and
-    result cache promise: a recorded worker count is positive, and a
-    cache summary names its directory and lists hit/miss experiment ids.
+    ``validate_manifest`` only type-checks ``jobs`` / ``cache`` /
+    ``store`` / ``block_size`` / ``peak_rss_bytes``; this enforces the
+    semantics the engines promise: a recorded worker count is positive, a
+    cache summary names its directory and lists hit/miss experiment ids,
+    a store mode is one the config accepts, and recorded block sizes /
+    RSS high-water marks are positive finite numbers.
     """
     problems = []
     jobs = manifest.get("jobs")
     if jobs is not None and jobs < 1:
         problems.append(f"manifest 'jobs' must be >= 1 when set, got {jobs}")
+    store = manifest.get("store")
+    if store is not None and store not in ("ram", "mmap"):
+        problems.append(
+            f"manifest 'store' must be 'ram' or 'mmap' when set, got {store!r}"
+        )
+    block_size = manifest.get("block_size")
+    if block_size is not None and block_size < 1:
+        problems.append(
+            f"manifest 'block_size' must be >= 1 when set, got {block_size}"
+        )
+    peak = manifest.get("peak_rss_bytes")
+    if peak is not None and (not _finite_number(peak) or peak < 0):
+        problems.append(
+            f"manifest 'peak_rss_bytes' must be a non-negative finite "
+            f"number when set, got {peak!r}"
+        )
     cache = manifest.get("cache")
     if cache is not None:
         if not isinstance(cache.get("dir"), str) or not cache["dir"]:
@@ -323,6 +341,14 @@ def main(argv=None) -> int:
     counters = payload.get("counters") or {}
     manifest = payload["manifest"]
     execution = f"jobs={manifest.get('jobs')}"
+    if manifest.get("store") is not None:
+        execution += f", store={manifest['store']}"
+        if manifest.get("block_size") is not None:
+            execution += f", block_size={manifest['block_size']}"
+        if manifest.get("peak_rss_bytes") is not None:
+            execution += (
+                f", peak_rss={manifest['peak_rss_bytes'] / 2**20:.0f}MiB"
+            )
     cache = manifest.get("cache")
     if cache is not None:
         execution += (
