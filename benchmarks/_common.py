@@ -79,6 +79,7 @@ def _write_payload(
     values: Mapping[str, float],
     counters: Optional[Mapping[str, float]] = None,
     memory: Optional[Mapping[str, float]] = None,
+    histograms: Optional[Mapping[str, Mapping[str, float]]] = None,
 ) -> None:
     payload: Dict[str, Any] = {
         "name": name,
@@ -89,6 +90,11 @@ def _write_payload(
         payload["counters"] = {k: float(v) for k, v in counters.items()}
     if memory:
         payload["memory"] = {k: float(v) for k, v in memory.items()}
+    if histograms:
+        payload["histograms"] = {
+            name_: {k: float(v) for k, v in summary.items()}
+            for name_, summary in histograms.items()
+        }
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
@@ -100,6 +106,7 @@ def emit(
     values: Optional[Mapping[str, float]] = None,
     counters: Optional[Mapping[str, float]] = None,
     memory: Optional[Mapping[str, float]] = None,
+    histograms: Optional[Mapping[str, Mapping[str, float]]] = None,
 ) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
@@ -112,12 +119,15 @@ def emit(
     rather than regression-gated.  ``memory`` is an optional mapping of
     memory metrics (``peak_rss_bytes``, chips/sec footprints from the
     out-of-core store gates); older artefacts without the section diff as
-    ``n/a``, never as an error.
+    ``n/a``, never as an error.  ``histograms`` is an optional mapping of
+    per-metric latency summaries (``Tracer.histogram_summaries()``
+    output); ``bench_compare`` diffs the p50/p99 quantiles
+    informationally, with the same ``n/a`` tolerance.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if values is not None:
-        _write_payload(name, values, counters, memory)
+        _write_payload(name, values, counters, memory, histograms)
     print(f"\n{text}\n")
 
 

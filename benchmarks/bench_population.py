@@ -311,6 +311,153 @@ class TestTelemetryOverhead:
             f"ceiling is {self.FORENSICS_ENABLED_CEILING:.0%}"
         )
 
+    #: the run-observatory disabled-path budget: with nothing installed,
+    #: *every* telemetry hook on the sweep path together (spans, counters,
+    #: progress, per-block latency observes) must cost < 2 % over no-op
+    #: stubs — the single-branch discipline, measured as one number
+    OBSERVATORY_DISABLED_CEILING = 0.02
+
+    def test_observatory_disabled_path_overhead(self, monkeypatch):
+        """All disabled telemetry hooks add < 2 % to the E2 batched sweep.
+
+        Baseline replaces the telemetry module reference inside the
+        population engine with no-op stubs, so the measured difference is
+        exactly what the real disabled path does beyond being called:
+        module-attribute loads, ``is None`` branches, nothing else.  If
+        any hook (including the histogram ``observe`` sites) ever starts
+        doing work before checking its slot, this gate catches it.
+        """
+        from contextlib import contextmanager
+
+        import repro.core.population as pop
+
+        class _StubTelemetry:
+            @staticmethod
+            def active():
+                return None
+
+            @staticmethod
+            def enabled():
+                return False
+
+            @staticmethod
+            @contextmanager
+            def span(*args, **kwargs):
+                yield None
+
+            def __getattr__(self, name):
+                return lambda *args, **kwargs: None
+
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        years = list(DEFAULT_YEARS)
+
+        t_hooked = best_of(lambda: _sweep_batched(batch, years), rounds=25)
+        with monkeypatch.context() as m:
+            m.setattr(pop, "telemetry", _StubTelemetry())
+            t_stubbed = best_of(
+                lambda: _sweep_batched(batch, years), rounds=25
+            )
+        overhead = t_hooked / t_stubbed - 1.0
+        emit(
+            "observatory_disabled_overhead",
+            f"E2 batched sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  hooks stubbed out: {t_stubbed * 1e3:8.2f} ms\n"
+            f"  hooks disabled   : {t_hooked * 1e3:8.2f} ms\n"
+            f"  overhead         : {100.0 * overhead:8.2f} %",
+            values={
+                "stubbed_s": t_stubbed,
+                "hooked_s": t_hooked,
+                "disabled_overhead": max(overhead, 0.0),
+            },
+        )
+        assert overhead <= self.OBSERVATORY_DISABLED_CEILING, (
+            f"disabled telemetry hooks cost {overhead:+.1%} over no-op "
+            f"stubs ({t_hooked * 1e3:.2f} ms vs {t_stubbed * 1e3:.2f} ms); "
+            f"ceiling is {self.OBSERVATORY_DISABLED_CEILING:.0%}"
+        )
+
+    #: full-observatory enabled budget: tracer (spans + counters +
+    #: histograms) plus a 20 Hz resource sampler, measured where the
+    #: kernels dominate (1k chips) so per-corner span costs amortise the
+    #: way they do in a real traced run
+    OBSERVATORY_N_CHIPS = 1_000
+    OBSERVATORY_ENABLED_CEILING = 0.10
+    OBSERVATORY_ROUNDS = 7
+
+    def test_observatory_enabled_overhead(self):
+        """Tracing + RSS sampling together add < 10 % at kernel scale.
+
+        Disabled and enabled rounds *alternate* and the gated statistic
+        is the median of adjacent-pair ratios: a sweep at this scale runs
+        long enough that machine drift (thermal, scheduler) between two
+        sequential ``best_of`` blocks rivals the overhead being measured,
+        so back-to-back pairing cancels the drift instead of charging it
+        to the observatory.
+
+        The emitted artefact carries the run's histogram summaries, so
+        ``tools/bench_compare.py`` diffs the per-block latency quantiles
+        (p50/p99) across checkouts alongside the wall-clock numbers.
+        """
+        design = aro_design()
+        batch = make_batch_study(
+            design, n_chips=self.OBSERVATORY_N_CHIPS, rng=SEED
+        )
+        years = list(DEFAULT_YEARS)
+
+        _sweep_batched(batch, years)  # warmup outside any pair
+        ratios = []
+        t_dis = []
+        t_ena = []
+        tracer = None
+        for _ in range(self.OBSERVATORY_ROUNDS):
+            t_dis.append(best_of(
+                lambda: _sweep_batched(batch, years), rounds=1, warmup=0
+            ))
+            tracer = telemetry.install(telemetry.Tracer())
+            telemetry.install_sampler(
+                telemetry.ResourceSampler(20.0, echo_interval_s=None)
+            ).start()
+            try:
+                t_ena.append(best_of(
+                    lambda: _sweep_batched(batch, years), rounds=1, warmup=0
+                ))
+                n_samples = len(telemetry.active_sampler().samples)
+            finally:
+                telemetry.uninstall_sampler()
+                telemetry.uninstall()
+            ratios.append(t_ena[-1] / t_dis[-1])
+        t_disabled = min(t_dis)
+        t_enabled = min(t_ena)
+        overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+        histograms = tracer.histogram_summaries()
+        emit(
+            "observatory_overhead",
+            f"E2 batched sweep, {self.OBSERVATORY_N_CHIPS} chips x "
+            f"{design.n_ros} ROs, {len(years)} year points (aro-puf)\n"
+            f"  observatory off (best): {t_disabled * 1e3:8.2f} ms\n"
+            f"  tracer + 20 Hz sampler (best): {t_enabled * 1e3:8.2f} ms\n"
+            f"  paired-median overhead: {100.0 * overhead:8.2f} %  "
+            f"({len(ratios)} alternating pair(s), {n_samples} RSS "
+            f"sample(s), {len(histograms)} histogram metric(s))",
+            values={
+                "disabled_s": t_disabled,
+                "enabled_s": t_enabled,
+                "enabled_overhead": max(overhead, 0.0),
+            },
+            histograms=histograms,
+        )
+        assert "batch.block_s" in histograms, (
+            "the traced sweep recorded no per-block latency histogram"
+        )
+        assert overhead <= self.OBSERVATORY_ENABLED_CEILING, (
+            f"tracing + sampling cost {overhead:+.1%} over disabled "
+            f"(paired median of {len(ratios)} alternating rounds; best "
+            f"{t_enabled * 1e3:.2f} ms vs {t_disabled * 1e3:.2f} ms); "
+            f"ceiling is {self.OBSERVATORY_ENABLED_CEILING:.0%}"
+        )
+
     def test_events_bounded_count(self, tmp_path):
         """Even unthrottled in time, the lifetime cap bounds the file."""
         design = aro_design()

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli run e2 --trace
     python -m repro.cli run e2 --profile --metrics-out metrics.json
     python -m repro.cli run e2 --ledger runs/ledger.jsonl --events runs/events.jsonl
+    python -m repro.cli run e2 --jobs 4 --trace-out run.trace.json --sample-rss 10
+    python -m repro.cli monitor --events runs/events.jsonl --follow
     python -m repro.cli run e2 --jobs 4
     python -m repro.cli run e2 --chips 1000000 --ros 128 --store mmap
     python -m repro.cli run all --cache runs/cache
@@ -43,7 +45,18 @@ Telemetry flags (``run``, ``report`` and ``check-anchors``):
   ``history`` renders and ``check-anchors`` / ``tools/check_anchors.py``
   gate on;
 * ``--events PATH`` streams throttled JSONL progress heartbeats (stage,
-  chips done, ETA) from the batched kernels while the run is in flight.
+  chips done, ETA) from the batched kernels while the run is in flight;
+* ``--trace-out PATH`` writes the run as Chrome ``trace_event`` JSON —
+  open it in Perfetto (ui.perfetto.dev); a ``--jobs N`` run renders as
+  one timeline with a lane per worker shard, clock-aligned against the
+  coordinator;
+* ``--sample-rss HZ`` samples process RSS and registered probes (e.g.
+  the store's materialised-block count) on a background thread; the
+  series lands in ``--metrics-out`` and as Perfetto counter tracks.
+
+``monitor`` renders a dashboard over an ``--events`` file — per-stage
+progress bars with rolling rate and ETA, the open span, an RSS
+sparkline — either post-hoc or live with ``--follow``.
 
 Execution flags:
 
@@ -186,6 +199,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type for rates (``--sample-rss HZ``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chips", type=int, default=50, help="Monte-Carlo chips (default 50)"
@@ -260,6 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write spans + counters + run manifest to PATH as JSON",
+    )
+    tgroup.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run as Chrome trace_event JSON (open in Perfetto: "
+        "ui.perfetto.dev); parallel runs get one lane per worker shard",
+    )
+    tgroup.add_argument(
+        "--sample-rss",
+        type=_positive_float,
+        metavar="HZ",
+        default=None,
+        help="sample process RSS (and registered probes) HZ times per "
+        "second on a background thread; the series lands in --metrics-out "
+        "and as counter tracks in --trace-out",
     )
     tgroup.add_argument(
         "--ledger",
@@ -352,6 +392,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="only the newest N recordings of each metric",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="render a dashboard over an events JSONL (post-hoc or --follow)",
+    )
+    monitor.add_argument(
+        "--events",
+        metavar="PATH",
+        required=True,
+        help="the events file to read (as written by run/report --events)",
+    )
+    monitor.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the file and redrawing until the run ends "
+        "(the file may not exist yet; Ctrl-C to stop)",
+    )
+    monitor.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="S",
+        help="redraw interval in seconds with --follow (default 0.5)",
     )
 
     anchors = sub.add_parser(
@@ -450,10 +514,14 @@ def _unknown_experiment_error(unknown) -> int:
 
 
 def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    # --trace-out needs spans to export; --sample-rss needs a tracer for
+    # span attribution and the perf-counter epoch the series is keyed to
     return bool(
         getattr(args, "trace", False)
         or getattr(args, "profile", False)
         or getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "sample_rss", None)
     )
 
 
@@ -461,6 +529,7 @@ def _collect_manifest(
     args: argparse.Namespace,
     config: exp.ExperimentConfig,
     cache_summary: Optional[Dict[str, Any]] = None,
+    tracer: Optional[telemetry.Tracer] = None,
 ) -> telemetry.RunManifest:
     """One manifest per CLI invocation (all its ledger entries share it).
 
@@ -472,6 +541,8 @@ def _collect_manifest(
     the memory high-water mark alongside the scalars it produced.
     """
     peak = telemetry.peak_rss_bytes() if config.store == "mmap" else None
+    tracer = tracer if tracer is not None else telemetry.active()
+    histograms = tracer.histogram_summaries() if tracer is not None else {}
     return telemetry.RunManifest.collect(
         seed=config.seed,
         config={
@@ -487,6 +558,7 @@ def _collect_manifest(
         store=config.store,
         block_size=config.block_size,
         peak_rss_bytes=peak,
+        histograms=histograms or None,
     )
 
 
@@ -540,7 +612,7 @@ def _cache_summary(
 
 
 def _start_telemetry(args: argparse.Namespace) -> None:
-    """Install the tracer and/or the progress emitter the flags ask for."""
+    """Install the tracer/emitter/sampler the flags ask for."""
     if _telemetry_wanted(args):
         telemetry.install(telemetry.Tracer(memory=args.profile))
     if getattr(args, "events", None):
@@ -559,6 +631,16 @@ def _start_telemetry(args: argparse.Namespace) -> None:
         except BaseException:
             telemetry.uninstall_emitter()
             raise
+    if getattr(args, "sample_rss", None):
+        try:
+            telemetry.install_sampler(
+                telemetry.ResourceSampler(args.sample_rss)
+            ).start()
+        except BaseException:
+            telemetry.uninstall_sampler()
+            telemetry.uninstall_emitter()
+            telemetry.uninstall()
+            raise
 
 
 def _finish_telemetry(
@@ -566,7 +648,13 @@ def _finish_telemetry(
     config,
     cache_summary: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Uninstall tracer + emitter and emit the requested views of the run."""
+    """Uninstall tracer/emitter/sampler and emit the requested views.
+
+    The sampler stops first (its final tick may still echo through the
+    emitter and read the tracer's open span), the emitter second, the
+    tracer last.
+    """
+    sampler = telemetry.uninstall_sampler()
     emitter = telemetry.active_emitter()
     if emitter is not None:
         # uninstall even if the final lifecycle write raises (disk full,
@@ -583,10 +671,66 @@ def _finish_telemetry(
         print(telemetry.render_span_tree(tracer))
         print("\n── telemetry: counters " + "─" * 41)
         print(telemetry.render_counters(tracer))
+        if tracer.histograms:
+            print("\n── telemetry: histograms " + "─" * 39)
+            print(telemetry.render_histograms(tracer))
     if args.metrics_out:
-        manifest = _collect_manifest(args, config, cache_summary)
-        path = telemetry.write_metrics(args.metrics_out, tracer, manifest)
+        manifest = _collect_manifest(args, config, cache_summary, tracer)
+        path = telemetry.write_metrics(
+            args.metrics_out, tracer, manifest, sampler
+        )
         print(f"metrics written to {path}")
+    if getattr(args, "trace_out", None):
+        path = telemetry.write_chrome_trace(args.trace_out, tracer, sampler)
+        print(f"chrome trace written to {path} (open in ui.perfetto.dev)")
+    if getattr(args, "ledger", None) and tracer.histograms:
+        # the run's latency quantiles as ledger scalars, so histogram
+        # drift is visible to `repro history` and bench_compare ledgers
+        ledger = telemetry.RunLedger(args.ledger)
+        ledger.record(
+            "telemetry",
+            telemetry.flatten_summaries(tracer.histograms),
+            _collect_manifest(args, config, cache_summary, tracer),
+        )
+
+
+def _monitor_command(args: argparse.Namespace) -> int:
+    """Render the events-file dashboard, once or in a tail loop."""
+    import time as _time
+
+    path = pathlib.Path(args.events)
+    state = telemetry.MonitorState()
+    if not args.follow:
+        if not path.exists():
+            print(f"error: no events file at {path}", file=sys.stderr)
+            return 2
+        with path.open() as fh:
+            telemetry.parse_events(fh, state)
+        print(telemetry.render_monitor(state))
+        return 0
+    # follow mode: tail new lines, redraw on change, stop at run.end.
+    # The file may not exist yet (monitor started before the run).
+    pos = 0
+    last = None
+    try:
+        while True:
+            if path.exists():
+                with path.open() as fh:
+                    fh.seek(pos)
+                    lines = fh.readlines()
+                    pos = fh.tell()
+                if lines:
+                    telemetry.parse_events(lines, state)
+            text = telemetry.render_monitor(state)
+            if text != last:
+                # clear screen + home, then the fresh dashboard
+                print("\x1b[2J\x1b[H" + text, flush=True)
+                last = text
+            if state.n_events and not state.running:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _history_command(args: argparse.Namespace) -> int:
@@ -726,6 +870,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.command == "history":
         return _history_command(args)
+
+    if args.command == "monitor":
+        return _monitor_command(args)
 
     kwargs: Dict[str, Any] = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:

@@ -31,6 +31,7 @@ response *bits* and aging *deltas* are identical.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Union
 
@@ -379,10 +380,15 @@ class BatchStudy:
         w_flat = np.ascontiguousarray(weights.reshape(-1))
         n_blocks = -(-n_chips // od_buf.shape[0])
         telemetry.count("freq.kernel_blocks", n_blocks)
+        # histogram hook hoisted out of the loop: one tracer lookup per
+        # corner, and the per-block clock reads only happen when tracing
+        tr = telemetry.active()
         with np.errstate(invalid="ignore", divide="ignore"):
             for start in range(0, n_chips, od_buf.shape[0]):
                 stop = min(start + od_buf.shape[0], n_chips)
                 telemetry.progress("batch.frequencies", stop, n_chips)
+                if tr is not None:
+                    _blk0 = time.perf_counter_ns()
                 rows = slice(start, stop)
                 if t > 0.0:
                     if delta is not None:
@@ -407,6 +413,11 @@ class BatchStudy:
                     tc_coeff=tech.vth_tc * delta_temp,
                     subtract_aging=subtract,
                 )
+                if tr is not None:
+                    tr.observe(
+                        "batch.block_s",
+                        (time.perf_counter_ns() - _blk0) / 1e9,
+                    )
         if not np.isfinite(period).all():
             telemetry.end_span(sp)
             raise ValueError(
@@ -419,6 +430,8 @@ class BatchStudy:
         if len(self._freq_memo) > self.MEMO_SIZE:
             self._freq_memo.popitem(last=False)
         telemetry.end_span(sp)
+        if tr is not None and sp is not None:
+            tr.observe("batch.corner_s", sp.duration_ns / 1e9)
         return freqs
 
     def responses(

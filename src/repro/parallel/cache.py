@@ -47,12 +47,14 @@ import json
 import os
 import pathlib
 import pickle
+import time
 import warnings
 from datetime import datetime, timezone
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..telemetry.manifest import package_version
 
 PathLike = Union[str, pathlib.Path]
@@ -116,6 +118,12 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self._payload_path(key).exists() and self._meta_path(key).exists()
 
+    @staticmethod
+    def _observe_since(t0: int, name: str) -> None:
+        """Record one cache-op latency (``t0`` of 0 means tracing is off)."""
+        if t0:
+            telemetry.observe(name, (time.perf_counter_ns() - t0) / 1e9)
+
     # ---- read --------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
@@ -126,10 +134,12 @@ class ResultCache:
         ``RuntimeWarning``; the caller recomputes and may overwrite the
         bad entry via :meth:`put`.
         """
+        t0 = time.perf_counter_ns() if telemetry.enabled() else 0
         payload_path = self._payload_path(key)
         meta_path = self._meta_path(key)
         if not payload_path.exists() or not meta_path.exists():
             self.misses += 1
+            self._observe_since(t0, "cache.miss_s")
             return None
         try:
             meta = json.loads(meta_path.read_text())
@@ -150,8 +160,10 @@ class ResultCache:
                 stacklevel=2,
             )
             self.misses += 1
+            self._observe_since(t0, "cache.miss_s")
             return None
         self.hits += 1
+        self._observe_since(t0, "cache.hit_s")
         return payload
 
     # ---- write -------------------------------------------------------
@@ -169,6 +181,7 @@ class ResultCache:
         from) is recorded in the sidecar for human audit; it does not
         participate in addressing.
         """
+        t0 = time.perf_counter_ns() if telemetry.enabled() else 0
         raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         sidecar = {
             "format": CACHE_FORMAT,
@@ -186,6 +199,7 @@ class ResultCache:
             (json.dumps(sidecar, indent=2, sort_keys=True, default=str) + "\n").encode(),
         )
         self.stores += 1
+        self._observe_since(t0, "cache.put_s")
         return payload_path
 
     @staticmethod

@@ -262,9 +262,15 @@ class ParallelBatchStudy:
         tracer = telemetry.active()
         if tracer is None:
             return
+        for name, hist in report.histograms.items():
+            tracer.merge_histogram(name, hist)
         # Worker spans happened in another process; re-create them as one
         # summary child per shard with recorded (not re-measured) timings
         # so the span tree still shows where the workers spent their time.
+        # The ``synthetic`` attribute marks timestamps that are durations
+        # dressed as spans (start pinned to 0), so clock-faithful views
+        # (the Chrome-trace export) skip them in favour of the remote
+        # lanes attached below.
         parent = tracer.active_span
         shard_span = Span(
             "parallel.shard",
@@ -272,12 +278,13 @@ class ParallelBatchStudy:
                 "shard": report.shard_index,
                 "n_chips": report.n_chips,
                 "wall_s": round(report.wall_s, 6),
+                "synthetic": True,
             },
         )
         shard_span.start_ns = 0
         shard_span.end_ns = int(report.wall_s * 1e9)
         for name, (duration_ns, calls) in sorted(report.span_totals.items()):
-            child = Span(name, {"calls": calls})
+            child = Span(name, {"calls": calls, "synthetic": True})
             child.start_ns = 0
             child.end_ns = duration_ns
             child.parent = shard_span
@@ -287,6 +294,18 @@ class ParallelBatchStudy:
             parent.children.append(shard_span)
         else:  # pragma: no cover - tracer active but no open span
             tracer.roots.append(shard_span)
+        # The worker's real span forest, re-based onto this process's
+        # perf_counter timeline via the two clock handshakes: offset =
+        # (W_worker - P_worker) - (W_coord - P_coord).  These become the
+        # per-worker lanes of the Chrome-trace export.
+        if report.spans and report.clock is not None:
+            offset = (report.clock[0] - report.clock[1]) - (
+                tracer.wall0_ns - tracer.perf0_ns
+            )
+            tracer.add_remote_lane(
+                f"worker-{report.shard_index}",
+                [Span.from_timed_dict(d, offset) for d in report.spans],
+            )
 
     def frequencies(
         self,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import pathlib
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -41,6 +41,7 @@ from ..core.population import BatchStudy, PopulationView
 from ..environment.conditions import OperatingConditions
 from ..forensics import hook as _hook_mod
 from ..telemetry import events as _events_mod
+from ..telemetry import sampler as _sampler_mod
 from ..telemetry import tracer as _tracer_mod
 from ..variation.chip import ChipPopulation
 from .cache import ResultCache
@@ -93,6 +94,17 @@ class ShardReport:
     counters: Dict[str, float]
     span_totals: Dict[str, Tuple[int, int]]  # name -> (duration_ns, calls)
     wall_s: float
+    #: the worker's full span forest as timed dicts (absolute worker
+    #: perf_counter_ns timestamps; the coordinator re-bases them via
+    #: ``clock``) — the Chrome-trace export's per-worker lanes
+    spans: List[Dict] = field(default_factory=list)
+    #: serialised Histogram state per metric name, merged bucket-wise
+    #: into the coordinator tracer's histograms
+    histograms: Dict[str, Dict] = field(default_factory=dict)
+    #: the worker's clock handshake ``(wall_ns, perf_ns)`` read
+    #: back-to-back; lets the coordinator convert worker perf timestamps
+    #: onto its own perf timeline (see ``telemetry.clock_handshake``)
+    clock: Optional[Tuple[int, int]] = None
 
 
 def reset_inherited_telemetry() -> None:
@@ -109,10 +121,15 @@ def reset_inherited_telemetry() -> None:
     margin grids into a forked copy of the coordinator's tape.  Margin
     capture for parallel runs happens coordinator-side, from the merged
     frequency tensors.
+
+    A forked resource-sampler slot is severed too: the inherited object
+    holds a dead thread handle (threads do not survive ``fork``), and
+    sampling in workers is a coordinator decision, not an inherited one.
     """
     _tracer_mod._active = None
     _events_mod._emitter = None
     _hook_mod._collector = None
+    _sampler_mod._sampler = None
 
 
 def worker_init() -> None:
@@ -246,6 +263,7 @@ def evaluate_shard(
     state between processes.
     """
     reset_inherited_telemetry()
+    clock = telemetry.clock_handshake()
     t0 = time.perf_counter()
     with telemetry.session() as tracer:
         shard = _cached_shard(token, spec)
@@ -276,6 +294,10 @@ def evaluate_shard(
             arrays.append(out)
         span_totals = _span_totals(tracer)
         counters = dict(tracer.counters)
+        spans = [root.to_timed_dict() for root in tracer.roots]
+        histograms = {
+            name: hist.to_dict() for name, hist in tracer.histograms.items()
+        }
     return ShardReport(
         shard_index=shard_index,
         n_chips=spec.n_chips,
@@ -283,4 +305,7 @@ def evaluate_shard(
         counters=counters,
         span_totals=span_totals,
         wall_s=time.perf_counter() - t0,
+        spans=spans,
+        histograms=histograms,
+        clock=clock,
     )

@@ -50,12 +50,14 @@ import mmap as _mmaplib
 import os
 import pathlib
 import shutil
+import time
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import telemetry
 from .._rng import RngLike, as_generator, spawn, spawn_keys
+from ..telemetry import sampler as _sampler_mod
 from ..aging import hci, nbti
 from ..aging.schedule import IdlePolicy, MissionProfile
 from ..aging.simulator import AgingSimulator
@@ -250,6 +252,21 @@ class PopulationStore:
         self._cols: Dict[str, np.memmap] = {}
         self._flags: Dict[str, np.memmap] = {}
         self._closed = False
+        # Expose the fabrication bitmap to the resource sampler: with
+        # --sample-rss an out-of-core sweep's fault-in behaviour becomes
+        # a counter track next to the RSS curve.  Registration is
+        # unconditional (the registry is a dict write); the probe only
+        # runs while a sampler thread is ticking.
+        self._probe_name = f"store.materialised_blocks:{self.root.name}"
+        _sampler_mod.register_probe(self._probe_name, self._count_materialised)
+
+    def _count_materialised(self) -> float:
+        """Total materialised (column, block) segments right now."""
+        if self._closed:
+            return 0.0
+        return float(
+            sum(np.count_nonzero(self._flag_map(c)) for c in COLUMNS)
+        )
 
     # ---- construction ------------------------------------------------
 
@@ -467,6 +484,7 @@ class PopulationStore:
             return
         lo = block * self.block_size
         hi = min(lo + self.block_size, self.n_chips)
+        t0 = time.perf_counter_ns() if telemetry.enabled() else 0
         with telemetry.span(
             "store.materialise_block",
             block=block,
@@ -478,6 +496,10 @@ class PopulationStore:
             if aging_needed:
                 self._fabricate_aging(lo, hi, aging_needed)
         telemetry.count("store.blocks_materialised")
+        if t0:
+            telemetry.observe(
+                "store.fabricate_block_s", (time.perf_counter_ns() - t0) / 1e9
+            )
 
     def _fabricate_process(self, lo: int, hi: int, columns: Sequence[str]) -> None:
         """Replay the fabrication child streams for rows ``[lo, hi)``."""
@@ -561,6 +583,7 @@ class PopulationStore:
         if self._closed:
             return
         self._closed = True
+        _sampler_mod.unregister_probe(self._probe_name)
         self._cols.clear()
         self._flags.clear()
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import pathlib
 import tempfile
+import time
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -340,6 +341,9 @@ class StoreStudy:
             out, spill_key, {"t_years": t, "temperature_k": cond.temperature_k}
         )
         telemetry.end_span(sp)
+        tr = telemetry.active()
+        if tr is not None and sp is not None:
+            tr.observe("store.corner_s", sp.duration_ns / 1e9)
         return self._memoise(key, freqs, spill_key)
 
     def _compute_frequencies(
@@ -378,12 +382,16 @@ class StoreStudy:
         r0, r1 = self._rows
         n_blocks = -(-self.n_chips // kb)
         telemetry.count("store.kernel_blocks", n_blocks)
+        # one tracer lookup per corner; block clock reads only when tracing
+        tr = telemetry.active()
         with np.errstate(invalid="ignore", divide="ignore"):
             for blo, bhi in self._store_blocks():
                 self.store.ensure_rows(blo, bhi, cols)
                 for lo in range(blo, bhi, kb):
                     hi = min(lo + kb, bhi)
                     m = hi - lo
+                    if tr is not None:
+                        _blk0 = time.perf_counter_ns()
                     if t > 0.0:
                         # same factored grouping as subtract_delta_into:
                         # (coeff * duty**n) * t**n, clip, subtract — the
@@ -420,6 +428,11 @@ class StoreStudy:
                             "or thresholds too high)"
                         )
                     np.reciprocal(out_rows, out=out_rows)
+                    if tr is not None:
+                        tr.observe(
+                            "store.block_s",
+                            (time.perf_counter_ns() - _blk0) / 1e9,
+                        )
                 # pages of this store block (inputs and, when spilling,
                 # the freshly written output rows) leave the resident set
                 if self._streaming:

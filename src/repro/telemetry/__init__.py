@@ -13,7 +13,17 @@ layers:
   heartbeats (stage, items done, ETA) from the batched kernels, the
   CLI's ``--events PATH``;
 * :func:`render_span_tree` / :func:`write_metrics` — terminal and JSON
-  exports, consumed by ``--trace`` / ``--metrics-out``.
+  exports, consumed by ``--trace`` / ``--metrics-out``;
+* :class:`Histogram` / :func:`observe` — streaming log-bucket latency
+  distributions (p50/p95/p99 within a documented <= 5 % bucket error),
+  mergeable across parallel workers;
+* :func:`write_chrome_trace` — Chrome ``trace_event`` export
+  (``--trace-out``): the run as a Perfetto timeline, one lane per
+  worker shard, aligned by a perf-counter clock handshake;
+* :class:`ResourceSampler` — opt-in background RSS/probe sampling
+  (``--sample-rss HZ``), each tick attributed to the open span;
+* :func:`parse_events` / :func:`render_monitor` — the ``repro monitor``
+  dashboard over an events JSONL, live or post-hoc.
 
 **Across runs** (the longitudinal layer):
 
@@ -52,24 +62,52 @@ from .tracer import (
     Span,
     Tracer,
     active,
+    clock_handshake,
     count,
     enabled,
     end_span,
     gauge,
     install,
+    observe,
     peak_rss_bytes,
     session,
     span,
     start_span,
     uninstall,
 )
+from .histogram import (
+    GROWTH,
+    QUANTILE_RELATIVE_ERROR,
+    Histogram,
+    flatten_summaries,
+    summarise,
+)
 from .export import (
     METRICS_FORMAT,
     render_counters,
+    render_histograms,
     render_span_tree,
     trace_to_dict,
     write_metrics,
 )
+from .chrome import (
+    MAIN_TID,
+    TRACE_PID,
+    chrome_trace_dict,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from .sampler import (
+    ResourceSampler,
+    active_sampler,
+    current_rss_bytes,
+    install_sampler,
+    register_probe,
+    sampler_session,
+    uninstall_sampler,
+    unregister_probe,
+)
+from .monitor import MonitorState, StageProgress, parse_events, render_monitor
 from .events import (
     EVENTS_FORMAT,
     ProgressEmitter,
@@ -97,45 +135,70 @@ __all__ = [
     "Anchor",
     "AnchorVerdict",
     "EVENTS_FORMAT",
+    "GROWTH",
+    "Histogram",
     "LEDGER_FORMAT",
     "LedgerEntry",
     "MANIFEST_SCHEMA",
     "METRICS_FORMAT",
+    "MonitorState",
     "PAPER_ANCHORS",
     "ProgressEmitter",
+    "QUANTILE_RELATIVE_ERROR",
+    "ResourceSampler",
     "RunLedger",
     "RunManifest",
     "Span",
+    "StageProgress",
     "Tracer",
     "TrendRow",
     "active",
     "active_emitter",
+    "active_sampler",
     "check_anchors",
+    "MAIN_TID",
+    "TRACE_PID",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "clock_handshake",
     "count",
+    "current_rss_bytes",
     "emitter_session",
     "enabled",
     "end_span",
+    "flatten_summaries",
     "gauge",
     "git_sha",
     "history_rows",
     "install",
     "install_emitter",
+    "install_sampler",
     "latest_scalars",
+    "observe",
     "package_version",
+    "parse_events",
     "peak_rss_bytes",
     "progress",
+    "register_probe",
     "render_counters",
+    "render_histograms",
     "render_history",
+    "render_monitor",
     "render_span_tree",
     "render_verdicts",
+    "sampler_session",
     "session",
     "span",
     "sparkline",
     "start_span",
+    "summarise",
     "trace_to_dict",
     "uninstall",
     "uninstall_emitter",
+    "uninstall_sampler",
+    "unregister_probe",
     "validate_manifest",
     "worst_status",
+    "write_chrome_trace",
     "write_metrics",
 ]

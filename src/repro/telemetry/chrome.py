@@ -1,0 +1,153 @@
+"""Chrome ``trace_event`` export: open a run in Perfetto as a timeline.
+
+The terminal span tree answers "where did the time go" in aggregate;
+this module serialises the same tracer into the Chrome trace-event JSON
+format (https://ui.perfetto.dev, ``chrome://tracing``) so a parallel
+sweep becomes a *timeline*: one lane for the coordinator, one lane per
+worker shard, spans as nestable slices, and — when a resource sampler
+ran — RSS and store-materialisation curves as counter tracks.
+
+Layout decisions:
+
+* one process (``pid`` 1, named after the run) with one thread lane per
+  execution stream: ``tid`` 0 is the coordinator, worker lanes get
+  ``tid`` 1.. in sorted label order, named by their lane label
+  (``worker-0``, ...) via ``thread_name`` metadata events;
+* spans are complete ("ph": "X") events — timestamps are microseconds
+  relative to the tracer's construction handshake (``perf0_ns``), so
+  the timeline starts near zero; worker spans were already re-based
+  onto the coordinator's perf clock when the lane was folded in
+  (:meth:`~repro.telemetry.tracer.Tracer.add_remote_lane`);
+* a span that raised carries ``"error": true`` in its args and the
+  ``cat`` ``"error"`` so Perfetto can colour/query it;
+* synthetic spans (the coordinator's per-shard *summary* spans, marked
+  ``synthetic`` in their attrs) are skipped — their timings are
+  duplicates of the real worker lanes and they carry no clock-valid
+  timestamps;
+* sampler ticks become counter ("ph": "C") events: ``rss_mb`` plus one
+  counter track per registered probe.
+
+The output is the ``{"traceEvents": [...]}`` object form, which both
+viewers accept and which leaves room for ``displayTimeUnit``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .tracer import Span, Tracer, _jsonable
+
+PathLike = Union[str, pathlib.Path]
+
+#: pid used for every lane — one run, one (virtual) process
+TRACE_PID = 1
+
+#: tid of the coordinator's lane
+MAIN_TID = 0
+
+
+def _span_events(
+    span: Span, tid: int, epoch_ns: int, events: List[Dict[str, Any]]
+) -> None:
+    if span.attrs.get("synthetic"):
+        return  # summary duplicate of a real remote lane; not clock-valid
+    end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+    args = {k: _jsonable(v) for k, v in span.attrs.items()}
+    if span.error:
+        args["error"] = True
+    event: Dict[str, Any] = {
+        "name": span.name,
+        "ph": "X",
+        "cat": "error" if span.error else "span",
+        "ts": (span.start_ns - epoch_ns) / 1e3,
+        "dur": max(0.0, (end_ns - span.start_ns) / 1e3),
+        "pid": TRACE_PID,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in span.children:
+        _span_events(child, tid, epoch_ns, events)
+
+
+def _metadata(name: str, tid: int, label: str) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": TRACE_PID,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def chrome_trace_events(
+    tracer: Tracer, sampler: Optional[Any] = None
+) -> List[Dict[str, Any]]:
+    """The flat ``traceEvents`` list for ``tracer`` (+ optional sampler).
+
+    ``sampler`` is a :class:`~repro.telemetry.sampler.ResourceSampler`
+    (or anything with a ``samples`` list of tick dicts); its time series
+    become counter tracks on the coordinator lane.
+    """
+    epoch_ns = tracer.perf0_ns
+    events: List[Dict[str, Any]] = [
+        _metadata("process_name", MAIN_TID, "repro run"),
+        _metadata("thread_name", MAIN_TID, "coordinator"),
+    ]
+    for root in tracer.roots:
+        _span_events(root, MAIN_TID, epoch_ns, events)
+    for tid, label in enumerate(sorted(tracer.remote_lanes), start=1):
+        events.append(_metadata("thread_name", tid, label))
+        for root in tracer.remote_lanes[label]:
+            _span_events(root, tid, epoch_ns, events)
+    if sampler is not None:
+        for sample in getattr(sampler, "samples", []):
+            ts = (sample["t_ns"] - epoch_ns) / 1e3
+            rss = sample.get("rss_bytes")
+            if rss is not None:
+                events.append(
+                    {
+                        "name": "rss_mb",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": TRACE_PID,
+                        "tid": MAIN_TID,
+                        "args": {"rss_mb": rss / 2**20},
+                    }
+                )
+            for key, value in (sample.get("probes") or {}).items():
+                events.append(
+                    {
+                        "name": key,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": TRACE_PID,
+                        "tid": MAIN_TID,
+                        "args": {key: value},
+                    }
+                )
+    return events
+
+
+def chrome_trace_dict(
+    tracer: Tracer, sampler: Optional[Any] = None
+) -> Dict[str, Any]:
+    """The complete ``--trace-out`` payload (object form)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, sampler),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: PathLike, tracer: Tracer, sampler: Optional[Any] = None
+) -> pathlib.Path:
+    """Write the trace-event JSON to ``path`` and return it."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chrome_trace_dict(tracer, sampler)
+    path.write_text(json.dumps(payload) + "\n")
+    return path

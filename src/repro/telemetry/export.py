@@ -24,8 +24,10 @@ PathLike = Union[str, pathlib.Path]
 
 #: format version of the --metrics-out payload, bumped on layout changes
 #: (2: top-level ``version`` string alongside the manifest, so payloads
-#: remain attributable even when filtered down to one section)
-METRICS_FORMAT = 2
+#: remain attributable even when filtered down to one section; 3: adds
+#: the ``histograms`` section — full mergeable bucket state per metric —
+#: and, when a resource sampler ran, ``resource_samples``)
+METRICS_FORMAT = 3
 
 
 def _fmt_duration(ns: int) -> str:
@@ -87,8 +89,31 @@ def render_counters(tracer: Tracer) -> str:
     )
 
 
+def render_histograms(tracer: Tracer) -> str:
+    """Histogram summaries as aligned quantile rows (the ``--trace``
+    terminal view's distribution table)."""
+    summaries = tracer.histogram_summaries()
+    if not summaries:
+        return "(no histograms recorded)"
+    width = max(len(name) for name in summaries)
+    header = (
+        f"{'name':<{width}}  {'count':>8}  {'p50':>10}  {'p95':>10}  "
+        f"{'p99':>10}  {'max':>10}"
+    )
+    rows = [header]
+    for name, summary in summaries.items():
+        rows.append(
+            f"{name:<{width}}  {summary['count']:>8.0f}  "
+            f"{summary['p50']:>10.3g}  {summary['p95']:>10.3g}  "
+            f"{summary['p99']:>10.3g}  {summary['max']:>10.3g}"
+        )
+    return "\n".join(rows)
+
+
 def trace_to_dict(
-    tracer: Tracer, manifest: Optional[RunManifest] = None
+    tracer: Tracer,
+    manifest: Optional[RunManifest] = None,
+    sampler: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """The complete ``--metrics-out`` payload as a JSON-ready dict."""
     payload: Dict[str, Any] = {
@@ -97,21 +122,30 @@ def trace_to_dict(
         "spans": [root.to_dict() for root in tracer.roots],
         "counters": dict(sorted(tracer.counters.items())),
         "gauges": dict(sorted(tracer.gauges.items())),
+        "histograms": {
+            name: tracer.histograms[name].to_dict()
+            for name in sorted(tracer.histograms)
+        },
     }
     rss = tracer.peak_rss_kb()
     if rss is not None:
         payload["peak_rss_kb"] = rss
+    if sampler is not None:
+        payload["resource_samples"] = sampler.to_dicts(tracer.perf0_ns)
     if manifest is not None:
         payload["manifest"] = manifest.to_dict()
     return payload
 
 
 def write_metrics(
-    path: PathLike, tracer: Tracer, manifest: Optional[RunManifest] = None
+    path: PathLike,
+    tracer: Tracer,
+    manifest: Optional[RunManifest] = None,
+    sampler: Optional[Any] = None,
 ) -> pathlib.Path:
     """Write the spans+counters+manifest artefact to ``path`` (JSON)."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = trace_to_dict(tracer, manifest)
+    payload = trace_to_dict(tracer, manifest, sampler)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -63,6 +63,11 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "store": {"type": ["string", "null"]},
         "block_size": {"type": ["integer", "null"]},
         "peak_rss_bytes": {"type": ["integer", "null"]},
+        # histogram summaries ({name: {count, mean, p50, p95, p99, max}})
+        # captured when a tracer with histogram metrics was installed.
+        # Also outside "config": a distribution digest describes how the
+        # run behaved, never what it measured.
+        "histograms": {"type": ["object", "null"]},
     },
 }
 
@@ -139,6 +144,8 @@ class RunManifest:
     block_size: Optional[int] = None
     #: process peak RSS in bytes sampled at run end (None = not sampled)
     peak_rss_bytes: Optional[int] = None
+    #: histogram summaries from the run's tracer (None = no histograms)
+    histograms: Optional[Dict[str, Any]] = None
 
     @classmethod
     def collect(
@@ -151,6 +158,7 @@ class RunManifest:
         store: Optional[str] = None,
         block_size: Optional[int] = None,
         peak_rss_bytes: Optional[int] = None,
+        histograms: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Capture the current process's provenance tuple.
 
@@ -180,6 +188,7 @@ class RunManifest:
             store=None if store is None else str(store),
             block_size=None if block_size is None else int(block_size),
             peak_rss_bytes=None if peak_rss_bytes is None else int(peak_rss_bytes),
+            histograms=None if histograms is None else dict(histograms),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -193,7 +202,14 @@ class RunManifest:
         """Rebuild a manifest from its :meth:`to_dict` form (validated)."""
         validate_manifest(data)
         kwargs = {k: data[k] for k in MANIFEST_SCHEMA["required"]}
-        for key in ("jobs", "cache", "store", "block_size", "peak_rss_bytes"):
+        for key in (
+            "jobs",
+            "cache",
+            "store",
+            "block_size",
+            "peak_rss_bytes",
+            "histograms",
+        ):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)

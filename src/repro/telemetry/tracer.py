@@ -52,6 +52,7 @@ class Span:
         "children",
         "start_ns",
         "end_ns",
+        "error",
         "mem_peak_bytes",
         "_mem_start_bytes",
     )
@@ -63,6 +64,7 @@ class Span:
         self.children: List["Span"] = []
         self.start_ns: int = 0
         self.end_ns: Optional[int] = None
+        self.error: bool = False
         self.mem_peak_bytes: Optional[int] = None
         self._mem_start_bytes: Optional[int] = None
 
@@ -84,11 +86,50 @@ class Span:
         }
         if self.attrs:
             d["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        if self.error:
+            d["error"] = True
         if self.mem_peak_bytes is not None:
             d["mem_peak_bytes"] = self.mem_peak_bytes
         if self.children:
             d["children"] = [c.to_dict() for c in self.children]
         return d
+
+    def to_timed_dict(self) -> Dict[str, Any]:
+        """Like :meth:`to_dict` but with absolute ``start_ns``/``end_ns``.
+
+        This is the wire form a parallel worker ships its span forest in:
+        timestamps stay on the worker's ``perf_counter_ns`` clock, and
+        the coordinator re-bases them via the clock-offset handshake when
+        rebuilding with :meth:`from_timed_dict`.
+        """
+        d: Dict[str, Any] = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns if self.end_ns is not None else self.start_ns,
+        }
+        if self.attrs:
+            d["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        if self.error:
+            d["error"] = True
+        if self.children:
+            d["children"] = [c.to_timed_dict() for c in self.children]
+        return d
+
+    @classmethod
+    def from_timed_dict(
+        cls, data: Dict[str, Any], offset_ns: int = 0
+    ) -> "Span":
+        """Rebuild a :meth:`to_timed_dict` span, shifting every timestamp
+        by ``offset_ns`` (the worker-to-coordinator clock alignment)."""
+        span = cls(str(data["name"]), dict(data.get("attrs") or {}) or None)
+        span.start_ns = int(data["start_ns"]) + offset_ns
+        span.end_ns = int(data["end_ns"]) + offset_ns
+        span.error = bool(data.get("error", False))
+        for child_data in data.get("children", []):
+            child = cls.from_timed_dict(child_data, offset_ns)
+            child.parent = span
+            span.children.append(child)
+        return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "open" if self.end_ns is None else f"{self.duration_s * 1e3:.3f} ms"
@@ -125,6 +166,16 @@ class Tracer:
         self.roots: List[Span] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, "Histogram"] = {}
+        #: re-based span forests from other processes, keyed by lane
+        #: label (``worker-<k>``) — rendered as extra timeline lanes by
+        #: the Chrome-trace export, never by the terminal tree
+        self.remote_lanes: Dict[str, List[Span]] = {}
+        # the coordinator half of the clock-alignment handshake: one
+        # (wall, perf) pair read back-to-back.  A worker ships its own
+        # pair; the wall clocks are the common reference that converts
+        # the worker's perf timestamps onto this tracer's perf timeline.
+        self.wall0_ns, self.perf0_ns = clock_handshake()
         self._stack: List[Span] = []
         self._owns_tracemalloc = False
         if memory:
@@ -177,10 +228,19 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
-        """``with tracer.span("stage"):`` convenience wrapper."""
+        """``with tracer.span("stage"):`` convenience wrapper.
+
+        A raising body still closes the span; the span is kept in the
+        tree with its ``error`` flag raised, so a failed stage shows up
+        in the terminal tree and the Chrome-trace export instead of
+        silently vanishing from the timeline.
+        """
         sp = self.start_span(name, **attrs)
         try:
             yield sp
+        except BaseException:
+            sp.error = True
+            raise
         finally:
             self.end_span(sp)
 
@@ -197,6 +257,48 @@ class Tracer:
     def gauge(self, name: str, value: float) -> None:
         """Record the most recent value of gauge ``name``."""
         self.gauges[name] = float(value)
+
+    # ---- histograms --------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name`` (created on first use)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            from .histogram import Histogram
+
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def merge_histogram(self, name: str, other) -> None:
+        """Fold a histogram (or its :meth:`~Histogram.to_dict` form) in.
+
+        How the parallel coordinator absorbs worker distributions: the
+        fixed shared bucket layout makes the merge exact up to bucket
+        resolution, so merged quantiles match a serial run's for any
+        worker count.
+        """
+        from .histogram import Histogram
+
+        if isinstance(other, dict):
+            other = Histogram.from_dict(other)
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = other
+        else:
+            hist.merge(other)
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """``{name: {count, mean, min, max, p50, p95, p99}}``, sorted."""
+        from .histogram import summarise
+
+        return summarise(self.histograms)
+
+    # ---- remote lanes ------------------------------------------------
+
+    def add_remote_lane(self, label: str, spans: List[Span]) -> None:
+        """Append another process's (re-based) span roots to lane
+        ``label``; repeated evaluation rounds accumulate on one lane."""
+        self.remote_lanes.setdefault(label, []).extend(spans)
 
     # ---- lifecycle ---------------------------------------------------
 
@@ -216,7 +318,50 @@ class Tracer:
         return None if peak is None else peak / 1024.0
 
 
-def peak_rss_bytes() -> Optional[int]:
+def clock_handshake() -> "tuple[int, int]":
+    """One ``(wall_ns, perf_ns)`` pair, read back-to-back.
+
+    The worker clock-alignment contract: ``perf_counter_ns`` is the
+    trace clock (monotonic, high resolution) but each process's counter
+    has an arbitrary epoch, so cross-process spans cannot be compared
+    raw.  Every party records this pair once; for a worker pair
+    ``(Ww, Pw)`` and a coordinator pair ``(Wc, Pc)`` the offset
+
+        ``(Ww - Pw) - (Wc - Pc)``
+
+    converts any worker perf timestamp onto the coordinator's perf
+    timeline, with error bounded by the wall-clock read skew (sub-µs —
+    invisible at span granularity).
+    """
+    return time.time_ns(), time.perf_counter_ns()
+
+
+def _rusage_peak_bytes(platform_name: Optional[str] = None) -> Optional[int]:
+    """Peak RSS from ``getrusage`` in bytes, or ``None`` without POSIX.
+
+    ``ru_maxrss`` is reported in KiB on Linux (and most BSDs) but in
+    *bytes* on macOS — ``man getrusage`` on each.  ``platform_name``
+    overrides ``sys.platform`` so the unit conversion is unit-testable
+    from any host.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:
+        return None
+    import sys
+
+    if (platform_name or sys.platform) == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def peak_rss_bytes(
+    proc_status: str = "/proc/self/status",
+    platform_name: Optional[str] = None,
+) -> Optional[int]:
     """This process's peak RSS in bytes, if the platform exposes it.
 
     The module-level form of :meth:`Tracer.peak_rss_kb` — callable with no
@@ -228,26 +373,21 @@ def peak_rss_bytes() -> Optional[int]:
     ``vfork``+``exec`` (how CPython's subprocess spawns children), so a
     child launched from a large parent inherits the *parent's* high-water
     mark there, while ``VmHWM`` belongs to this process's own address
-    space.  ``ru_maxrss`` remains the fallback elsewhere.
+    space.  On macOS (and anywhere else without ``/proc``) the fallback
+    is :func:`_rusage_peak_bytes` — ``ru_maxrss`` with the
+    platform-correct unit (bytes on darwin, KiB elsewhere) — so
+    manifests stay populated off-Linux instead of silently reading
+    nothing.  ``proc_status``/``platform_name`` exist for tests, which
+    exercise the fallback from a Linux host.
     """
     try:
-        with open("/proc/self/status") as status:
+        with open(proc_status) as status:
             for line in status:
                 if line.startswith("VmHWM:"):
                     return int(line.split()[1]) * 1024
-    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+    except (OSError, ValueError, IndexError):
         pass
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS
-    import sys
-
-    if sys.platform == "darwin":  # pragma: no cover - platform-specific
-        return int(peak)
-    return int(peak) * 1024
+    return _rusage_peak_bytes(platform_name)
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +469,18 @@ def gauge(name: str, value: float) -> None:
         t.gauge(name, value)
 
 
+def observe(name: str, value: float) -> None:
+    """Fold a sample into a histogram of the installed tracer.
+
+    The distribution sibling of :func:`count`: one attribute load and
+    one branch when disabled, so per-block kernel latencies can report
+    through it without a measurable disabled-path cost.
+    """
+    t = _active
+    if t is not None:
+        t.observe(name, value)
+
+
 def enabled() -> bool:
     """True when a tracer is installed."""
     return _active is not None
@@ -342,5 +494,9 @@ def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
     sp = start_span(name, **attrs)
     try:
         yield sp
+    except BaseException:
+        if sp is not None:
+            sp.error = True
+        raise
     finally:
         end_span(sp)

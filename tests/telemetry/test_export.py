@@ -89,3 +89,40 @@ class TestWriteMetrics:
             write_metrics(tmp_path / "m.json", traced).read_text()
         )
         assert "manifest" not in payload
+
+
+class TestHistogramSections:
+    def test_format_is_three(self):
+        assert METRICS_FORMAT == 3
+
+    def test_histograms_always_present_and_sorted(self, traced):
+        payload = trace_to_dict(traced)
+        assert payload["histograms"] == {}
+        traced.observe("z.metric", 1.0)
+        traced.observe("a.metric", 2.0)
+        payload = trace_to_dict(traced)
+        assert list(payload["histograms"]) == ["a.metric", "z.metric"]
+        assert payload["histograms"]["a.metric"]["count"] == 1
+
+    def test_resource_samples_when_sampler_given(self, traced, tmp_path):
+        from repro.telemetry import ResourceSampler
+
+        sampler = ResourceSampler()
+        sampler.sample_once()
+        payload = json.loads(
+            write_metrics(tmp_path / "m.json", traced, None, sampler).read_text()
+        )
+        assert len(payload["resource_samples"]) == 1
+        assert "rss_bytes" in payload["resource_samples"][0]
+        payload = trace_to_dict(traced)
+        assert "resource_samples" not in payload
+
+    def test_render_histograms_table(self, traced):
+        from repro.telemetry import render_histograms
+
+        assert "no histograms" in render_histograms(traced)
+        traced.observe("batch.block_s", 0.002)
+        traced.observe("batch.block_s", 0.004)
+        text = render_histograms(traced)
+        assert "batch.block_s" in text
+        assert "p99" in text.splitlines()[0]

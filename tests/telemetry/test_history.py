@@ -126,3 +126,26 @@ class TestRenderHistory:
     def test_quiet_ledger_reports_no_drift(self, manifest):
         text = render_history(entries_for([10.0, 10.0], manifest))
         assert "no drift" in text
+
+
+class TestSparklineDegenerateRanges:
+    """The monitor's RSS row feeds arbitrary series in; every degenerate
+    range must render (never divide by zero or index out of band)."""
+
+    def test_negative_flat_series_is_mid_scale(self):
+        assert sparkline([-3.0, -3.0]) == SPARK_BLOCKS[3] * 2
+
+    def test_tiny_range_stays_in_band(self):
+        s = sparkline([1.0, 1.0 + 1e-15, 1.0])
+        assert len(s) == 3
+        assert set(s) <= set(SPARK_BLOCKS)
+
+    def test_extreme_range_endpoints(self):
+        s = sparkline([1e-9, 1e9])
+        assert s[0] == SPARK_BLOCKS[0]
+        assert s[-1] == SPARK_BLOCKS[-1]
+
+    def test_monotone_ramp_is_nondecreasing(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0, 4.0])
+        ranks = [SPARK_BLOCKS.index(ch) for ch in s]
+        assert ranks == sorted(ranks)

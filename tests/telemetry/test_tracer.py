@@ -183,6 +183,98 @@ class TestMemoryMode:
         assert rss is None or rss > 0
 
 
+class TestErrorPaths:
+    def test_tracer_span_records_error_flag(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("stage"):
+                raise ValueError("boom")
+        sp = tr.roots[0]
+        assert sp.error
+        assert sp.end_ns is not None
+        assert tr.active_span is None
+
+    def test_module_span_records_error_flag(self):
+        with telemetry.session() as tr:
+            with pytest.raises(RuntimeError):
+                with telemetry.span("stage"):
+                    raise RuntimeError("boom")
+        assert tr.roots[0].error
+
+    def test_module_span_disabled_error_path_is_noop(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.span("stage"):
+                raise RuntimeError("boom")  # no tracer: nothing to flag
+
+    def test_error_only_on_raising_span_not_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with pytest.raises(RuntimeError):
+                with tr.span("inner"):
+                    raise RuntimeError("x")
+        outer = tr.roots[0]
+        assert not outer.error
+        assert outer.children[0].error
+
+    def test_error_flag_serialised(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.roots[0].to_dict()["error"] is True
+        assert tr.roots[0].to_timed_dict()["error"] is True
+        rebuilt = Span.from_timed_dict(tr.roots[0].to_timed_dict())
+        assert rebuilt.error
+
+
+class TestPeakRss:
+    def test_linux_reads_vmhwm(self):
+        peak = telemetry.peak_rss_bytes()
+        assert peak is None or peak > 0
+
+    def test_fallback_without_proc(self):
+        """No /proc (macOS): ru_maxrss keeps the reading populated."""
+        peak = telemetry.peak_rss_bytes(proc_status="/nonexistent/status")
+        assert peak is not None and peak > 0
+
+    def test_darwin_unit_is_bytes_linux_is_kib(self):
+        """ru_maxrss is KiB on Linux but bytes on macOS; the fallback
+        must apply the platform-correct factor."""
+        as_linux = telemetry.peak_rss_bytes(
+            proc_status="/nonexistent", platform_name="linux"
+        )
+        as_darwin = telemetry.peak_rss_bytes(
+            proc_status="/nonexistent", platform_name="darwin"
+        )
+        assert as_linux == as_darwin * 1024
+
+    def test_corrupt_proc_status_falls_back(self, tmp_path):
+        bad = tmp_path / "status"
+        bad.write_text("VmHWM: not-a-number kB\n")
+        peak = telemetry.peak_rss_bytes(proc_status=str(bad))
+        assert peak is not None and peak > 0
+
+
+class TestClockHandshake:
+    def test_pair_is_back_to_back(self):
+        wall_ns, perf_ns = telemetry.clock_handshake()
+        assert wall_ns > 0 and perf_ns > 0
+
+    def test_offset_rebases_worker_spans(self):
+        """The documented alignment contract: two handshakes on the same
+        host produce an offset that maps one perf timeline onto the
+        other to within the read skew."""
+        coord = telemetry.clock_handshake()
+        worker = telemetry.clock_handshake()
+        offset = (worker[0] - worker[1]) - (coord[0] - coord[1])
+        rebased = worker[1] + offset
+        # the "worker" handshake happened just after the coordinator's,
+        # so its rebased perf timestamp lands just after coord's perf
+        # reading — within generous CI scheduling noise
+        assert rebased >= coord[1]
+        assert rebased - coord[1] < 1_000_000_000
+
+
 class TestSpanToDict:
     def test_tree_serialises(self):
         tr = Tracer()

@@ -196,3 +196,64 @@ class TestLedgerDiff:
         ledger = {row["metric"]: row for row in payload["ledger"]}
         assert ledger["e2.flips"]["change"] == pytest.approx(9.0)
         assert payload["regressions"] == []
+
+
+def _write_histogram_artefact(path, name, values, histograms):
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{name}.json").write_text(
+        json.dumps({"name": name, "values": values, "histograms": histograms})
+    )
+
+
+class TestHistogramDiff:
+    def test_load_histograms_flattens_quantiles(self, tmp_path):
+        d = tmp_path / "results"
+        _write_histogram_artefact(
+            d,
+            "bench",
+            {"time_s": 1.0},
+            {"batch.block_s": {"count": 8.0, "p50": 0.002, "p99": 0.005}},
+        )
+        assert bench_compare.load_histograms(d) == {
+            "bench:batch.block_s.p50": 0.002,
+            "bench:batch.block_s.p99": 0.005,
+        }
+
+    def test_missing_path_contributes_nothing(self, tmp_path):
+        assert bench_compare.load_histograms(tmp_path / "nope") == {}
+
+    def test_older_artefact_without_section_prints_na(self, tmp_path, capsys):
+        """A baseline predating the histograms section must diff cleanly:
+        n/a on its side, exit 0, never a KeyError."""
+        old = tmp_path / "baseline"
+        new = tmp_path / "candidate"
+        _write_results(old, "bench", {"time_s": 1.0})
+        _write_histogram_artefact(
+            new,
+            "bench",
+            {"time_s": 1.0},
+            {"batch.block_s": {"p50": 0.002, "p99": 0.005}},
+        )
+        out = tmp_path / "diff.json"
+        code = bench_compare.main([str(old), str(new), "--json", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "latency histograms" in printed
+        assert "n/a" in printed
+        payload = json.loads(out.read_text())
+        rows = {row["metric"]: row for row in payload["histograms"]}
+        assert rows["bench:batch.block_s.p99"]["baseline"] is None
+        assert rows["bench:batch.block_s.p99"]["candidate"] == 0.005
+
+    def test_histogram_swing_never_gates(self, tmp_path, capsys):
+        old = tmp_path / "baseline"
+        new = tmp_path / "candidate"
+        _write_histogram_artefact(
+            old, "bench", {"time_s": 1.0}, {"m": {"p50": 0.001, "p99": 0.002}}
+        )
+        _write_histogram_artefact(
+            new, "bench", {"time_s": 1.0}, {"m": {"p50": 0.1, "p99": 0.2}}
+        )
+        code = bench_compare.main([str(old), str(new)])
+        assert code == 0  # a 100x p99 swing is informational, not a gate
+        assert "+9900.0%" in capsys.readouterr().out

@@ -311,3 +311,108 @@ class TestValidateExplain:
         self, metrics_file, capsys
     ):
         assert validate_metrics.main(["--explain", str(metrics_file)]) == 1
+
+
+class TestHistogramSection:
+    def test_missing_histograms_section_flagged(self, metrics_file):
+        payload = json.loads(metrics_file.read_text())
+        del payload["histograms"]
+        assert any(
+            "histograms" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def _payload_with_hist(self, metrics_file, hist):
+        payload = json.loads(metrics_file.read_text())
+        payload["histograms"] = {"batch.block_s": hist}
+        return payload
+
+    def test_well_formed_histogram_clean(self, metrics_file):
+        from repro.telemetry import Histogram
+
+        h = Histogram()
+        h.observe_many([0.001, 0.002, 0.0])
+        payload = self._payload_with_hist(
+            metrics_file, json.loads(json.dumps(h.to_dict()))
+        )
+        assert validate_metrics.validate_payload(payload) == []
+
+    def test_growth_mismatch_flagged(self, metrics_file):
+        payload = self._payload_with_hist(
+            metrics_file,
+            {"growth": 2.0, "count": 1, "zero": 0, "buckets": {"0": 1}},
+        )
+        assert any(
+            "growth" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_count_invariant_flagged(self, metrics_file):
+        from repro.telemetry import GROWTH
+
+        payload = self._payload_with_hist(
+            metrics_file,
+            {"growth": GROWTH, "count": 5, "zero": 0, "buckets": {"0": 1}},
+        )
+        assert any(
+            "!= count" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+    def test_boolean_count_flagged(self, metrics_file):
+        from repro.telemetry import GROWTH
+
+        payload = self._payload_with_hist(
+            metrics_file,
+            {"growth": GROWTH, "count": True, "zero": 0, "buckets": {}},
+        )
+        assert any(
+            "count" in p for p in validate_metrics.validate_payload(payload)
+        )
+
+
+class TestTraceMode:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        """A real --trace-out artefact from a jobs=2 sweep."""
+        path = tmp_path_factory.mktemp("trace") / "run.trace.json"
+        code = cli_main(
+            [
+                "run", "e2", "--chips", "4", "--ros", "16",
+                "--jobs", "2", "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_real_trace_is_clean(self, trace_file, capsys):
+        assert validate_metrics.main(["--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out and "lane(s)" in out
+
+    def test_real_trace_has_worker_lanes(self, trace_file):
+        payload = json.loads(trace_file.read_text())
+        assert validate_metrics.validate_trace_events(payload) == []
+        assert validate_metrics._trace_lanes(payload) >= 3  # main + 2 workers
+
+    def test_empty_trace_flagged(self, tmp_path, capsys):
+        bad = tmp_path / "empty.json"
+        bad.write_text(json.dumps({"traceEvents": []}))
+        assert validate_metrics.main(["--trace", str(bad)]) == 1
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_negative_duration_flagged(self, trace_file, tmp_path, capsys):
+        payload = json.loads(trace_file.read_text())
+        slice_event = next(
+            e for e in payload["traceEvents"] if e["ph"] == "X"
+        )
+        slice_event["dur"] = -1.0
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(payload))
+        assert validate_metrics.main(["--trace", str(broken)]) == 1
+        assert "dur" in capsys.readouterr().err
+
+    def test_missing_tid_flagged(self, trace_file):
+        payload = json.loads(trace_file.read_text())
+        del payload["traceEvents"][0]["tid"]
+        assert any(
+            "tid" in p
+            for p in validate_metrics.validate_trace_events(payload)
+        )

@@ -14,10 +14,11 @@ tracked metrics — timings, flip percentages — are better when smaller).
 Telemetry ``counters`` sections (work-done metrics: kernel invocations,
 memo hit rates) are diffed and printed as well, but informationally —
 doing *more work* is not by itself a regression.  ``memory`` sections
-(peak RSS and footprint numbers from store-mode benchmarks) are diffed
-informationally too, and tolerantly: artefacts written before the memory
-fields existed simply show ``n/a`` on their side of the table rather
-than failing the diff.  Run-ledger ``*.jsonl``
+(peak RSS and footprint numbers from store-mode benchmarks) and
+``histograms`` sections (per-metric latency quantile summaries — p50 and
+p99 are diffed) are handled informationally too, and tolerantly:
+artefacts written before those fields existed simply show ``n/a`` on
+their side of the table rather than failing the diff.  Run-ledger ``*.jsonl``
 files found in either directory are diffed the same informational way
 (experiment scalars have no universal "better" direction — the anchor
 registry judges those, see ``tools/check_anchors.py``).  Exit status is
@@ -114,6 +115,44 @@ def load_ledger_scalars(path: pathlib.Path) -> Dict[str, float]:
     return merged
 
 
+def load_histograms(path: pathlib.Path) -> Dict[str, float]:
+    """Flatten ``histograms`` sections into ``{"file:metric.q": value}``.
+
+    Benchmark artefacts may carry per-metric latency summaries
+    (``{"batch.block_s": {"count": ..., "p50": ..., "p99": ...}}``); the
+    headline quantiles are flattened for an informational diff.  Older
+    artefacts without the section contribute nothing — the diff renders
+    ``n/a`` for their side, mirroring the ``memory`` section.
+    """
+    if path.is_dir():
+        files: Iterable[pathlib.Path] = sorted(path.glob("*.json"))
+    elif path.is_file():
+        files = [path]
+    else:
+        return {}
+
+    metrics: Dict[str, float] = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        section = payload.get("histograms") if isinstance(payload, dict) else None
+        if not isinstance(section, dict):
+            continue
+        name = payload.get("name", file.stem)
+        for metric, summary in section.items():
+            if not isinstance(summary, dict):
+                continue
+            for quantile in ("p50", "p99"):
+                value = summary.get(quantile)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metrics[f"{name}:{metric}.{quantile}"] = float(value)
+    return metrics
+
+
 def compare_memory(
     old: Dict[str, float], new: Dict[str, float]
 ) -> List[Tuple[str, object, object]]:
@@ -179,6 +218,8 @@ def main(argv=None) -> int:
         new_counters = load_results(args.candidate, section="counters")
         old_memory = load_results(args.baseline, section="memory")
         new_memory = load_results(args.candidate, section="memory")
+        old_hist = load_histograms(args.baseline)
+        new_hist = load_histograms(args.candidate)
         old_ledger = load_ledger_scalars(args.baseline)
         new_ledger = load_ledger_scalars(args.candidate)
     except FileNotFoundError as exc:
@@ -194,6 +235,7 @@ def main(argv=None) -> int:
         return 2
     counter_rows, _, _ = compare(old_counters, new_counters, args.threshold)
     memory_rows = compare_memory(old_memory, new_memory)
+    histogram_rows = compare_memory(old_hist, new_hist)
     ledger_rows, _, _ = compare(old_ledger, new_ledger, args.threshold)
 
     width = max(len(key) for key, *_ in rows)
@@ -226,6 +268,18 @@ def main(argv=None) -> int:
                 change_text = f"{(b - a) / abs(a):>+7.1%}"
             print(f"{key:<{mwidth}}  {a_text:>12}  {b_text:>12}  {change_text}")
 
+    if histogram_rows:
+        hwidth = max(len(key) for key, *_ in histogram_rows)
+        print("\nlatency histograms (p50/p99, informational):")
+        for key, a, b in histogram_rows:
+            a_text = "n/a" if a is None else f"{a:.6g}"
+            b_text = "n/a" if b is None else f"{b:.6g}"
+            if a is None or b is None or a == 0.0:
+                change_text = "    n/a"
+            else:
+                change_text = f"{(b - a) / abs(a):>+7.1%}"
+            print(f"{key:<{hwidth}}  {a_text:>12}  {b_text:>12}  {change_text}")
+
     if ledger_rows:
         lwidth = max(len(key) for key, *_ in ledger_rows)
         print("\nledger scalars (experiment results, informational):")
@@ -257,6 +311,10 @@ def main(argv=None) -> int:
             "memory": [
                 {"metric": key, "baseline": a, "candidate": b}
                 for key, a, b in memory_rows
+            ],
+            "histograms": [
+                {"metric": key, "baseline": a, "candidate": b}
+                for key, a, b in histogram_rows
             ],
             "ledger": [
                 {"metric": key, "baseline": a, "candidate": b, "change": change}

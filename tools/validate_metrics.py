@@ -7,12 +7,19 @@ Usage::
     python tools/validate_metrics.py /tmp/m.json
     python tools/validate_metrics.py --ledger runs/ledger.jsonl
     python tools/validate_metrics.py --explain explain.json
+    python tools/validate_metrics.py --trace run.trace.json
 
 Default mode checks a ``--metrics-out`` payload: valid JSON, the
 expected top-level sections (``format``, ``version``, ``spans``,
-``counters``, ``gauges``), well-formed span subtrees (name +
-non-negative duration), and a manifest satisfying
-:data:`repro.telemetry.MANIFEST_SCHEMA`.
+``counters``, ``gauges``, ``histograms``), well-formed span subtrees
+(name + non-negative duration), well-formed histogram states
+(matching growth factor, integer bucket counts summing to ``count``),
+and a manifest satisfying :data:`repro.telemetry.MANIFEST_SCHEMA`.
+
+``--trace`` checks a ``--trace-out`` Chrome ``trace_event`` artefact:
+a non-empty ``traceEvents`` list whose events carry name/phase/pid/tid,
+with non-negative durations on complete (``X``) events — the shape
+Perfetto's importer requires.
 
 ``--ledger`` checks a run-ledger JSONL file: every recorded scalar must
 be finite (the ledger silently drops NaN/inf at write time, so a
@@ -68,7 +75,7 @@ def validate_payload(payload) -> list:
     version = payload.get("version")
     if not isinstance(version, str) or not version:
         problems.append("missing or non-string top-level 'version' (format 2)")
-    for section in ("spans", "counters", "gauges"):
+    for section in ("spans", "counters", "gauges", "histograms"):
         if section not in payload:
             problems.append(f"missing section {section!r}")
     for i, span in enumerate(payload.get("spans", [])):
@@ -77,6 +84,8 @@ def validate_payload(payload) -> list:
         for key, value in (payload.get(section) or {}).items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"{section}[{key!r}] is not numeric")
+    for name, hist in (payload.get("histograms") or {}).items():
+        problems.extend(_check_histogram(name, hist))
     if "manifest" not in payload:
         problems.append("missing section 'manifest'")
     else:
@@ -87,6 +96,90 @@ def validate_payload(payload) -> list:
         else:
             problems.extend(_check_execution_fields(payload["manifest"]))
     return problems
+
+
+def _check_histogram(name, hist) -> list:
+    """Shape checks for one serialised Histogram state.
+
+    A metrics payload's histograms are full mergeable bucket states, so
+    the invariants are structural: the growth factor must match this
+    build's bucket layout (mergeability), counts must be non-negative
+    integers, and the zero bucket plus the log buckets must account for
+    every observation.
+    """
+    from repro.telemetry import GROWTH
+
+    where = f"histograms[{name!r}]"
+    if not isinstance(hist, dict):
+        return [f"{where}: not an object"]
+    problems = []
+    growth = hist.get("growth")
+    if not _finite_number(growth) or abs(growth - GROWTH) > 1e-9:
+        problems.append(
+            f"{where}: growth {growth!r} does not match the bucket "
+            f"layout {GROWTH}"
+        )
+    count = hist.get("count")
+    zero = hist.get("zero")
+    buckets = hist.get("buckets")
+    for field, value in (("count", count), ("zero", zero)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{where}: {field} must be a non-negative integer")
+    if not isinstance(buckets, dict):
+        problems.append(f"{where}: missing 'buckets' object")
+        return problems
+    total = 0
+    for idx, n in buckets.items():
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            problems.append(
+                f"{where}: bucket[{idx!r}] must be a positive integer"
+            )
+            return problems
+        total += n
+    if isinstance(count, int) and isinstance(zero, int) and zero + total != count:
+        problems.append(
+            f"{where}: zero ({zero}) + bucket total ({total}) != count ({count})"
+        )
+    return problems
+
+
+def validate_trace_events(payload) -> list:
+    """All problems in a ``--trace-out`` Chrome-trace artefact (empty = ok)."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["missing or empty 'traceEvents' list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph"):
+            if not isinstance(event.get(field), str) or not event[field]:
+                problems.append(f"{where}: missing string field {field!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: missing integer field {field!r}")
+        if event.get("ph") in ("X", "C") and not _finite_number(
+            event.get("ts")
+        ):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if event.get("ph") == "X":
+            dur = event.get("dur")
+            if not _finite_number(dur) or dur < 0:
+                problems.append(f"{where}: 'X' event needs non-negative 'dur'")
+    return problems
+
+
+def _trace_lanes(payload) -> int:
+    """Distinct (pid, tid) lanes carrying real (non-metadata) events."""
+    lanes = set()
+    for event in payload.get("traceEvents", []):
+        if isinstance(event, dict) and event.get("ph") != "M":
+            lanes.add((event.get("pid"), event.get("tid")))
+    return len(lanes)
 
 
 def _check_execution_fields(manifest) -> list:
@@ -300,6 +393,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat PATH as a 'repro explain --json' payload",
     )
+    mode.add_argument(
+        "--trace",
+        action="store_true",
+        help="treat PATH as a '--trace-out' Chrome trace_event artefact",
+    )
     parser.add_argument("path", type=pathlib.Path, help="artefact to validate")
     args = parser.parse_args(argv)
 
@@ -328,6 +426,15 @@ def main(argv=None) -> int:
         summary = (
             f"explain payload, {len(payload.get('designs') or {})} design(s)"
         )
+    elif args.trace:
+        problems = validate_trace_events(payload)
+        if not problems:
+            summary = (
+                f"{len(payload['traceEvents'])} trace event(s) across "
+                f"{_trace_lanes(payload)} lane(s)"
+            )
+        else:
+            summary = ""
     else:
         problems = validate_payload(payload)
         summary = ""
@@ -357,8 +464,9 @@ def main(argv=None) -> int:
         )
     print(
         f"ok: {args.path} — {len(payload.get('spans', []))} root span(s), "
-        f"{len(counters)} counter(s), manifest valid "
-        f"(git {str(manifest.get('git_sha'))[:8]}, {execution})"
+        f"{len(counters)} counter(s), "
+        f"{len(payload.get('histograms') or {})} histogram(s), "
+        f"manifest valid (git {str(manifest.get('git_sha'))[:8]}, {execution})"
     )
     return 0
 
