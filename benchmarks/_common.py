@@ -29,7 +29,9 @@ Run everything with::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import sys
 import time
 from typing import Any, Callable, Dict, Mapping, Optional
 
@@ -98,6 +100,30 @@ def _write_payload(
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+    _append_perf_ledger(name, payload)
+
+
+def _append_perf_ledger(name: str, payload: Mapping[str, Any]) -> None:
+    """Opt-in longitudinal append: one perf-ledger line per bench artefact.
+
+    Active only when ``REPRO_PERF_LEDGER`` names a ledger file (CI's
+    perf-ledger job sets it; local runs opt in the same way) — the
+    default bench run writes nothing extra.  A failed append warns and
+    never fails the benchmark: the ledger observes runs, it must not be
+    able to break them.
+    """
+    path = os.environ.get("REPRO_PERF_LEDGER")
+    if not path:
+        return
+    try:
+        from repro.telemetry import PerfLedger, entry_from_bench_payload
+
+        PerfLedger(path).append(entry_from_bench_payload(name, payload))
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        print(
+            f"warning: perf-ledger append to {path} failed: {exc}",
+            file=sys.stderr,
+        )
 
 
 def emit(

@@ -74,6 +74,16 @@ def _sweep_batched(batch, years):
     ]
 
 
+def chips_years_per_s(n_chips, years, elapsed_s):
+    """Sweep throughput in simulated chip-years per wall second.
+
+    The perf ledger's headline throughput: one E2-style sweep simulates
+    ``sum(years)`` field-years for each of ``n_chips`` chips, so this is
+    comparable across chip counts and year grids, unlike raw wall time.
+    """
+    return n_chips * sum(years) / elapsed_s
+
+
 @pytest.mark.slow
 class TestPopulationEngine:
     @pytest.fixture(scope="class", params=["ro-puf", "aro-puf"])
@@ -118,6 +128,9 @@ class TestPopulationEngine:
                 "per_chip_s": t_old,
                 "batched_s": t_new,
                 "speedup": speedup,
+                "chips_years_per_s": chips_years_per_s(
+                    N_CHIPS, years, t_new
+                ),
             },
             counters=tracer.counters,
         )
@@ -445,6 +458,9 @@ class TestTelemetryOverhead:
                 "disabled_s": t_disabled,
                 "enabled_s": t_enabled,
                 "enabled_overhead": max(overhead, 0.0),
+                "chips_years_per_s": chips_years_per_s(
+                    self.OBSERVATORY_N_CHIPS, years, t_enabled
+                ),
             },
             histograms=histograms,
         )

@@ -260,10 +260,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ARO-PUF (DATE 2014) reproduction: run paper experiments.",
     )
+    execution = telemetry.execution_fields()
     parser.add_argument(
         "--version",
         action="version",
-        version=f"%(prog)s {telemetry.package_version()}",
+        # package version first (scripted consumers split on it), then
+        # the perf-ledger host identity so "which machine produced this
+        # number" is answerable from the version string alone
+        version=(
+            f"%(prog)s {telemetry.package_version()} "
+            f"(numpy {execution['numpy_version']}, "
+            f"{execution['platform_triple']}, "
+            f"host {execution['host_fingerprint']})"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -393,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only the newest N recordings of each metric",
     )
+    history.add_argument(
+        "--robust",
+        action="store_true",
+        help="use the median+MAD change-point detector instead of the "
+        "rolling-mean drift flag (short series stay in warm-up; the "
+        "threshold becomes the detector's relative noise floor)",
+    )
 
     monitor = sub.add_parser(
         "monitor",
@@ -416,6 +432,137 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         metavar="S",
         help="redraw interval in seconds with --follow (default 0.5)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="the performance observatory: ledger trends, regression "
+        "gating, flame graphs and HTML reports",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_ledger_args = argparse.ArgumentParser(add_help=False)
+    perf_ledger_args.add_argument(
+        "--perf-ledger",
+        metavar="PATH",
+        required=True,
+        help="the perf-ledger JSONL to read (as appended by benchmark "
+        "runs with REPRO_PERF_LEDGER set, or PerfLedger.record())",
+    )
+    perf_ledger_args.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="only metrics containing SUBSTR (repeatable)",
+    )
+    perf_ledger_args.add_argument(
+        "--host",
+        metavar="FINGERPRINT",
+        default=None,
+        help="only entries from this host fingerprint ('this' = the "
+        "current machine's); default: no filter",
+    )
+
+    perf_history = perf_sub.add_parser(
+        "history",
+        help="per-metric perf trends with robust change-point verdicts",
+        parents=[perf_ledger_args],
+    )
+    perf_history.add_argument(
+        "--window",
+        type=int,
+        default=telemetry.changepoint.DEFAULT_WINDOW,
+        help="trailing baseline window in runs (default %(default)s)",
+    )
+    perf_history.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the newest N recordings of each metric",
+    )
+
+    perf_gate = perf_sub.add_parser(
+        "gate",
+        help="exit non-zero when any perf metric confirmed a regression",
+        parents=[perf_ledger_args],
+    )
+    perf_gate.add_argument(
+        "--window",
+        type=int,
+        default=telemetry.changepoint.DEFAULT_WINDOW,
+        help="trailing baseline window in runs (default %(default)s)",
+    )
+    perf_gate.add_argument(
+        "--min-history",
+        type=int,
+        default=telemetry.changepoint.MIN_HISTORY,
+        metavar="N",
+        help="prior runs required before the gate may fire "
+        "(default %(default)s; shorter series pass as warm-up)",
+    )
+    perf_gate.add_argument(
+        "--z",
+        type=float,
+        default=telemetry.changepoint.DEFAULT_Z,
+        help="robust z-score a movement must exceed (default %(default)s)",
+    )
+    perf_gate.add_argument(
+        "--min-rel",
+        type=float,
+        default=telemetry.changepoint.DEFAULT_MIN_REL,
+        metavar="FRAC",
+        help="relative noise floor vs the median baseline "
+        "(default %(default)s)",
+    )
+
+    perf_flame = perf_sub.add_parser(
+        "flame",
+        help="collapsed stacks (flamegraph.pl / speedscope) from a "
+        "--trace-out Chrome trace artefact",
+    )
+    perf_flame.add_argument(
+        "--trace",
+        metavar="PATH",
+        required=True,
+        help="the Chrome trace_event JSON written by run --trace-out",
+    )
+    perf_flame.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write collapsed stacks to PATH (default: stdout)",
+    )
+    perf_flame.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="also print the wall-clock-bounding span chain",
+    )
+
+    perf_report = perf_sub.add_parser(
+        "report",
+        help="single-file static HTML: sparklines, quantiles, self time",
+        parents=[perf_ledger_args],
+    )
+    perf_report.add_argument(
+        "--html",
+        metavar="PATH",
+        required=True,
+        help="output HTML file (self-contained, inline SVG sparklines)",
+    )
+    perf_report.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="optionally fold a --trace-out artefact's top self-time "
+        "table and critical path into the report",
+    )
+    perf_report.add_argument(
+        "--window",
+        type=int,
+        default=telemetry.changepoint.DEFAULT_WINDOW,
+        help="trailing baseline window in runs (default %(default)s)",
     )
 
     anchors = sub.add_parser(
@@ -715,6 +862,16 @@ def _monitor_command(args: argparse.Namespace) -> int:
     try:
         while True:
             if path.exists():
+                if path.stat().st_size < pos:
+                    # the file shrank under us (rotated or truncated):
+                    # the run this dashboard was following is gone, and
+                    # re-reading from `pos` would silently hang at EOF
+                    # forever — exit cleanly instead
+                    print(
+                        f"events file {path} was truncated; stopping",
+                        flush=True,
+                    )
+                    return 0
                 with path.open() as fh:
                     fh.seek(pos)
                     lines = fh.readlines()
@@ -742,9 +899,165 @@ def _history_command(args: argparse.Namespace) -> int:
             window=args.window,
             threshold=args.threshold,
             last=args.last,
+            robust=args.robust,
         )
     )
     return 0
+
+
+def _perf_series(args: argparse.Namespace) -> Dict[str, List[float]]:
+    """The (host- and metric-filtered) series of a perf ledger."""
+    from .telemetry import perfledger
+
+    host = args.host
+    if host == "this":
+        host = telemetry.host_fingerprint()
+    entries = telemetry.PerfLedger(args.perf_ledger).entries()
+    series = perfledger.metric_series(entries, host=host)
+    if args.metric:
+        series = {
+            name: values
+            for name, values in series.items()
+            if any(m in name for m in args.metric)
+        }
+    return dict(sorted(series.items()))
+
+
+def _perf_verdicts(
+    args: argparse.Namespace, **detect_kwargs
+) -> List[Tuple[telemetry.ChangePoint, str]]:
+    """``(change point, regress/improve/... verdict)`` per perf metric."""
+    out: List[Tuple[telemetry.ChangePoint, str]] = []
+    for metric, values in _perf_series(args).items():
+        point = telemetry.detect(metric, values, **detect_kwargs)
+        verdict = telemetry.classify(
+            point, telemetry.metric_orientation(metric)
+        )
+        out.append((point, verdict))
+    return out
+
+
+def _perf_history_command(args: argparse.Namespace) -> int:
+    series = _perf_series(args)
+    if not series:
+        print("(empty perf ledger)")
+        return 0
+    rows = []
+    for metric, values in series.items():
+        if args.last is not None:
+            values = values[-args.last :]
+        point = telemetry.detect(metric, values, window=args.window)
+        verdict = telemetry.classify(
+            point, telemetry.metric_orientation(metric)
+        )
+        rows.append((metric, values, point, verdict))
+    width = max(len(m) for m, _, _, _ in rows)
+    spark_w = max(len(v) for _, v, _, _ in rows)
+    lines = []
+    for metric, values, point, verdict in rows:
+        spark = telemetry.sparkline(values).rjust(spark_w)
+        base = (
+            "       --" if point.median is None else f"{point.median:9.4g}"
+        )
+        delta = ""
+        if point.change is not None:
+            delta = f"  {point.change:+7.1%} vs median"
+        lines.append(
+            f"{metric:<{width}}  {spark}  latest {point.latest:9.4g}  "
+            f"base {base}{delta}  [{verdict}]"
+        )
+    print("\n".join(lines))
+    return 0
+
+
+def _perf_gate_command(args: argparse.Namespace) -> int:
+    verdicts = _perf_verdicts(
+        args,
+        window=args.window,
+        min_history=args.min_history,
+        z=args.z,
+        min_rel=args.min_rel,
+    )
+    if not verdicts:
+        print("perf gate: empty perf ledger, nothing to judge")
+        return 0
+    regressions = []
+    for point, verdict in verdicts:
+        marker = ""
+        if verdict == "regress":
+            marker = "  << REGRESSION"
+            regressions.append(point.metric)
+        detail = ""
+        if point.moved and point.change is not None:
+            detail = f" ({point.change:+.1%} vs median {point.median:.4g})"
+        print(f"{point.metric}: {verdict}{detail}{marker}")
+    if regressions:
+        print(
+            f"perf gate: {len(regressions)} confirmed regression(s): "
+            + ", ".join(regressions)
+        )
+        return 1
+    print("perf gate: no confirmed regressions")
+    return 0
+
+
+def _load_trace_lanes(path: str):
+    import json as _json
+
+    trace_path = pathlib.Path(path)
+    if not trace_path.exists():
+        print(f"error: no trace file at {trace_path}", file=sys.stderr)
+        return None
+    try:
+        payload = _json.loads(trace_path.read_text())
+    except ValueError as exc:
+        print(f"error: {trace_path} is not JSON: {exc}", file=sys.stderr)
+        return None
+    try:
+        return telemetry.lanes_from_chrome_trace(payload)
+    except ValueError as exc:
+        print(f"error: {trace_path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _perf_flame_command(args: argparse.Namespace) -> int:
+    lanes = _load_trace_lanes(args.trace)
+    if lanes is None:
+        return 2
+    stacks = telemetry.collapsed_stacks(lanes)
+    if args.out:
+        path = telemetry.write_collapsed(args.out, stacks)
+        print(f"collapsed stacks written to {path} ({len(stacks)} stacks)")
+    else:
+        print(telemetry.render_collapsed(stacks))
+    if args.critical_path:
+        print(telemetry.render_critical_path(telemetry.critical_path(lanes)))
+    return 0
+
+
+def _perf_report_command(args: argparse.Namespace) -> int:
+    from .telemetry.report import write_perf_report
+
+    series = _perf_series(args)
+    lanes = None
+    if args.trace:
+        lanes = _load_trace_lanes(args.trace)
+        if lanes is None:
+            return 2
+    path = write_perf_report(
+        args.html, series, window=args.window, lanes=lanes
+    )
+    print(f"perf report written to {path}")
+    return 0
+
+
+def _perf_command(args: argparse.Namespace) -> int:
+    return {
+        "history": _perf_history_command,
+        "gate": _perf_gate_command,
+        "flame": _perf_flame_command,
+        "report": _perf_report_command,
+    }[args.perf_command](args)
 
 
 def _check_anchors_command(
@@ -873,6 +1186,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.command == "monitor":
         return _monitor_command(args)
+
+    if args.command == "perf":
+        return _perf_command(args)
 
     kwargs: Dict[str, Any] = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:

@@ -34,7 +34,18 @@ layers:
   quantitative claims as a declarative registry with pass/warn/fail
   tolerance bands (``repro check-anchors``, ``tools/check_anchors.py``);
 * :func:`render_history` — per-metric trends over a ledger with
-  sparklines and rolling-baseline drift detection (``repro history``).
+  sparklines and rolling-baseline drift detection (``repro history``);
+* :class:`PerfLedger` / :class:`PerfEntry` — the *performance*
+  counterpart: every benchmark run's throughput / wall / RSS / p50/p99,
+  keyed ``git_sha:host-fingerprint:bench-id`` (``repro perf``,
+  ``REPRO_PERF_LEDGER``);
+* :func:`detect` / :func:`classify` — median+MAD change-point verdicts
+  with a documented noise model and warm-up (``repro perf gate``,
+  ``repro history --robust``);
+* :func:`aggregate` / :func:`critical_path` / :func:`collapsed_stacks`
+  — span-forest attribution: self-time tables, the wall-clock-bounding
+  span chain across lanes, and flamegraph.pl/speedscope collapsed
+  stacks (``repro perf flame``).
 
 The library is instrumented through the module-level single-branch API
 (:func:`start_span` / :func:`end_span` / :func:`count` / :func:`gauge` /
@@ -54,8 +65,11 @@ Enable collection with::
 from .manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
+    execution_fields,
     git_sha,
+    host_fingerprint,
     package_version,
+    platform_triple,
     validate_manifest,
 )
 from .tracer import (
@@ -129,20 +143,59 @@ from .anchors import (
     worst_status,
 )
 from .history import TrendRow, history_rows, render_history, sparkline
+from .changepoint import (
+    ChangePoint,
+    MAD_CONSISTENCY,
+    MIN_HISTORY,
+    classify,
+    detect,
+    metric_orientation,
+)
+from .perfledger import (
+    PERF_LEDGER_ENV,
+    PERF_LEDGER_FORMAT,
+    PerfEntry,
+    PerfLedger,
+    entry_from_bench_payload,
+    entry_from_metrics_payload,
+)
+from .report import render_perf_report, write_perf_report
+from .profile import (
+    PathSegment,
+    ProfileRow,
+    aggregate,
+    collapsed_stacks,
+    critical_path,
+    lanes_from_chrome_trace,
+    lanes_from_tracer,
+    render_collapsed,
+    render_critical_path,
+    render_profile,
+    write_collapsed,
+)
 
 __all__ = [
     "ANCHOR_EXPERIMENTS",
     "Anchor",
     "AnchorVerdict",
+    "ChangePoint",
     "EVENTS_FORMAT",
     "GROWTH",
     "Histogram",
     "LEDGER_FORMAT",
     "LedgerEntry",
+    "MAD_CONSISTENCY",
     "MANIFEST_SCHEMA",
     "METRICS_FORMAT",
+    "MIN_HISTORY",
     "MonitorState",
     "PAPER_ANCHORS",
+    "PERF_LEDGER_ENV",
+    "PERF_LEDGER_FORMAT",
+    "PathSegment",
+    "PerfEntry",
+    "PerfLedger",
+    "ProfileRow",
     "ProgressEmitter",
     "QUANTILE_RELATIVE_ERROR",
     "ResourceSampler",
@@ -153,6 +206,7 @@ __all__ = [
     "Tracer",
     "TrendRow",
     "active",
+    "aggregate",
     "active_emitter",
     "active_sampler",
     "check_anchors",
@@ -160,30 +214,46 @@ __all__ = [
     "TRACE_PID",
     "chrome_trace_dict",
     "chrome_trace_events",
+    "classify",
     "clock_handshake",
+    "collapsed_stacks",
     "count",
+    "critical_path",
     "current_rss_bytes",
+    "detect",
     "emitter_session",
     "enabled",
     "end_span",
+    "entry_from_bench_payload",
+    "entry_from_metrics_payload",
+    "execution_fields",
     "flatten_summaries",
     "gauge",
     "git_sha",
     "history_rows",
+    "host_fingerprint",
     "install",
+    "lanes_from_chrome_trace",
+    "lanes_from_tracer",
     "install_emitter",
     "install_sampler",
     "latest_scalars",
+    "metric_orientation",
     "observe",
     "package_version",
     "parse_events",
     "peak_rss_bytes",
+    "platform_triple",
     "progress",
     "register_probe",
+    "render_collapsed",
     "render_counters",
+    "render_critical_path",
     "render_histograms",
     "render_history",
     "render_monitor",
+    "render_perf_report",
+    "render_profile",
     "render_span_tree",
     "render_verdicts",
     "sampler_session",
@@ -200,5 +270,7 @@ __all__ = [
     "validate_manifest",
     "worst_status",
     "write_chrome_trace",
+    "write_collapsed",
     "write_metrics",
+    "write_perf_report",
 ]

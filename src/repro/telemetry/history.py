@@ -13,6 +13,14 @@ does not know whether a metric is better when smaller (flip rates) or
 when closer to a constant (uniqueness ~50 %), so it reports *movement*
 and leaves the judgement to the anchor registry
 (:mod:`repro.telemetry.anchors`), which does know.
+
+Two baselining disciplines are available.  The default is the original
+rolling *mean* with a fixed relative threshold — cheap, but one outlier
+run both pollutes the baseline and fires the flag.  ``robust=True``
+switches to the median+MAD change-point detector
+(:mod:`repro.telemetry.changepoint`): the baseline becomes the trailing
+median, the flag fires only beyond the metric's own measured noise, and
+short series stay in warm-up instead of flagging on two data points.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import changepoint
 from .ledger import LedgerEntry
 
 #: eighths-block ramp used for terminal sparklines
@@ -49,9 +58,12 @@ class TrendRow:
     metric: str
     values: Tuple[float, ...]
     latest: float
-    baseline: Optional[float]  # rolling mean of the preceding window
+    baseline: Optional[float]  # rolling mean (or robust median) baseline
     change: Optional[float]  # (latest - baseline) / |baseline|
     drift: bool
+    #: robust-mode detector status ("warmup" | "stable" | "up" | "down");
+    #: None on rows produced by the classic rolling-mean discipline
+    verdict: Optional[str] = None
 
     @property
     def n_runs(self) -> int:
@@ -85,12 +97,15 @@ def history_rows(
     window: int = 5,
     threshold: float = 0.10,
     last: Optional[int] = None,
+    robust: bool = False,
 ) -> List[TrendRow]:
     """Build trend rows for every (selected) metric in the ledger.
 
     ``metrics`` filters by substring match (so ``--metric e2`` selects
     every E2 scalar); ``last`` truncates each series to its newest N
-    points before baselining.
+    points before baselining.  ``robust`` swaps the rolling-mean drift
+    flag for the median+MAD change-point verdict (``threshold`` then
+    serves as the detector's relative floor).
     """
     if window < 1:
         raise ValueError("window must be positive")
@@ -105,6 +120,26 @@ def history_rows(
         if not values:
             continue
         latest = values[-1]
+        if robust:
+            point = changepoint.detect(
+                metric,
+                values,
+                window=max(window, 2),
+                min_history=min(changepoint.MIN_HISTORY, max(window, 2)),
+                min_rel=threshold,
+            )
+            rows.append(
+                TrendRow(
+                    metric=metric,
+                    values=tuple(values),
+                    latest=latest,
+                    baseline=point.median,
+                    change=point.change,
+                    drift=point.moved,
+                    verdict=point.status,
+                )
+            )
+            continue
         baseline = _baseline(values, window)
         change: Optional[float] = None
         drift = False
@@ -134,12 +169,18 @@ def render_history(
     window: int = 5,
     threshold: float = 0.10,
     last: Optional[int] = None,
+    robust: bool = False,
 ) -> str:
     """The ``repro history`` terminal view."""
     if not entries:
         return "(empty ledger)"
     rows = history_rows(
-        entries, metrics=metrics, window=window, threshold=threshold, last=last
+        entries,
+        metrics=metrics,
+        window=window,
+        threshold=threshold,
+        last=last,
+        robust=robust,
     )
     if not rows:
         return "(no matching metrics in ledger)"
@@ -163,19 +204,29 @@ def render_history(
         base = "       --" if r.baseline is None else f"{r.baseline:9.4g}"
         delta = ""
         if r.change is not None:
-            delta = f"  {r.change:+7.1%} vs baseline[{min(window, r.n_runs - 1)}]"
+            label = "median" if robust else "baseline"
+            delta = f"  {r.change:+7.1%} vs {label}[{min(window, r.n_runs - 1)}]"
         flag = ""
-        if r.drift:
+        if r.verdict == "warmup":
+            flag = "  (warmup)"
+        elif r.drift:
             flag = "  << drift"
             flagged += 1
         lines.append(
             f"{r.metric:<{width}}  {spark}  latest {r.latest:9.4g}  "
             f"base {base}{delta}{flag}"
         )
-    footer = (
-        f"{flagged} metric(s) drifted beyond {threshold:.0%} of their "
-        f"rolling baseline"
-        if flagged
-        else f"no drift beyond {threshold:.0%} of the rolling baseline"
-    )
+    if robust:
+        footer = (
+            f"{flagged} metric(s) moved beyond their median+MAD noise band"
+            if flagged
+            else "no movement beyond the median+MAD noise band"
+        )
+    else:
+        footer = (
+            f"{flagged} metric(s) drifted beyond {threshold:.0%} of their "
+            f"rolling baseline"
+            if flagged
+            else f"no drift beyond {threshold:.0%} of the rolling baseline"
+        )
     return "\n".join(header + [""] + lines + ["", footer])

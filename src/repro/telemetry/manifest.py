@@ -16,7 +16,9 @@ fail.
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -68,6 +70,12 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         # Also outside "config": a distribution digest describes how the
         # run behaved, never what it measured.
         "histograms": {"type": ["object", "null"]},
+        # performance-relevant machine identity ({"platform_triple",
+        # "numpy_version", "cpu_count", "host_fingerprint"}) — the perf
+        # ledger keys comparable timings on the fingerprint, so only
+        # fields that change the numbers belong here (never hostname:
+        # CI runners are interchangeable within a generation).
+        "execution": {"type": ["object", "null"]},
     },
 }
 
@@ -96,6 +104,55 @@ def package_version() -> str:
         from .. import __version__
 
         return __version__
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return None
+
+
+def platform_triple() -> str:
+    """A compact machine/OS/interpreter triple, e.g. ``x86_64-linux-cpython3.11``.
+
+    Deliberately coarser than :func:`platform.platform`: kernel patch
+    levels and distro strings churn without moving benchmark numbers,
+    so they stay out of the perf ledger's host identity.
+    """
+    machine = platform.machine() or "unknown"
+    system = (platform.system() or "unknown").lower()
+    impl = (platform.python_implementation() or "python").lower()
+    major, minor = sys.version_info[:2]
+    return f"{machine}-{system}-{impl}{major}.{minor}"
+
+
+def host_fingerprint() -> str:
+    """A stable 12-hex-digit digest of performance-relevant host identity.
+
+    Hashes the platform triple, numpy version and CPU count — and
+    nothing else.  Hostname is excluded on purpose: interchangeable CI
+    runners must share a fingerprint or the longitudinal perf series
+    fragments into single-run histories that can never leave warm-up.
+    """
+    parts = [
+        platform_triple(),
+        _numpy_version() or "no-numpy",
+        str(os.cpu_count() or 0),
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:12]
+
+
+def execution_fields() -> Dict[str, Any]:
+    """The manifest's optional ``execution`` block, freshly collected."""
+    return {
+        "platform_triple": platform_triple(),
+        "numpy_version": _numpy_version(),
+        "cpu_count": os.cpu_count(),
+        "host_fingerprint": host_fingerprint(),
+    }
 
 
 def git_sha(repo_dir: Optional[pathlib.Path] = None) -> Optional[str]:
@@ -146,6 +203,9 @@ class RunManifest:
     peak_rss_bytes: Optional[int] = None
     #: histogram summaries from the run's tracer (None = no histograms)
     histograms: Optional[Dict[str, Any]] = None
+    #: performance-relevant machine identity (:func:`execution_fields`);
+    #: None only on manifests predating the perf observatory
+    execution: Optional[Dict[str, Any]] = None
 
     @classmethod
     def collect(
@@ -166,12 +226,7 @@ class RunManifest:
         passes its resolved argument namespace; benchmarks pass their
         scale constants).
         """
-        try:
-            import numpy
-
-            numpy_version: Optional[str] = numpy.__version__
-        except ImportError:  # pragma: no cover - numpy is a hard dep
-            numpy_version = None
+        numpy_version = _numpy_version()
         return cls(
             created_utc=datetime.datetime.now(datetime.timezone.utc).isoformat(),
             seed=None if seed is None else int(seed),
@@ -189,6 +244,7 @@ class RunManifest:
             block_size=None if block_size is None else int(block_size),
             peak_rss_bytes=None if peak_rss_bytes is None else int(peak_rss_bytes),
             histograms=None if histograms is None else dict(histograms),
+            execution=execution_fields(),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -209,6 +265,7 @@ class RunManifest:
             "block_size",
             "peak_rss_bytes",
             "histograms",
+            "execution",
         ):
             if key in data:
                 kwargs[key] = data[key]

@@ -514,6 +514,270 @@ class TestExplain:
         assert telemetry.active_emitter() is None
 
 
+class TestVersionIdentity:
+    """--version carries the perf-ledger host identity."""
+
+    def test_version_includes_numpy_and_platform_triple(self, capsys):
+        import numpy
+
+        from repro.telemetry import host_fingerprint, platform_triple
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert f"numpy {numpy.__version__}" in out
+        assert platform_triple() in out
+        assert f"host {host_fingerprint()}" in out
+
+
+def synthetic_perf_ledger(path, series, bench="bench_x", metric="wall_s"):
+    """Append one entry per value, all stamped with this host."""
+    from repro.telemetry import PerfLedger
+
+    ledger = PerfLedger(path)
+    for value in series:
+        ledger.record(bench, {metric: value})
+    return ledger
+
+
+class TestPerfGate:
+    """The acceptance-criterion exit codes: an injected 20 % regression
+    exits non-zero, jitter within the noise floor exits zero."""
+
+    STABLE = [1.00, 1.01, 0.99, 1.00, 1.02, 1.01]
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(ledger, self.STABLE + [1.20])  # +20 % wall
+        code = main(["perf", "gate", "--perf-ledger", str(ledger)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "<< REGRESSION" in out
+        assert "bench_x:wall_s" in out
+        assert "1 confirmed regression(s)" in out
+
+    def test_jitter_within_noise_floor_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(ledger, self.STABLE + [1.015])  # ~1 % jitter
+        code = main(["perf", "gate", "--perf-ledger", str(ledger)])
+        assert code == 0
+        assert "no confirmed regressions" in capsys.readouterr().out
+
+    def test_throughput_drop_gates_and_improvement_does_not(
+        self, tmp_path, capsys
+    ):
+        drop = tmp_path / "drop.jsonl"
+        synthetic_perf_ledger(
+            drop, [100.0, 101.0, 99.0, 100.0, 102.0, 101.0, 80.0],
+            metric="chips_years_per_s",
+        )
+        assert main(["perf", "gate", "--perf-ledger", str(drop)]) == 1
+        capsys.readouterr()
+        rise = tmp_path / "rise.jsonl"
+        synthetic_perf_ledger(
+            rise, [100.0, 101.0, 99.0, 100.0, 102.0, 101.0, 130.0],
+            metric="chips_years_per_s",
+        )
+        assert main(["perf", "gate", "--perf-ledger", str(rise)]) == 0
+        assert "improve" in capsys.readouterr().out
+
+    def test_three_run_ledger_never_fires(self, tmp_path, capsys):
+        """Warm-up: too little history for a noise estimate, even with a
+        huge apparent regression."""
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(ledger, [1.0, 1.0, 5.0])
+        assert main(["perf", "gate", "--perf-ledger", str(ledger)]) == 0
+        assert "warmup" in capsys.readouterr().out
+
+    def test_unoriented_experiment_scalars_never_gate(self, tmp_path, capsys):
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(
+            ledger, self.STABLE + [2.0], metric="flips_pct"
+        )
+        assert main(["perf", "gate", "--perf-ledger", str(ledger)]) == 0
+        assert "shift" in capsys.readouterr().out
+
+    def test_empty_ledger_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["perf", "gate", "--perf-ledger", str(tmp_path / "none.jsonl")]
+        )
+        assert code == 0
+        assert "nothing to judge" in capsys.readouterr().out
+
+    def test_host_filter_this_ignores_foreign_appends(self, tmp_path, capsys):
+        """A laptop's regression must not fire a CI gate when the gate
+        pins --host this."""
+        import json as _json
+
+        from repro.telemetry import PerfEntry
+
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(ledger, self.STABLE + [1.0])
+        foreign = PerfEntry(
+            bench="bench_x", values={"wall_s": 9.9}, host="laptop-fp"
+        )
+        with open(ledger, "a") as fh:
+            fh.write(_json.dumps(foreign.to_dict()) + "\n")
+        assert (
+            main(
+                ["perf", "gate", "--perf-ledger", str(ledger),
+                 "--host", "this"]
+            )
+            == 0
+        )
+
+
+class TestPerfHistory:
+    def test_renders_sparkline_and_verdict(self, tmp_path, capsys):
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(
+            ledger, [1.00, 1.01, 0.99, 1.00, 1.02, 1.01, 1.20]
+        )
+        assert main(["perf", "history", "--perf-ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_x:wall_s" in out
+        assert "[regress]" in out
+        assert "vs median" in out
+
+    def test_metric_filter(self, tmp_path, capsys):
+        from repro.telemetry import PerfLedger
+
+        ledger = PerfLedger(tmp_path / "perf.jsonl")
+        ledger.record("bench_x", {"wall_s": 1.0, "peak_rss_bytes": 100.0})
+        assert (
+            main(
+                ["perf", "history", "--perf-ledger", str(ledger.path),
+                 "--metric", "rss"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "peak_rss_bytes" in out
+        assert "wall_s" not in out
+
+    def test_empty_ledger(self, tmp_path, capsys):
+        assert (
+            main(
+                ["perf", "history", "--perf-ledger",
+                 str(tmp_path / "none.jsonl")]
+            )
+            == 0
+        )
+        assert "empty perf ledger" in capsys.readouterr().out
+
+
+class TestPerfFlame:
+    def run_traced(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert (
+            main(
+                ["run", "e2", "--chips", "3", "--ros", "16",
+                 "--trace-out", str(trace)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return trace
+
+    def test_collapsed_output_validates(self, tmp_path, capsys):
+        import sys as _sys
+
+        _sys.path.insert(0, "tools")
+        try:
+            import validate_metrics
+        finally:
+            _sys.path.pop(0)
+        trace = self.run_traced(tmp_path, capsys)
+        out = tmp_path / "flame.txt"
+        code = main(
+            ["perf", "flame", "--trace", str(trace), "--out", str(out)]
+        )
+        assert code == 0
+        assert "collapsed stacks written" in capsys.readouterr().out
+        text = out.read_text()
+        assert validate_metrics.validate_collapsed_stacks(text) == []
+        assert any(
+            line.startswith("coordinator;") for line in text.splitlines()
+        )
+
+    def test_stdout_mode_and_critical_path(self, tmp_path, capsys):
+        trace = self.run_traced(tmp_path, capsys)
+        code = main(
+            ["perf", "flame", "--trace", str(trace), "--critical-path"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment.e2" in out
+        assert "critical path" in out
+
+    def test_missing_and_malformed_trace_exit_2(self, tmp_path, capsys):
+        assert (
+            main(["perf", "flame", "--trace", str(tmp_path / "no.json")])
+            == 2
+        )
+        assert "no trace file" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["perf", "flame", "--trace", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+
+
+class TestPerfReport:
+    def test_writes_html_with_trends_and_attribution(self, tmp_path, capsys):
+        ledger = tmp_path / "perf.jsonl"
+        synthetic_perf_ledger(ledger, [1.0, 1.01, 0.99, 1.0, 1.02, 1.2])
+        trace = tmp_path / "run.trace.json"
+        main(
+            ["run", "e2", "--chips", "3", "--ros", "16",
+             "--trace-out", str(trace)]
+        )
+        capsys.readouterr()
+        html_out = tmp_path / "perf.html"
+        code = main(
+            ["perf", "report", "--perf-ledger", str(ledger),
+             "--html", str(html_out), "--trace", str(trace)]
+        )
+        assert code == 0
+        text = html_out.read_text()
+        assert "bench_x:wall_s" in text
+        assert "Self-time attribution" in text
+        assert "experiment.e2" in text
+
+
+class TestMonitorTruncation:
+    def test_follow_exits_cleanly_when_file_truncates(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A rotated/truncated events file must end the tail loop with
+        exit 0, not hang at a stale offset forever."""
+        import json as _json
+        import time as _time
+
+        events = tmp_path / "events.jsonl"
+        lines = [
+            {"format": 1, "event": "run.start", "experiment": "e2",
+             "t": 0.0},
+            {"format": 1, "event": "progress", "stage": "sweep", "done": 1,
+             "total": 4, "t": 0.5},
+        ]
+        events.write_text(
+            "".join(_json.dumps(line) + "\n" for line in lines)
+        )
+
+        def truncate_instead_of_sleeping(_seconds):
+            events.write_text("")  # the run rotated the file under us
+
+        monkeypatch.setattr(_time, "sleep", truncate_instead_of_sleeping)
+        code = main(
+            ["monitor", "--events", str(events), "--follow",
+             "--interval", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "truncated; stopping" in out
+
+
 class TestEmitterCleanupOnFailure:
     """Satellite audit: the emitter must be uninstalled (and its file
     flushed) no matter how the run ends."""

@@ -65,6 +65,38 @@ class TestMerge:
         for q in (0.5, 0.95, 0.99):
             assert merged.quantile(q) == single.quantile(q)
 
+    def test_merge_empty_into_live_is_identity(self):
+        live = Histogram()
+        live.observe_many([1.0, 2.0, 3.0])
+        before = live.to_dict()
+        live.merge(Histogram())
+        assert live.to_dict() == before
+
+    def test_merge_live_into_empty_equals_source(self):
+        src = Histogram()
+        src.observe_many([0.5, 4.0])
+        sink = Histogram()
+        sink.merge(src)
+        assert sink.to_dict() == src.to_dict()
+
+    def test_merge_two_empties_stays_empty(self):
+        a = Histogram()
+        a.merge(Histogram())
+        assert a.count == 0
+        assert math.isnan(a.quantile(0.5))
+
+    def test_from_dict_round_trip_after_merge(self):
+        """A merged state must survive serialisation bit-for-bit — the
+        perf ledger recomputes quantiles from exactly this round trip."""
+        a, b = Histogram(), Histogram()
+        a.observe_many([1e-6, 3.0, 3.0])
+        b.observe_many([0.0, -1.0, 7.5])
+        a.merge(b)
+        back = Histogram.from_dict(a.to_dict())
+        assert back.to_dict() == a.to_dict()
+        for q in (0.5, 0.95, 0.99):
+            assert back.quantile(q) == a.quantile(q)
+
     def test_merge_accepts_serialised_form_via_tracer(self):
         a, b = Histogram(), Histogram()
         a.observe_many([1.0, 2.0])
@@ -124,6 +156,20 @@ class TestEdgeCases:
         hist.observe(0.125)
         for q in (0.0, 0.5, 0.99, 1.0):
             assert hist.quantile(q) == 0.125
+
+    def test_single_bucket_quantile_within_documented_bound(self):
+        """Observations crowded into ONE log bucket: the interior
+        quantile estimate may sit anywhere in the bucket, but must stay
+        within the documented <=5 % relative error of every true value."""
+        lo = 1.0e-3
+        hi = lo * (1.0 + QUANTILE_RELATIVE_ERROR)  # same bucket by design
+        values = [lo, (lo + hi) / 2.0, hi]
+        hist = Histogram()
+        hist.observe_many(values)
+        assert len(hist.buckets) == 1
+        got = hist.quantile(0.5)
+        for true in values:
+            assert abs(got - true) / true <= QUANTILE_RELATIVE_ERROR + 1e-9
 
 
 class TestSummaries:

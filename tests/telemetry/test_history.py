@@ -128,6 +128,63 @@ class TestRenderHistory:
         assert "no drift" in text
 
 
+class TestRobustHistory:
+    """history_rows(robust=True): median+MAD verdicts replace the
+    rolling-mean drift flag."""
+
+    QUIET = [100.0, 100.5, 99.5, 100.2, 99.8, 100.1]
+
+    def test_short_series_stays_in_warmup(self, manifest):
+        entries = entries_for([10.0, 20.0, 30.0], manifest)
+        (row,) = history_rows(entries, robust=True, window=5)
+        assert row.verdict == "warmup"
+        assert not row.drift
+        assert row.baseline is None
+
+    def test_outlier_history_does_not_fake_drift(self, manifest):
+        """One wild run in history fires the naive mean flag but not the
+        robust one — the whole point of the median+MAD discipline."""
+        series = self.QUIET + [300.0, 100.2]
+        naive_rows = history_rows(
+            entries_for(series, manifest), window=len(series) - 1
+        )
+        assert naive_rows[0].drift  # the mean is polluted
+        (robust,) = history_rows(
+            entries_for(series, manifest),
+            robust=True,
+            window=len(series) - 1,
+        )
+        assert robust.verdict == "stable"
+        assert not robust.drift
+
+    def test_real_movement_still_flags(self, manifest):
+        entries = entries_for(self.QUIET + [80.0], manifest)
+        (row,) = history_rows(entries, robust=True, window=6)
+        assert row.verdict == "down"
+        assert row.drift
+        assert row.baseline == pytest.approx(100.05)  # trailing median
+
+    def test_classic_rows_have_no_verdict(self, manifest):
+        (row,) = history_rows(entries_for([1.0, 2.0], manifest))
+        assert row.verdict is None
+
+    def test_render_robust_warmup_and_footer(self, manifest):
+        text = render_history(
+            entries_for([1.0, 2.0], manifest), robust=True
+        )
+        assert "(warmup)" in text
+        assert "<< drift" not in text
+        assert "median+MAD noise band" in text
+
+    def test_render_robust_movement_labels_median(self, manifest):
+        text = render_history(
+            entries_for(self.QUIET + [80.0], manifest), robust=True, window=6
+        )
+        assert "vs median" in text
+        assert "<< drift" in text
+        assert "1 metric(s) moved beyond their median+MAD noise band" in text
+
+
 class TestSparklineDegenerateRanges:
     """The monitor's RSS row feeds arbitrary series in; every degenerate
     range must render (never divide by zero or index out of band)."""

@@ -9,8 +9,11 @@ from repro import __version__
 from repro.telemetry import (
     MANIFEST_SCHEMA,
     RunManifest,
+    execution_fields,
     git_sha,
+    host_fingerprint,
     package_version,
+    platform_triple,
     validate_manifest,
 )
 from repro.telemetry import manifest as manifest_mod
@@ -203,3 +206,75 @@ class TestExecutionFields:
     def test_execution_fields_optional_in_schema(self):
         assert "jobs" not in MANIFEST_SCHEMA["required"]
         assert "cache" not in MANIFEST_SCHEMA["required"]
+
+
+class TestHostIdentity:
+    """The perf ledger's host identity: triple, fingerprint, execution."""
+
+    def test_platform_triple_shape(self):
+        import platform as platform_mod
+        import sys
+
+        triple = platform_triple()
+        machine, system, impl = triple.split("-")
+        assert machine == platform_mod.machine()
+        assert system == platform_mod.system().lower()
+        assert impl.endswith(f"{sys.version_info[0]}.{sys.version_info[1]}")
+
+    def test_fingerprint_is_stable_12_hex_digits(self):
+        fp = host_fingerprint()
+        assert fp == host_fingerprint()  # deterministic on one host
+        assert len(fp) == 12
+        int(fp, 16)  # must be hex
+
+    def test_fingerprint_excludes_hostname(self, monkeypatch):
+        """Interchangeable CI runners must share one fingerprint, so a
+        hostname change alone cannot move it."""
+        import platform as platform_mod
+
+        before = host_fingerprint()
+        monkeypatch.setattr(platform_mod, "node", lambda: "other-runner-42")
+        assert host_fingerprint() == before
+
+    def test_fingerprint_tracks_performance_relevant_identity(
+        self, monkeypatch
+    ):
+        before = host_fingerprint()
+        monkeypatch.setattr(
+            manifest_mod, "platform_triple", lambda: "riscv64-linux-cpython9.9"
+        )
+        assert host_fingerprint() != before
+
+    def test_execution_fields_contents(self):
+        import os
+
+        fields = execution_fields()
+        assert set(fields) == {
+            "platform_triple",
+            "numpy_version",
+            "cpu_count",
+            "host_fingerprint",
+        }
+        assert fields["platform_triple"] == platform_triple()
+        assert fields["cpu_count"] == os.cpu_count()
+        assert fields["host_fingerprint"] == host_fingerprint()
+
+    def test_collect_embeds_execution_block(self):
+        m = RunManifest.collect(seed=1)
+        assert m.execution == execution_fields()
+        validate_manifest(m.to_dict())
+
+    def test_execution_round_trips_and_old_manifests_load(self):
+        m = RunManifest.collect(seed=1)
+        clone = RunManifest.from_dict(json.loads(m.to_json()))
+        assert clone.execution == m.execution
+        data = m.to_dict()
+        del data["execution"]  # pre-perf-ledger artefact
+        validate_manifest(data)
+        assert RunManifest.from_dict(data).execution is None
+
+    def test_schema_rejects_wrong_type(self):
+        data = RunManifest.collect(seed=1).to_dict()
+        data["execution"] = "x86_64"
+        with pytest.raises(ValueError, match="execution"):
+            validate_manifest(data)

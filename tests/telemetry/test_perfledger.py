@@ -1,0 +1,185 @@
+"""Perf ledger: entries, run keys, ingest paths, per-metric series."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    PERF_LEDGER_FORMAT,
+    PerfEntry,
+    PerfLedger,
+    entry_from_bench_payload,
+    entry_from_metrics_payload,
+    git_sha,
+    host_fingerprint,
+)
+from repro.telemetry.perfledger import metric_series
+
+
+class TestPerfEntry:
+    def test_collect_stamps_provenance(self):
+        entry = PerfEntry.collect("bench_x", {"wall_s": 1.5})
+        assert entry.git_sha == git_sha()
+        assert entry.host == host_fingerprint()
+        assert entry.created_utc
+        assert entry.execution["host_fingerprint"] == entry.host
+        assert entry.format == PERF_LEDGER_FORMAT
+
+    def test_run_key_shape(self):
+        entry = PerfEntry.collect("bench_x", {"wall_s": 1.0})
+        sha, host, bench = entry.run_key().split(":")
+        assert sha == (entry.git_sha or "nogit")[:12]
+        assert host == host_fingerprint()
+        assert bench == "bench_x"
+
+    def test_run_key_without_git(self):
+        entry = PerfEntry(bench="b", values={}, git_sha=None, host="")
+        assert entry.run_key() == "nogit:nohost:b"
+
+    def test_empty_bench_rejected(self):
+        with pytest.raises(ValueError, match="bench"):
+            PerfEntry(bench="", values={})
+
+    def test_non_finite_scalars_dropped(self):
+        entry = PerfEntry(
+            bench="b",
+            values={"ok": 1.0, "bad": math.nan},
+            quantiles={"site.p50": math.inf},
+        )
+        assert entry.values == {"ok": 1.0}
+        assert entry.quantiles == {}
+
+    def test_metrics_merges_values_and_quantiles(self):
+        entry = PerfEntry(
+            bench="b", values={"wall_s": 2.0}, quantiles={"site.p99": 0.5}
+        )
+        assert entry.metrics() == {"wall_s": 2.0, "site.p99": 0.5}
+
+    def test_round_trip(self):
+        entry = PerfEntry.collect(
+            "bench_x", {"wall_s": 1.5}, {"site.p50": 0.01}
+        )
+        clone = PerfEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            PerfEntry.from_dict(["nope"])
+        with pytest.raises(ValueError, match="bench"):
+            PerfEntry.from_dict({"values": {}})
+        with pytest.raises(ValueError, match="values"):
+            PerfEntry.from_dict({"bench": "b"})
+
+
+class TestPerfLedger:
+    def test_append_read_round_trip(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "deep" / "perf.jsonl")
+        first = ledger.record("b", {"wall_s": 1.0})
+        second = ledger.record("b", {"wall_s": 1.1})
+        assert ledger.entries() == [first, second]
+        assert len(ledger) == 2
+        assert list(ledger) == [first, second]
+
+    def test_absent_file_is_empty(self, tmp_path):
+        assert PerfLedger(tmp_path / "none.jsonl").entries() == []
+
+    def test_malformed_lines_skipped_unless_strict(self, tmp_path):
+        path = tmp_path / "perf.jsonl"
+        ledger = PerfLedger(path)
+        ledger.record("b", {"wall_s": 1.0})
+        with open(path, "a") as fh:
+            fh.write("{truncated garbag\n")
+        ledger.record("b", {"wall_s": 1.2})
+        entries = ledger.entries()
+        assert [e.values["wall_s"] for e in entries] == [1.0, 1.2]
+        with pytest.raises(ValueError, match="bad perf-ledger line"):
+            ledger.entries(strict=True)
+
+
+class TestBenchPayloadIngest:
+    PAYLOAD = {
+        "name": "bench_population",
+        "values": {"new_s": 0.5, "chips_years_per_s": 5000.0},
+        "memory": {"peak_rss_bytes": 1024.0 * 1024},
+        "histograms": {
+            "batch.sweep": {"p50": 0.01, "p99": 0.05, "mean": 0.02},
+            "broken": "not-a-mapping",
+        },
+    }
+
+    def test_values_memory_and_quantiles_extracted(self):
+        entry = entry_from_bench_payload("bench_population", self.PAYLOAD)
+        assert entry.bench == "bench_population"
+        assert entry.values["new_s"] == 0.5
+        assert entry.values["chips_years_per_s"] == 5000.0
+        assert entry.values["peak_rss_bytes"] == 1024.0 * 1024
+        # only the recorded quantile labels, never mean/count
+        assert entry.quantiles == {
+            "batch.sweep.p50": 0.01,
+            "batch.sweep.p99": 0.05,
+        }
+
+    def test_absent_sections_cost_nothing(self):
+        entry = entry_from_bench_payload("b", {"values": {"min_s": 0.1}})
+        assert entry.values == {"min_s": 0.1}
+        assert entry.quantiles == {}
+
+    def test_explicit_rss_value_wins_over_memory_section(self):
+        payload = {
+            "values": {"peak_rss_bytes": 7.0},
+            "memory": {"peak_rss_bytes": 9.0},
+        }
+        entry = entry_from_bench_payload("b", payload)
+        assert entry.values["peak_rss_bytes"] == 7.0
+
+
+class TestMetricsPayloadIngest:
+    def test_wall_rss_and_recomputed_quantiles(self):
+        hist = Histogram()
+        hist.observe_many([0.01, 0.02, 0.03, 0.04])
+        payload = {
+            "spans": [
+                {"name": "a", "duration_ns": 2_000_000_000},
+                {"name": "b", "duration_ns": 500_000_000},
+            ],
+            "peak_rss_kb": 2048,
+            "histograms": {"site": hist.to_dict(), "empty": Histogram().to_dict()},
+        }
+        entry = entry_from_metrics_payload("e2", payload)
+        assert entry.values["wall_s"] == pytest.approx(2.5)
+        assert entry.values["peak_rss_bytes"] == 2048 * 1024.0
+        assert entry.quantiles["site.p50"] == hist.quantile(0.50)
+        assert entry.quantiles["site.p99"] == hist.quantile(0.99)
+        # empty histograms produce no NaN quantiles
+        assert not any(k.startswith("empty.") for k in entry.quantiles)
+
+    def test_bad_histogram_state_skipped(self):
+        payload = {
+            "spans": [],
+            "histograms": {"bad": {"growth": 123.0, "buckets": {}}},
+        }
+        entry = entry_from_metrics_payload("e2", payload)
+        assert entry.quantiles == {}
+        assert "wall_s" not in entry.values
+
+
+class TestMetricSeries:
+    def test_chronological_keyed_bench_metric(self):
+        entries = [
+            PerfEntry(bench="b1", values={"wall_s": v}, host="h1")
+            for v in (1.0, 1.1)
+        ] + [PerfEntry(bench="b2", values={"wall_s": 9.0}, host="h2")]
+        series = metric_series(entries)
+        assert series == {"b1:wall_s": [1.0, 1.1], "b2:wall_s": [9.0]}
+
+    def test_host_filter_excludes_other_fingerprints(self):
+        entries = [
+            PerfEntry(bench="b", values={"wall_s": 1.0}, host="ci"),
+            PerfEntry(bench="b", values={"wall_s": 99.0}, host="laptop"),
+            PerfEntry(bench="b", values={"wall_s": 1.1}, host="ci"),
+        ]
+        assert metric_series(entries, host="ci") == {
+            "b:wall_s": [1.0, 1.1]
+        }

@@ -257,3 +257,102 @@ class TestHistogramDiff:
         code = bench_compare.main([str(old), str(new)])
         assert code == 0  # a 100x p99 swing is informational, not a gate
         assert "+9900.0%" in capsys.readouterr().out
+
+
+class TestTolerantChange:
+    """The shared n/a helper both optional sections diff through."""
+
+    def test_missing_side_is_none(self):
+        assert bench_compare.tolerant_change(None, 2.0) is None
+        assert bench_compare.tolerant_change(1.0, None) is None
+        assert bench_compare.tolerant_change(None, None) is None
+
+    def test_zero_baseline_is_none_never_zero_division(self):
+        assert bench_compare.tolerant_change(0.0, 5.0) is None
+
+    def test_relative_change(self):
+        assert bench_compare.tolerant_change(2.0, 3.0) == pytest.approx(0.5)
+        assert bench_compare.tolerant_change(2.0, 1.0) == pytest.approx(-0.5)
+
+
+class TestGateFlag:
+    """--gate promotes the memory and histogram sections to gating."""
+
+    def _memory_pair(self, tmp_path, old_rss, new_rss):
+        old = tmp_path / "baseline"
+        new = tmp_path / "candidate"
+        _write_results(
+            old, "gate", {"x": 1.0}, memory={"peak_rss_bytes": old_rss}
+        )
+        _write_results(
+            new, "gate", {"x": 1.0}, memory={"peak_rss_bytes": new_rss}
+        )
+        return old, new
+
+    def test_memory_growth_gates_exit_one(self, tmp_path, capsys):
+        old, new = self._memory_pair(tmp_path, 1.0e8, 9.0e8)
+        code = bench_compare.main(
+            [str(old), str(new), "--threshold", "0.5", "--gate"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "gated" in out  # the section announces its mode
+
+    def test_memory_within_threshold_exits_zero(self, tmp_path, capsys):
+        old, new = self._memory_pair(tmp_path, 1.0e8, 1.2e8)
+        code = bench_compare.main(
+            [str(old), str(new), "--threshold", "0.5", "--gate"]
+        )
+        assert code == 0
+
+    def test_histogram_swing_gates_exit_one(self, tmp_path, capsys):
+        old = tmp_path / "baseline"
+        new = tmp_path / "candidate"
+        _write_histogram_artefact(
+            old, "bench", {"time_s": 1.0}, {"m": {"p50": 0.001, "p99": 0.002}}
+        )
+        _write_histogram_artefact(
+            new, "bench", {"time_s": 1.0}, {"m": {"p50": 0.1, "p99": 0.2}}
+        )
+        code = bench_compare.main([str(old), str(new), "--gate"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_na_rows_never_gate(self, tmp_path, capsys):
+        """A side missing the section entirely stays n/a — even gated,
+        absence is not a regression."""
+        old = tmp_path / "baseline"
+        new = tmp_path / "candidate"
+        _write_results(old, "gate", {"x": 1.0})
+        _write_results(
+            new, "gate", {"x": 1.0}, memory={"peak_rss_bytes": 9.0e8}
+        )
+        code = bench_compare.main([str(old), str(new), "--gate"])
+        assert code == 0
+        assert "n/a" in capsys.readouterr().out
+
+    def test_json_records_gate_and_section_regressions(
+        self, tmp_path, capsys
+    ):
+        old, new = self._memory_pair(tmp_path, 1.0e8, 9.0e8)
+        out = tmp_path / "diff.json"
+        code = bench_compare.main(
+            [str(old), str(new), "--threshold", "0.5", "--gate",
+             "--json", str(out)]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["gate"] is True
+        assert payload["regressions"] == ["gate:peak_rss_bytes"]
+        rows = {row["metric"]: row for row in payload["memory"]}
+        assert rows["gate:peak_rss_bytes"]["regression"] is True
+        assert rows["gate:peak_rss_bytes"]["change"] == pytest.approx(8.0)
+
+    def test_without_gate_same_swing_stays_informational(
+        self, tmp_path, capsys
+    ):
+        old, new = self._memory_pair(tmp_path, 1.0e8, 9.0e8)
+        code = bench_compare.main([str(old), str(new), "--threshold", "0.5"])
+        assert code == 0
+        assert "informational" in capsys.readouterr().out

@@ -416,3 +416,72 @@ class TestTraceMode:
             "tid" in p
             for p in validate_metrics.validate_trace_events(payload)
         )
+
+
+class TestFlameMode:
+    @pytest.fixture(scope="class")
+    def flame_file(self, tmp_path_factory):
+        """A real collapsed-stack artefact via run --trace-out -> perf flame."""
+        root = tmp_path_factory.mktemp("flame")
+        trace = root / "run.trace.json"
+        assert (
+            cli_main(
+                ["run", "e2", "--chips", "3", "--ros", "16",
+                 "--trace-out", str(trace)]
+            )
+            == 0
+        )
+        out = root / "flame.txt"
+        assert (
+            cli_main(
+                ["perf", "flame", "--trace", str(trace), "--out", str(out)]
+            )
+            == 0
+        )
+        return out
+
+    def test_real_flame_output_is_clean(self, flame_file, capsys):
+        assert validate_metrics.main(["--flame", str(flame_file)]) == 0
+        assert "collapsed stack(s)" in capsys.readouterr().out
+
+    def test_real_flame_output_has_lane_prefixed_frames(self, flame_file):
+        lines = flame_file.read_text().splitlines()
+        assert lines
+        assert all(
+            line.rsplit(" ", 1)[0].startswith("coordinator;")
+            for line in lines
+        )
+
+    def test_missing_weight_flagged(self, tmp_path, capsys):
+        bad = tmp_path / "f.txt"
+        bad.write_text("just-one-token\n")
+        assert validate_metrics.main(["--flame", str(bad)]) == 1
+        assert "stack weight" in capsys.readouterr().err
+
+    def test_zero_and_non_integer_weights_flagged(self):
+        problems = validate_metrics.validate_collapsed_stacks(
+            "lane;a 0\nlane;b 1.5\nlane;c -3\n"
+        )
+        assert len(problems) == 3
+        assert all("positive integer" in p for p in problems)
+
+    def test_empty_frame_flagged(self):
+        problems = validate_metrics.validate_collapsed_stacks("lane;;x 5\n")
+        assert any("empty frame" in p for p in problems)
+
+    def test_empty_file_flagged(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert validate_metrics.main(["--flame", str(empty)]) == 1
+        assert "no collapsed stacks" in capsys.readouterr().err
+
+    def test_blank_lines_tolerated(self):
+        text = "lane;a 10\n\nlane;b 20\n"
+        assert validate_metrics.validate_collapsed_stacks(text) == []
+
+    def test_flame_mode_is_not_json_parsed(self, tmp_path):
+        # collapsed stacks are plain text; '{' in a frame name must not
+        # trip a JSON decode error
+        f = tmp_path / "f.txt"
+        f.write_text("lane;run{e2} 7\n")
+        assert validate_metrics.main(["--flame", str(f)]) == 0

@@ -18,7 +18,11 @@ doing *more work* is not by itself a regression.  ``memory`` sections
 ``histograms`` sections (per-metric latency quantile summaries — p50 and
 p99 are diffed) are handled informationally too, and tolerantly:
 artefacts written before those fields existed simply show ``n/a`` on
-their side of the table rather than failing the diff.  Run-ledger ``*.jsonl``
+their side of the table rather than failing the diff.  ``--gate``
+promotes the memory and histogram sections to gating: growth beyond the
+threshold on a metric present in *both* sets exits 1 like a values
+regression, while one-sided ``n/a`` rows still never gate (counters and
+ledger scalars stay informational even then).  Run-ledger ``*.jsonl``
 files found in either directory are diffed the same informational way
 (experiment scalars have no universal "better" direction — the anchor
 registry judges those, see ``tools/check_anchors.py``).  Exit status is
@@ -169,6 +173,49 @@ def compare_memory(
     return rows
 
 
+def tolerant_change(a, b):
+    """Relative change, or ``None`` when it cannot be computed.
+
+    The one place the optional-section tolerance rule lives: a missing
+    side (older artefact without the section) or a zero baseline yields
+    ``None`` — rendered as ``n/a``, never a KeyError, and never counted
+    as a regression even under ``--gate``.
+    """
+    if a is None or b is None or a == 0.0:
+        return None
+    return (b - a) / abs(a)
+
+
+def print_optional_section(
+    title: str,
+    rows: List[Tuple[str, object, object]],
+    threshold=None,
+) -> List[str]:
+    """Print one tolerant (union-keyed) section; return gated regressions.
+
+    With ``threshold=None`` (the default informational mode) nothing is
+    flagged.  With a threshold (``--gate``), a metric present on *both*
+    sides that grew beyond it is returned as a regression; one-sided
+    ``n/a`` rows still never gate.
+    """
+    regressions: List[str] = []
+    if not rows:
+        return regressions
+    width = max(len(key) for key, *_ in rows)
+    print(f"\n{title}:")
+    for key, a, b in rows:
+        a_text = "n/a" if a is None else f"{a:.6g}"
+        b_text = "n/a" if b is None else f"{b:.6g}"
+        change = tolerant_change(a, b)
+        change_text = "    n/a" if change is None else f"{change:>+7.1%}"
+        flag = ""
+        if threshold is not None and change is not None and change > threshold:
+            flag = "  REGRESSION"
+            regressions.append(key)
+        print(f"{key:<{width}}  {a_text:>12}  {b_text:>12}  {change_text}{flag}")
+    return regressions
+
+
 def compare(
     old: Dict[str, float], new: Dict[str, float], threshold: float
 ) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
@@ -208,6 +255,13 @@ def main(argv=None) -> int:
         default=None,
         metavar="PATH",
         help="also write the diff (rows, counters, regressions) as JSON",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="also gate on memory and histogram-quantile growth beyond "
+        "the threshold (one-sided n/a rows still never gate); counters "
+        "and ledger scalars stay informational",
     )
     args = parser.parse_args(argv)
 
@@ -256,29 +310,19 @@ def main(argv=None) -> int:
         for key, a, b, change in counter_rows:
             print(f"{key:<{cwidth}}  {a:>12.6g}  {b:>12.6g}  {change:>+7.1%}")
 
-    if memory_rows:
-        mwidth = max(len(key) for key, *_ in memory_rows)
-        print("\nmemory (peak RSS / footprint, informational):")
-        for key, a, b in memory_rows:
-            a_text = "n/a" if a is None else f"{a:.6g}"
-            b_text = "n/a" if b is None else f"{b:.6g}"
-            if a is None or b is None or a == 0.0:
-                change_text = "    n/a"
-            else:
-                change_text = f"{(b - a) / abs(a):>+7.1%}"
-            print(f"{key:<{mwidth}}  {a_text:>12}  {b_text:>12}  {change_text}")
-
-    if histogram_rows:
-        hwidth = max(len(key) for key, *_ in histogram_rows)
-        print("\nlatency histograms (p50/p99, informational):")
-        for key, a, b in histogram_rows:
-            a_text = "n/a" if a is None else f"{a:.6g}"
-            b_text = "n/a" if b is None else f"{b:.6g}"
-            if a is None or b is None or a == 0.0:
-                change_text = "    n/a"
-            else:
-                change_text = f"{(b - a) / abs(a):>+7.1%}"
-            print(f"{key:<{hwidth}}  {a_text:>12}  {b_text:>12}  {change_text}")
+    gate_threshold = args.threshold if args.gate else None
+    mode = "gated" if args.gate else "informational"
+    memory_regressions = print_optional_section(
+        f"memory (peak RSS / footprint, {mode})",
+        memory_rows,
+        threshold=gate_threshold,
+    )
+    histogram_regressions = print_optional_section(
+        f"latency histograms (p50/p99, {mode})",
+        histogram_rows,
+        threshold=gate_threshold,
+    )
+    regressions += memory_regressions + histogram_regressions
 
     if ledger_rows:
         lwidth = max(len(key) for key, *_ in ledger_rows)
@@ -309,11 +353,23 @@ def main(argv=None) -> int:
                 for key, a, b, change in counter_rows
             ],
             "memory": [
-                {"metric": key, "baseline": a, "candidate": b}
+                {
+                    "metric": key,
+                    "baseline": a,
+                    "candidate": b,
+                    "change": tolerant_change(a, b),
+                    "regression": key in memory_regressions,
+                }
                 for key, a, b in memory_rows
             ],
             "histograms": [
-                {"metric": key, "baseline": a, "candidate": b}
+                {
+                    "metric": key,
+                    "baseline": a,
+                    "candidate": b,
+                    "change": tolerant_change(a, b),
+                    "regression": key in histogram_regressions,
+                }
                 for key, a, b in histogram_rows
             ],
             "ledger": [
@@ -322,9 +378,8 @@ def main(argv=None) -> int:
             ],
             "only_baseline": only_old,
             "only_candidate": only_new,
-            "regressions": sorted(
-                key for key, _, _, change in rows if change > args.threshold
-            ),
+            "gate": args.gate,
+            "regressions": sorted(regressions),
         }
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

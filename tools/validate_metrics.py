@@ -8,6 +8,7 @@ Usage::
     python tools/validate_metrics.py --ledger runs/ledger.jsonl
     python tools/validate_metrics.py --explain explain.json
     python tools/validate_metrics.py --trace run.trace.json
+    python tools/validate_metrics.py --flame flame.txt
 
 Default mode checks a ``--metrics-out`` payload: valid JSON, the
 expected top-level sections (``format``, ``version``, ``spans``,
@@ -28,6 +29,11 @@ be finite (the ledger silently drops NaN/inf at write time, so a
 
 ``--explain`` checks a ``repro explain --json`` payload against the
 schema CI's explain smoke job relies on.
+
+``--flame`` checks a ``repro perf flame`` collapsed-stack file: every
+line must be ``lane;frame;...;frame <weight>`` with non-empty frames
+and a positive integer sample weight — the grammar both
+``flamegraph.pl`` and speedscope's importer parse.
 
 Exit status 0 on success, 1 on any violation — wired into CI so a
 regression in the observability pipeline fails the build, not a user's
@@ -299,6 +305,38 @@ def validate_ledger_entries(entries) -> list:
     return problems
 
 
+def validate_collapsed_stacks(text) -> list:
+    """All problems in a collapsed-stack (folded) file (empty = ok).
+
+    The format is line-oriented: ``stack weight``, where the stack is a
+    ``;``-joined frame list (first frame is the lane) and the weight is
+    an integer sample count — for ``repro perf flame`` output, self-time
+    in microseconds.  Zero-weight or malformed lines would be silently
+    dropped (or worse, mis-merged) by downstream flamegraph tooling, so
+    they fail validation here instead.
+    """
+    problems = []
+    stacks = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        stack, sep, weight = line.rstrip().rpartition(" ")
+        if not sep or not stack:
+            problems.append(f"{where}: not of the form 'stack weight'")
+            continue
+        if not weight.isdigit() or int(weight) < 1:
+            problems.append(
+                f"{where}: weight {weight!r} is not a positive integer"
+            )
+        if any(not frame for frame in stack.split(";")):
+            problems.append(f"{where}: stack {stack!r} has an empty frame")
+        stacks += 1
+    if stacks == 0:
+        problems.append("no collapsed stacks (empty file)")
+    return problems
+
+
 def validate_explain_payload(payload) -> list:
     """All problems in a ``repro explain --json`` payload (empty = ok)."""
     from repro.forensics.export import EXPLAIN_FORMAT
@@ -398,6 +436,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat PATH as a '--trace-out' Chrome trace_event artefact",
     )
+    mode.add_argument(
+        "--flame",
+        action="store_true",
+        help="treat PATH as a 'repro perf flame' collapsed-stack file",
+    )
     parser.add_argument("path", type=pathlib.Path, help="artefact to validate")
     args = parser.parse_args(argv)
 
@@ -408,7 +451,9 @@ def main(argv=None) -> int:
         return 1
 
     try:
-        if args.ledger:
+        if args.flame:
+            pass  # collapsed stacks are plain text, not JSON
+        elif args.ledger:
             entries = [
                 json.loads(line) for line in text.splitlines() if line.strip()
             ]
@@ -418,7 +463,11 @@ def main(argv=None) -> int:
         print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
         return 1
 
-    if args.ledger:
+    if args.flame:
+        problems = validate_collapsed_stacks(text)
+        n = sum(1 for line in text.splitlines() if line.strip())
+        summary = f"{n} collapsed stack(s), all weights positive integers"
+    elif args.ledger:
         problems = validate_ledger_entries(entries)
         summary = f"{len(entries)} ledger entr(ies), all scalars finite"
     elif args.explain:
