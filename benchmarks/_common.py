@@ -82,6 +82,7 @@ def _write_payload(
     counters: Optional[Mapping[str, float]] = None,
     memory: Optional[Mapping[str, float]] = None,
     histograms: Optional[Mapping[str, Mapping[str, float]]] = None,
+    roofline: Optional[Mapping[str, float]] = None,
 ) -> None:
     payload: Dict[str, Any] = {
         "name": name,
@@ -97,6 +98,8 @@ def _write_payload(
             name_: {k: float(v) for k, v in summary.items()}
             for name_, summary in histograms.items()
         }
+    if roofline:
+        payload["roofline"] = {k: float(v) for k, v in roofline.items()}
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
@@ -133,6 +136,7 @@ def emit(
     counters: Optional[Mapping[str, float]] = None,
     memory: Optional[Mapping[str, float]] = None,
     histograms: Optional[Mapping[str, Mapping[str, float]]] = None,
+    roofline: Optional[Mapping[str, float]] = None,
 ) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
@@ -148,12 +152,16 @@ def emit(
     ``n/a``, never as an error.  ``histograms`` is an optional mapping of
     per-metric latency summaries (``Tracer.histogram_summaries()``
     output); ``bench_compare`` diffs the p50/p99 quantiles
-    informationally, with the same ``n/a`` tolerance.
+    informationally, with the same ``n/a`` tolerance.  ``roofline`` is
+    an optional mapping of throughput metrics (``chips_years_per_s``
+    style, bigger is better); ``bench_compare`` gates a *decrease* under
+    ``--gate`` — the inverse of the ``values`` growth gate — and treats
+    artefacts without the section as ``n/a``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if values is not None:
-        _write_payload(name, values, counters, memory, histograms)
+        _write_payload(name, values, counters, memory, histograms, roofline)
     print(f"\n{text}\n")
 
 

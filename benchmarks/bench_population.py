@@ -128,16 +128,113 @@ class TestPopulationEngine:
                 "per_chip_s": t_old,
                 "batched_s": t_new,
                 "speedup": speedup,
+            },
+            counters=tracer.counters,
+            roofline={
                 "chips_years_per_s": chips_years_per_s(
                     N_CHIPS, years, t_new
                 ),
             },
-            counters=tracer.counters,
         )
         assert speedup >= SPEEDUP_FLOOR, (
             f"{name}: batched sweep only {speedup:.2f}x faster "
             f"({t_old * 1e3:.2f} ms vs {t_new * 1e3:.2f} ms), "
             f"need >= {SPEEDUP_FLOOR}x"
+        )
+
+
+@pytest.mark.slow
+class TestFusedKernel:
+    """The fused single-pass kernel: sink identity plus the dtype tiers.
+
+    ``test_fused_sinks_bit_identical`` pins the fusion contract — bits
+    and histogram counts taken from the streaming pass's block sinks
+    equal a full-tensor re-read of the very frequencies the pass
+    memoised.  ``test_dtype_tier_roofline`` first proves the float32
+    tier's response-bit identity at anchor scale through the
+    :mod:`repro.kernel.validate` harness (the precondition for the tier
+    gating anything), then measures both tiers' E2-sweep throughput in
+    chips x years per second.  Both tiers land in the artefact's
+    ``roofline`` section: the perf ledger tracks the float64 number
+    longitudinally (CI's perf gate fails on a drop), and the float32
+    tier must beat float64 by >= 1.5x here and now.
+    """
+
+    FLOAT32_SPEEDUP_FLOOR = 1.5
+
+    def test_fused_sinks_bit_identical(self):
+        from repro.core.readout import compare_pairs
+        from repro.metrics.margins import (
+            histogram_edges,
+            margin_histogram,
+            relative_margins,
+        )
+
+        design = aro_design()
+        batch = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        pairs = design.pairing.pairs(design.n_ros, None)
+        edges = histogram_edges(0.02, 64)
+        for t in (0.0, 10.0):
+            # memo miss: the sink fills bits during the streaming pass
+            bits = batch.responses(t_years=t)
+            # memo hit: the exact tensor the sink's blocks came from
+            freqs = batch.frequencies(t)
+            assert np.array_equal(
+                bits,
+                compare_pairs(freqs, pairs, design.tech, design.readout),
+            )
+            batch._freq_memo.clear()
+            counts = batch.margin_histogram(edges, t_years=t)
+            freqs = batch.frequencies(t)
+            assert np.array_equal(
+                counts,
+                margin_histogram(relative_margins(freqs, pairs), edges),
+            )
+
+    def test_dtype_tier_roofline(self):
+        from repro.kernel import validate_response_identity
+
+        design = aro_design()
+        years = list(DEFAULT_YEARS)
+
+        report = validate_response_identity(
+            design, N_CHIPS, seed=SEED, years=tuple(years)
+        )
+        assert report.ok, report.summary()
+
+        b64 = make_batch_study(design, n_chips=N_CHIPS, rng=SEED)
+        b32 = make_batch_study(
+            design, n_chips=N_CHIPS, rng=SEED, dtype="float32"
+        )
+        t64 = best_of(lambda: _sweep_batched(b64, years), rounds=15)
+        t32 = best_of(lambda: _sweep_batched(b32, years), rounds=15)
+        speedup = t64 / t32
+        cy64 = chips_years_per_s(N_CHIPS, years, t64)
+        cy32 = chips_years_per_s(N_CHIPS, years, t32)
+        emit(
+            "fused_dtype_tiers",
+            f"E2 aging sweep, {N_CHIPS} chips x {design.n_ros} ROs, "
+            f"{len(years)} year points (aro-puf)\n"
+            f"  float64 tier: {t64 * 1e3:8.2f} ms "
+            f"({cy64:10.0f} chip-years/s)\n"
+            f"  float32 tier: {t32 * 1e3:8.2f} ms "
+            f"({cy32:10.0f} chip-years/s)\n"
+            f"  tier speedup: {speedup:8.2f} x\n"
+            f"  {report.summary()}",
+            values={
+                "float64_s": t64,
+                "float32_s": t32,
+                "float32_speedup": speedup,
+            },
+            roofline={
+                "chips_years_per_s": cy64,
+                "chips_years_per_s_float32": cy32,
+            },
+        )
+        assert speedup >= self.FLOAT32_SPEEDUP_FLOOR, (
+            f"float32 tier only {speedup:.2f}x over float64 "
+            f"({t32 * 1e3:.2f} ms vs {t64 * 1e3:.2f} ms); "
+            f"need >= {self.FLOAT32_SPEEDUP_FLOOR}x"
         )
 
 
@@ -458,11 +555,13 @@ class TestTelemetryOverhead:
                 "disabled_s": t_disabled,
                 "enabled_s": t_enabled,
                 "enabled_overhead": max(overhead, 0.0),
+            },
+            histograms=histograms,
+            roofline={
                 "chips_years_per_s": chips_years_per_s(
                     self.OBSERVATORY_N_CHIPS, years, t_enabled
                 ),
             },
-            histograms=histograms,
         )
         assert "batch.block_s" in histograms, (
             "the traced sweep recorded no per-block latency histogram"

@@ -411,6 +411,56 @@ class PopulationAging:
         telemetry.end_span(sp)
         return out
 
+    def _component_terms(self, t: float, mechanism: str) -> tuple:
+        """``(coeff, pow_mech, clip, cap)`` of one mechanism at ``t``.
+
+        ``pow_mech`` is the tiny ``(1, 1, n_stages, 2)`` time power-law
+        array, ``clip`` the population-wide decision whether the
+        saturation cap is reachable (proved from the per-stage maxima, so
+        skipping the clip pass is bitwise identical to applying it).
+        The expressions match :meth:`delta_into` operation for operation.
+        """
+        if mechanism == "bti":
+            pow_mech = np.power(self._duty * t, self.tech.nbti.n)
+            cap = self.tech.nbti.max_shift
+            clip = bool((self._bti_max * pow_mech[0, 0] > cap).any())
+            return self._bti_coeff, pow_mech, clip, cap
+        if mechanism == "hci":
+            pow_mech = np.power(
+                (self._tpy * t) / self.tech.hci.ref_transitions,
+                self.tech.hci.m,
+            )
+            cap = self.tech.hci.max_shift
+            clip = bool((self._hci_max * pow_mech[0, 0] > cap).any())
+            return self._hci_coeff, pow_mech, clip, cap
+        raise ValueError(f"mechanism must be 'bti' or 'hci', got {mechanism!r}")
+
+    def delta_component(
+        self,
+        t_years: float,
+        mechanism: str,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One mechanism's shift field at ``t_years`` (exact grouping).
+
+        ``out`` lets callers reuse a population-sized buffer across
+        captures instead of allocating a fresh tensor per call; it must
+        match the prefactor tensor's shape and dtype.  Values are
+        bit-identical to the corresponding half of
+        :meth:`delta_components`.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        coeff, pow_mech, clip, cap = self._component_terms(
+            float(t_years), mechanism
+        )
+        if out is None:
+            out = np.empty_like(coeff)
+        np.multiply(coeff, pow_mech, out=out)
+        if clip:
+            np.minimum(out, cap, out=out)
+        return out
+
     def delta_components(self, t_years: float) -> tuple:
         """Per-mechanism split of :meth:`delta`: ``(bti, hci)`` fields.
 
@@ -421,22 +471,102 @@ class PopulationAging:
         on that to attribute a margin shift to NBTI/PBTI vs HCI without
         introducing a reconciliation residual of its own.  Not memoised:
         attribution calls this once per report, never in a sweep loop.
+        Callers that need only one mechanism (the blocked
+        counterfactual-frequency path) use :meth:`delta_component` or
+        :meth:`component_subtracter` instead and skip the second
+        population-sized tensor entirely.
         """
         if t_years < 0:
             raise ValueError("t_years must be non-negative")
         t = float(t_years)
         telemetry.count("aging.mechanism_splits")
-        pow_bti = np.power(self._duty * t, self.tech.nbti.n)
-        pow_hci = np.power(
-            (self._tpy * t) / self.tech.hci.ref_transitions, self.tech.hci.m
+        return (
+            self.delta_component(t, "bti"),
+            self.delta_component(t, "hci"),
         )
-        bti = self._bti_coeff * pow_bti
-        if (self._bti_max * pow_bti[0, 0] > self.tech.nbti.max_shift).any():
-            np.minimum(bti, self.tech.nbti.max_shift, out=bti)
-        hci_part = self._hci_coeff * pow_hci
-        if (self._hci_max * pow_hci[0, 0] > self.tech.hci.max_shift).any():
-            np.minimum(hci_part, self.tech.hci.max_shift, out=hci_part)
-        return bti, hci_part
+
+    def direction_tensors(self) -> tuple:
+        """``(bti_dir, hci_dir)`` factored stress-direction tensors.
+
+        The fully-factored form behind :meth:`subtract_delta_into`
+        (``delta(t) = t**n * bti_dir + t**m * hci_dir``, clips aside).
+        Exposed for the kernel tiers that pre-cast population tensors to
+        a different dtype/backend; treat the returned arrays as
+        read-only.
+        """
+        return self._bti_dir, self._hci_dir
+
+    def block_subtracter(self, t_years: float, directions: tuple, xp):
+        """A per-block ``od -= delta(t_years)[rows]`` closure.
+
+        ``directions`` carries the (possibly dtype-cast, possibly
+        device-resident) pair from :meth:`direction_tensors`; ``xp`` is
+        the :class:`repro.kernel.backend.ArrayBackend` the block buffers
+        live on.  Semantics — factored grouping, exact clip decisions
+        proved from float64 scalar maxima, per-block telemetry counters —
+        mirror :meth:`subtract_delta_into`; only the arithmetic precision
+        follows the tensors passed in.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        t = float(t_years)
+        bti_dir, hci_dir = directions
+        bti_t = t ** self.tech.nbti.n
+        hci_t = t ** self.tech.hci.m
+        cap_bti = self.tech.nbti.max_shift
+        cap_hci = self.tech.hci.max_shift
+        clip_bti = self._bti_dir_max * bti_t > cap_bti
+        clip_hci = self._hci_dir_max * hci_t > cap_hci
+
+        def subtract(od, scratch, rows):
+            telemetry.count("aging.subtract_blocks")
+            xp.multiply(bti_dir[rows], bti_t, out=scratch)
+            if clip_bti:
+                telemetry.count("aging.clip_applied")
+                xp.minimum(scratch, cap_bti, out=scratch)
+            else:
+                telemetry.count("aging.clip_skipped")
+            od -= scratch
+            xp.multiply(hci_dir[rows], hci_t, out=scratch)
+            if clip_hci:
+                telemetry.count("aging.clip_applied")
+                xp.minimum(scratch, cap_hci, out=scratch)
+            else:
+                telemetry.count("aging.clip_skipped")
+            od -= scratch
+
+        return subtract
+
+    def component_subtracter(
+        self, t_years: float, mechanism: str, *, xp=np, dtype=None
+    ):
+        """A per-block ``od -= delta_component(t_years, mechanism)[rows]``.
+
+        The blocked counterfactual-frequency path subtracts one
+        mechanism's field block by block through this closure instead of
+        materialising the full :meth:`delta_components` pair — same
+        coefficient grouping, same population-wide clip decision, so the
+        result is bit-identical to the full-tensor subtraction while
+        allocating nothing population-sized.  ``dtype`` (with its
+        backend ``xp``) casts the coefficient tensor once for off-native
+        kernel tiers; ``None`` keeps the float64 originals.
+        """
+        if t_years < 0:
+            raise ValueError("t_years must be non-negative")
+        coeff, pow_mech, clip, cap = self._component_terms(
+            float(t_years), mechanism
+        )
+        if dtype is not None:
+            coeff = xp.asarray(coeff, dtype)
+            pow_mech = xp.asarray(pow_mech, dtype)
+
+        def subtract(od, scratch, rows):
+            xp.multiply(coeff[rows], pow_mech, out=scratch)
+            if clip:
+                xp.minimum(scratch, cap, out=scratch)
+            od -= scratch
+
+        return subtract
 
     def cached_delta(self, t_years: float) -> Optional[np.ndarray]:
         """The memoised delta for ``t_years`` if one exists, else None."""

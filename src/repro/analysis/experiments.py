@@ -109,6 +109,14 @@ class ExperimentConfig:
     (E1, E2, E3, E5, E13) returns bit-identical numbers for any worker
     count, store backing or block size, so none of them is part of the
     result-defining config the ledger and cache key digest.
+
+    ``dtype`` is different: it selects the kernel arithmetic tier
+    (``"float64"`` default, ``"float32"`` opt-in) and *is*
+    result-defining — float32 frequencies differ at ~1e-7 relative, so
+    the tier stays in the config digest, and the CLI only lets float32
+    gate anchors after :func:`repro.kernel.validate.validate_response_identity`
+    has proven bit identity at the run's scale.  RAM engines only
+    (``store="mmap"`` is float64 by construction).
     """
 
     n_chips: int = 50
@@ -120,6 +128,7 @@ class ExperimentConfig:
     store: str = "ram"
     block_size: Optional[int] = None
     store_dir: Optional[str] = None
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -132,6 +141,12 @@ class ExperimentConfig:
             raise ValueError(
                 f"block_size must be >= 1, got {self.block_size}"
             )
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.store == "mmap" and self.dtype != "float64":
+            raise ValueError("store='mmap' supports dtype='float64' only")
 
     def designs(self) -> Dict[str, PufDesign]:
         """The two contenders, keyed by their registry names."""
@@ -173,9 +188,15 @@ class ExperimentConfig:
                 store=self.store,
                 block_size=self.block_size,
                 store_dir=self.store_dir,
+                dtype=self.dtype,
             )
         return make_batch_study(
-            design, self.n_chips, mission=self.mission, rng=self.seed
+            design,
+            self.n_chips,
+            mission=self.mission,
+            rng=self.seed,
+            dtype=self.dtype,
+            block_size=self.block_size,
         )
 
 

@@ -253,6 +253,17 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         "directory, removed when the run ends; a named directory persists "
         "and is re-attached by later runs of the same design+seed)",
     )
+    parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="kernel arithmetic tier (default float64, the reference). "
+        "float32 roughly halves kernel time and memory traffic; it is "
+        "result-defining (frequencies shift at ~1e-7 relative), so "
+        "check-anchors first proves response-bit identity against "
+        "float64 at the run's scale and refuses to gate on a mismatch. "
+        "RAM engines only (--store mmap is float64 by construction)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -696,6 +707,7 @@ def _collect_manifest(
             "command": args.command,
             "n_chips": config.n_chips,
             "n_ros": config.n_ros,
+            "dtype": config.dtype,
             "experiment": getattr(args, "experiment", None)
             or getattr(args, "experiments", None),
         },
@@ -715,7 +727,9 @@ def _result_config(config: exp.ExperimentConfig) -> Dict[str, Any]:
     Everything that changes the numbers is in; ``jobs``, ``store``,
     ``block_size`` and ``store_dir`` — all bit-identical by construction
     — are excluded, so a result computed at any worker count or store
-    mode satisfies a request at any other.
+    mode satisfies a request at any other.  ``dtype`` stays in: float32
+    frequencies are *not* bit-identical to float64, so the tiers must
+    never share a cache entry.
     """
     cfg = dataclasses.asdict(config)
     for key in ("jobs", "store", "block_size", "store_dir"):
@@ -1063,6 +1077,27 @@ def _perf_command(args: argparse.Namespace) -> int:
 def _check_anchors_command(
     args: argparse.Namespace, config: exp.ExperimentConfig
 ) -> int:
+    if not args.from_ledger and config.dtype != "float64":
+        # a reduced-precision tier may only gate anchors after proving
+        # response-bit identity against the float64 reference at this
+        # run's exact scale — the contract of repro.kernel.validate
+        from .kernel.validate import validate_response_identity
+
+        for name, design in sorted(config.designs().items()):
+            report = validate_response_identity(
+                design,
+                config.n_chips,
+                seed=config.seed,
+                mission=config.mission,
+                candidate_dtype=config.dtype,
+            )
+            print(f"[{name}] {report.summary()}")
+            if not report.ok:
+                print(
+                    f"refusing to gate anchors on dtype={config.dtype}: "
+                    "response bits diverge from float64 at this scale"
+                )
+                return 1
     if args.from_ledger:
         entries = telemetry.RunLedger(args.from_ledger).entries()
         scalars = telemetry.latest_scalars(entries)
@@ -1201,6 +1236,8 @@ def main(argv: Optional[list] = None) -> int:
         kwargs["block_size"] = args.block_size
     if getattr(args, "store_dir", None) is not None:
         kwargs["store_dir"] = args.store_dir
+    if getattr(args, "dtype", None) is not None:
+        kwargs["dtype"] = args.dtype
     if getattr(args, "eval_duty", None) is not None:
         kwargs["mission"] = MissionProfile(eval_duty=args.eval_duty)
     config = exp.ExperimentConfig(**kwargs)

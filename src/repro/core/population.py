@@ -43,12 +43,28 @@ from ..aging.schedule import IdlePolicy, MissionProfile
 from ..aging.simulator import AgingSimulator, ChipAging, PopulationAging
 from ..environment.conditions import OperatingConditions
 from ..forensics.hook import record_response_margins
+from ..kernel.backend import ArrayBackend, resolve_backend
+from ..kernel.fused import (
+    OVERDRIVE_ERROR,
+    MarginHistogramSink,
+    ResponseBlockSink,
+    finalize_period_block,
+    frequency_block_kernel,
+)
 from ..transistor.mosfet import mobility_factor
 from ..transistor.technology import T_REF_K, TechnologyCard
 from ..variation.chip import Chip, ChipPopulation
 from .base import PufDesign, RoPufInstance
 from .factory import Study
 from .readout import compare_pairs
+
+__all__ = [
+    "PopulationView",
+    "BatchStudy",
+    "make_batch_study",
+    "frequency_block_kernel",
+    "batch_frequencies_from_overdrive",
+]
 
 
 class PopulationView:
@@ -161,55 +177,6 @@ def _stage_weights(
     return weights
 
 
-def frequency_block_kernel(
-    od: np.ndarray,
-    scratch: np.ndarray,
-    vth_rows: np.ndarray,
-    *,
-    vdd: float,
-    neg_alpha: float,
-    w_flat: np.ndarray,
-    period_out: np.ndarray,
-    tc_rows: Optional[np.ndarray] = None,
-    tc_coeff: float = 0.0,
-    subtract_aging=None,
-) -> None:
-    """One chip-axis block of the batched frequency kernel, into ``period_out``.
-
-    The exact operation sequence — subtract, optional tc term, optional
-    aging subtraction, ``exp(-alpha * log(od))`` in place, one BLAS
-    matvec — shared by :class:`BatchStudy` and the out-of-core
-    :class:`repro.store.study.StoreStudy`, so the two paths are
-    bit-identical by construction rather than by parallel maintenance.
-    ``subtract_aging(od, scratch)`` performs ``od -= delta`` for this
-    block; the caller owns the (memoised vs factored) grouping choice.
-    Must run inside ``np.errstate(invalid="ignore", divide="ignore")``;
-    ``period_out`` holds *periods* — the caller checks finiteness and
-    takes the reciprocal.
-    """
-    np.subtract(vdd, vth_rows, out=od)
-    if tc_rows is not None:
-        # off nominal temperature the tc mismatch term is non-zero
-        np.multiply(tc_rows, tc_coeff, out=scratch)
-        od -= scratch
-    if subtract_aging is not None:
-        subtract_aging(od, scratch)
-    # od ** -alpha as exp(-alpha * log(od)), in place (see
-    # batch_frequencies_from_overdrive); non-positive overdrives surface
-    # as NaN/inf periods for the caller's finiteness check.
-    np.log(od, out=od)
-    od *= neg_alpha
-    np.exp(od, out=od)
-    # the (stage, polarity) reduction as one BLAS matvec on no-copy
-    # views — what tensordot does internally, minus its per-call
-    # reshaping overhead
-    np.dot(
-        od.reshape(-1, w_flat.shape[0]),
-        w_flat,
-        out=period_out.reshape(-1),
-    )
-
-
 def batch_frequencies_from_overdrive(
     overdrive: np.ndarray, tech: TechnologyCard, weights: np.ndarray
 ) -> np.ndarray:
@@ -231,10 +198,7 @@ def batch_frequencies_from_overdrive(
         np.exp(overdrive, out=overdrive)
         period = np.tensordot(overdrive, weights, axes=([-2, -1], [0, 1]))
     if not np.isfinite(period).all():
-        raise ValueError(
-            "non-positive gate overdrive: the supply cannot turn on every "
-            "device at this corner (vdd too low or thresholds too high)"
-        )
+        raise ValueError(OVERDRIVE_ERROR)
     return np.reciprocal(period)
 
 
@@ -252,6 +216,17 @@ class BatchStudy:
     Frequencies are memoised per ``(t_years, conditions)`` (LRU), so
     repeated golden-response queries are free.  Memoised arrays are
     read-only — copy before mutating.
+
+    ``dtype`` selects the kernel arithmetic tier: ``"float64"`` (default,
+    the bit-identity reference) or the opt-in ``"float32"`` tier, which
+    halves kernel bandwidth but only guarantees response-*bit* agreement
+    after :func:`repro.kernel.validate.validate_response_identity` has
+    proven it at the scale in question — frequencies differ at ~1e-7
+    relative.  ``backend`` routes the kernel through an alternative
+    array library (see :mod:`repro.kernel.backend`); results crossing
+    the study boundary are always host numpy arrays.  ``block_size``
+    overrides the chip-axis work-block derivation (testing hook; the
+    default is cache-sized and block boundaries never change results).
     """
 
     #: number of (t_years, conditions) corners kept in the frequency memo
@@ -263,6 +238,10 @@ class BatchStudy:
         view: PopulationView,
         aging: PopulationAging,
         mission: MissionProfile,
+        *,
+        dtype: str = "float64",
+        block_size: Optional[int] = None,
+        backend: Union[None, str, ArrayBackend] = None,
     ):
         if view.n_stages != design.n_stages:
             raise ValueError(
@@ -278,13 +257,30 @@ class BatchStudy:
                 f"aging carries {aging.n_chips} chips, population has "
                 f"{view.n_chips}"
             )
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if block_size is not None and block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.design = design
         self.view = view
         self.aging = aging
         self.mission = mission
+        self.dtype = dt
+        self._backend = resolve_backend(backend)
+        # the reference tier: float64 through literal numpy — this path
+        # must stay byte-identical to the pre-seam engine, so it uses
+        # the original tensors (no casts) and the memoised-delta branch
+        self._native = (
+            self._backend.name == "numpy" and dt == np.dtype(np.float64)
+        )
+        self._block_size = block_size
         self._freq_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-        self._od_buf: Optional[np.ndarray] = None
-        self._scratch_buf: Optional[np.ndarray] = None
+        self._od_buf = None
+        self._scratch_buf = None
+        self._inputs: Optional[tuple] = None
         self._instances: Optional[List[RoPufInstance]] = None
 
     # ---- construction ------------------------------------------------
@@ -340,13 +336,43 @@ class BatchStudy:
         """
         cond = conditions or OperatingConditions.nominal()
         t = float(t_years)
-        key = (t, cond)
+        cached = self._memo_lookup((t, cond))
+        if cached is not None:
+            return cached
+        return self._corner_pass(t, cond, ())
+
+    def _memo_lookup(self, key: tuple) -> Optional[np.ndarray]:
         cached = self._freq_memo.get(key)
         if cached is not None:
             self._freq_memo.move_to_end(key)
             telemetry.count("batch.corner_memo_hits")
-            return cached
+        return cached
+
+    def _memoise(self, key: tuple, freqs: np.ndarray) -> np.ndarray:
+        freqs.flags.writeable = False
+        self._freq_memo[key] = freqs
+        if len(self._freq_memo) > self.MEMO_SIZE:
+            self._freq_memo.popitem(last=False)
+        return freqs
+
+    def _corner_pass(self, t: float, cond: OperatingConditions, sinks: tuple):
+        """One fused streaming pass over the population at ``(t, cond)``.
+
+        Per chip-axis block: fabricate overdrives, subtract the aging
+        field, reduce to periods, flip to frequencies.  Every ``sink``
+        (response bits, margin histograms) consumes the fresh frequency
+        rows from the same pass in bounded super-block windows
+        (:data:`_SINK_WINDOW_ELEMS`) — coarse enough to amortise the
+        per-call dispatch that would otherwise dominate at kernel-block
+        granularity, small enough that at large ``n_chips`` the rows are
+        still cache-warm and the pass never re-streams the full tensor.
+        The assembled frequency tensor is memoised exactly as before;
+        sinks only save the *re-read* passes, so fused and unfused
+        evaluation orders are bit-identical.
+        """
         telemetry.count("batch.corner_memo_misses")
+        if sinks:
+            telemetry.count("batch.fused_passes")
         sp = telemetry.start_span(
             "batch.frequencies",
             t_years=t,
@@ -356,6 +382,7 @@ class BatchStudy:
         )
 
         tech = self.design.tech
+        xp = self._backend
         vdd = cond.effective_vdd(tech)
         delta_temp = cond.temperature_k - T_REF_K
         weights = _stage_weights(
@@ -366,9 +393,17 @@ class BatchStudy:
             stage0_penalty=self.design.cell.stage0_penalty,
             c_load_factor=self.design.cell.c_load_factor,
         )
-        delta = self.aging.cached_delta(t) if t > 0.0 else None
+        vth_t, tc_t, bti_dir, hci_dir = self._kernel_inputs()
+        delta = (
+            self.aging.cached_delta(t) if (t > 0.0 and self._native) else None
+        )
+        subtract_block = (
+            None
+            if (t == 0.0 or self._native)
+            else self.aging.block_subtracter(t, (bti_dir, hci_dir), xp=xp)
+        )
         n_chips = self.view.n_chips
-        period = np.empty((n_chips, self.view.n_ros))
+        period = xp.empty((n_chips, self.view.n_ros), self.dtype)
         # The overdrive tensor is assembled block-by-block along the chip
         # axis in two persistent buffers: allocating (and page-faulting) a
         # population-sized array per grid point would cost as much as the
@@ -377,58 +412,80 @@ class BatchStudy:
         # a population-sized tensor through the cache several times over.
         od_buf, scratch_buf = self._work_buffers()
         neg_alpha = -tech.alpha
-        w_flat = np.ascontiguousarray(weights.reshape(-1))
-        n_blocks = -(-n_chips // od_buf.shape[0])
+        w_flat = (
+            np.ascontiguousarray(weights.reshape(-1))
+            if self._native
+            else xp.asarray(weights.reshape(-1), self.dtype)
+        )
+        block = od_buf.shape[0]
+        n_blocks = -(-n_chips // block)
         telemetry.count("freq.kernel_blocks", n_blocks)
+        sink_window = (
+            max(block, self._SINK_WINDOW_ELEMS // self.view.n_ros)
+            if sinks
+            else 0
+        )
+        flush_lo = 0
         # histogram hook hoisted out of the loop: one tracer lookup per
         # corner, and the per-block clock reads only happen when tracing
         tr = telemetry.active()
-        with np.errstate(invalid="ignore", divide="ignore"):
-            for start in range(0, n_chips, od_buf.shape[0]):
-                stop = min(start + od_buf.shape[0], n_chips)
-                telemetry.progress("batch.frequencies", stop, n_chips)
-                if tr is not None:
-                    _blk0 = time.perf_counter_ns()
-                rows = slice(start, stop)
-                if t > 0.0:
-                    if delta is not None:
-                        def subtract(od, scratch, rows=rows):
-                            od -= delta[rows]
+        try:
+            with xp.errstate():
+                for start in range(0, n_chips, block):
+                    stop = min(start + block, n_chips)
+                    telemetry.progress("batch.frequencies", stop, n_chips)
+                    if tr is not None:
+                        _blk0 = time.perf_counter_ns()
+                    rows = slice(start, stop)
+                    if t > 0.0:
+                        if delta is not None:
+                            def subtract(od, scratch, rows=rows):
+                                od -= delta[rows]
+                        elif subtract_block is not None:
+                            def subtract(od, scratch, rows=rows):
+                                subtract_block(od, scratch, rows)
+                        else:
+                            def subtract(od, scratch, rows=rows):
+                                self.aging.subtract_delta_into(
+                                    t, od, scratch, rows=rows
+                                )
                     else:
-                        def subtract(od, scratch, rows=rows):
-                            self.aging.subtract_delta_into(t, od, scratch, rows=rows)
-                else:
-                    subtract = None
-                frequency_block_kernel(
-                    od_buf[: stop - start],
-                    scratch_buf[: stop - start],
-                    self.view.vth[rows],
-                    vdd=vdd,
-                    neg_alpha=neg_alpha,
-                    w_flat=w_flat,
-                    period_out=period[rows],
-                    tc_rows=(
-                        self.view.tc_scale[rows] if delta_temp != 0.0 else None
-                    ),
-                    tc_coeff=tech.vth_tc * delta_temp,
-                    subtract_aging=subtract,
-                )
-                if tr is not None:
-                    tr.observe(
-                        "batch.block_s",
-                        (time.perf_counter_ns() - _blk0) / 1e9,
+                        subtract = None
+                    period_rows = period[rows]
+                    frequency_block_kernel(
+                        od_buf[: stop - start],
+                        scratch_buf[: stop - start],
+                        vth_t[rows],
+                        vdd=vdd,
+                        neg_alpha=neg_alpha,
+                        w_flat=w_flat,
+                        period_out=period_rows,
+                        tc_rows=tc_t[rows] if delta_temp != 0.0 else None,
+                        tc_coeff=tech.vth_tc * delta_temp,
+                        subtract_aging=subtract,
+                        xp=xp,
                     )
-        if not np.isfinite(period).all():
+                    finalize_period_block(period_rows, xp)
+                    if sinks and (
+                        stop - flush_lo >= sink_window or stop == n_chips
+                    ):
+                        window = period[flush_lo:stop]
+                        host_rows = (
+                            window if xp.is_host else xp.to_numpy(window)
+                        )
+                        for sink in sinks:
+                            sink(flush_lo, stop, host_rows)
+                        flush_lo = stop
+                    if tr is not None:
+                        tr.observe(
+                            "batch.block_s",
+                            (time.perf_counter_ns() - _blk0) / 1e9,
+                        )
+        except Exception:
             telemetry.end_span(sp)
-            raise ValueError(
-                "non-positive gate overdrive: the supply cannot turn on every "
-                "device at this corner (vdd too low or thresholds too high)"
-            )
-        freqs = np.reciprocal(period, out=period)
-        freqs.flags.writeable = False
-        self._freq_memo[key] = freqs
-        if len(self._freq_memo) > self.MEMO_SIZE:
-            self._freq_memo.popitem(last=False)
+            raise
+        freqs = period if xp.is_host else xp.to_numpy(period)
+        self._memoise((t, cond), freqs)
         telemetry.end_span(sp)
         if tr is not None and sp is not None:
             tr.observe("batch.corner_s", sp.duration_ns / 1e9)
@@ -445,15 +502,33 @@ class BatchStudy:
 
         Shape ``(n_chips, n_bits)`` uint8; row ``i`` is bit-identical to
         ``Study.responses(challenge, t_years)[i]`` under the same seed.
+
+        On a frequency-memo miss the bits are emitted by the fused
+        kernel pass itself (one stream over the population instead of a
+        compute pass plus a compare pass); on a hit they come from the
+        memoised tensor.  Both orders run the identical comparison, so
+        the bits cannot differ.
         """
         telemetry.count("batch.response_passes")
         cond = conditions or OperatingConditions.nominal()
+        t = float(t_years)
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
-        freqs = self.frequencies(t_years, cond)
-        bits = compare_pairs(freqs, pairs, self.design.tech, self.design.readout)
+        freqs = self._memo_lookup((t, cond))
+        if freqs is not None:
+            bits = compare_pairs(
+                freqs, pairs, self.design.tech, self.design.readout
+            )
+        else:
+            bits = np.empty(
+                (self.view.n_chips, pairs.shape[0]), dtype=np.uint8
+            )
+            sink = ResponseBlockSink(
+                pairs, self.design.tech, self.design.readout, bits
+            )
+            freqs = self._corner_pass(t, cond, (sink,))
         # forensics hook: no-op (one branch) unless a collector is installed;
         # the bits above are computed first and never depend on the capture
-        record_response_margins(freqs, pairs, float(t_years), cond)
+        record_response_margins(freqs, pairs, t, cond)
         return bits
 
     def mechanism_frequencies(
@@ -471,8 +546,15 @@ class BatchStudy:
         attribute each bit's margin loss to a mechanism.
 
         Cold path by design — a report evaluates it a handful of times,
-        never inside a sweep loop — so it runs the unblocked full-tensor
-        kernel (:func:`batch_frequencies_from_overdrive`).  Results are
+        never inside a sweep loop — but it streams through the fused
+        kernel's block buffers all the same: the old full-tensor
+        evaluation materialised the overdrive tensor *plus both*
+        :meth:`~repro.aging.simulator.PopulationAging.delta_components`
+        fields, roughly doubling peak RSS during a forensics capture at
+        large ``n_chips``.  The blocked chain subtracts only the
+        requested mechanism's component per block (same grouping, same
+        clip decision), so results are bit-identical to the full-tensor
+        path while allocating nothing beyond the result.  Results are
         memoised alongside :meth:`frequencies` and returned read-only.
         Rows are chip-independent, so shard evaluation concatenates to
         the serial answer bit for bit (the parallel engine relies on it).
@@ -482,12 +564,11 @@ class BatchStudy:
         cond = conditions or OperatingConditions.nominal()
         t = float(t_years)
         key = (t, cond, mechanism)
-        cached = self._freq_memo.get(key)
+        cached = self._memo_lookup(key)
         if cached is not None:
-            self._freq_memo.move_to_end(key)
-            telemetry.count("batch.corner_memo_hits")
             return cached
         telemetry.count("batch.mechanism_passes")
+        xp = self._backend
         with telemetry.span(
             "batch.mechanism_frequencies",
             t_years=t,
@@ -505,18 +586,52 @@ class BatchStudy:
                 stage0_penalty=self.design.cell.stage0_penalty,
                 c_load_factor=self.design.cell.c_load_factor,
             )
-            od = vdd - self.view.vth
-            if delta_temp != 0.0:
-                od -= self.view.tc_scale * (tech.vth_tc * delta_temp)
-            if t > 0.0:
-                bti, hci = self.aging.delta_components(t)
-                od -= bti if mechanism == "bti" else hci
-            freqs = batch_frequencies_from_overdrive(od, tech, weights)
-        freqs.flags.writeable = False
-        self._freq_memo[key] = freqs
-        if len(self._freq_memo) > self.MEMO_SIZE:
-            self._freq_memo.popitem(last=False)
-        return freqs
+            vth_t, tc_t, _, _ = self._kernel_inputs()
+            subtract = (
+                self.aging.component_subtracter(
+                    t, mechanism, xp=xp, dtype=None if self._native else self.dtype
+                )
+                if t > 0.0
+                else None
+            )
+            n_chips = self.view.n_chips
+            period = xp.empty((n_chips, self.view.n_ros), self.dtype)
+            od_buf, scratch_buf = self._work_buffers()
+            w_flat = (
+                np.ascontiguousarray(weights.reshape(-1))
+                if self._native
+                else xp.asarray(weights.reshape(-1), self.dtype)
+            )
+            block = od_buf.shape[0]
+            with xp.errstate():
+                for start in range(0, n_chips, block):
+                    stop = min(start + block, n_chips)
+                    rows = slice(start, stop)
+                    period_rows = period[rows]
+                    frequency_block_kernel(
+                        od_buf[: stop - start],
+                        scratch_buf[: stop - start],
+                        vth_t[rows],
+                        vdd=vdd,
+                        neg_alpha=-tech.alpha,
+                        w_flat=w_flat,
+                        period_out=period_rows,
+                        tc_rows=tc_t[rows] if delta_temp != 0.0 else None,
+                        tc_coeff=tech.vth_tc * delta_temp,
+                        subtract_aging=(
+                            None
+                            if subtract is None
+                            else (
+                                lambda od, scratch, rows=rows: subtract(
+                                    od, scratch, rows
+                                )
+                            )
+                        ),
+                        xp=xp,
+                    )
+                    finalize_period_block(period_rows, xp)
+            freqs = period if xp.is_host else xp.to_numpy(period)
+        return self._memoise(key, freqs)
 
     def margin_histogram(
         self,
@@ -534,12 +649,23 @@ class BatchStudy:
         engine computes the same counts shard-by-shard in the workers and
         merges by addition — identical by construction because the edges
         are shared and binning is per-element.
+
+        On a frequency-memo miss the counts are accumulated by the fused
+        kernel pass (one stream over the population, no full-tensor
+        margin temporary); on a hit they are binned from the memoised
+        tensor.  Same per-element binning either way.
         """
         from ..metrics.margins import margin_histogram, relative_margins
 
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
-        freqs = self.frequencies(t_years, conditions)
-        return margin_histogram(relative_margins(freqs, pairs), edges)
+        cond = conditions or OperatingConditions.nominal()
+        t = float(t_years)
+        freqs = self._memo_lookup((t, cond))
+        if freqs is not None:
+            return margin_histogram(relative_margins(freqs, pairs), edges)
+        sink = MarginHistogramSink(pairs, edges)
+        self._corner_pass(t, cond, (sink,))
+        return sink.counts
 
     # ---- per-chip views (back-compat) --------------------------------
 
@@ -586,15 +712,50 @@ class BatchStudy:
     #: is worth ~1.5x on the memory-bound part of the frequency kernel.
     _BLOCK_ELEMS = 48_000
 
+    #: sink flush window, in elements of the period/frequency tensor
+    #: (~8 MiB of float64 rows).  Sinks are fed at this coarser
+    #: granularity rather than per kernel block: their per-call gather /
+    #: compare dispatch costs ~10 us regardless of size, which at
+    #: kernel-block width (a few dozen chips) would dominate the corner;
+    #: an 8 MiB window amortises it to noise while still bounding the
+    #: re-read traffic far below the population tensor at large n_chips.
+    _SINK_WINDOW_ELEMS = 1_048_576
+
     def _work_buffers(self) -> tuple:
         """Persistent chip-axis-blocked scratch (overdrive + delta)."""
         if self._od_buf is None:
             per_chip = self.view.n_ros * self.view.n_stages * 2
             block = max(1, min(self.view.n_chips, self._BLOCK_ELEMS // per_chip))
+            if self._block_size is not None:
+                block = max(1, min(self.view.n_chips, self._block_size))
             shape = (block,) + self.view.vth.shape[1:]
-            self._od_buf = np.empty(shape)
-            self._scratch_buf = np.empty(shape)
+            self._od_buf = self._backend.empty(shape, self.dtype)
+            self._scratch_buf = self._backend.empty(shape, self.dtype)
         return self._od_buf, self._scratch_buf
+
+    def _kernel_inputs(self) -> tuple:
+        """The (vth, tc_scale, bti_dir, hci_dir) tensors the kernel reads.
+
+        The native tier hands back the original float64 views unchanged
+        (zero copies, zero byte drift); any other (dtype, backend)
+        combination casts each tensor once on first use and keeps the
+        casts for the study's lifetime.  The direction tensors are only
+        materialised off-native — the native aging subtraction goes
+        through :meth:`PopulationAging.subtract_delta_into` as before.
+        """
+        if self._inputs is None:
+            if self._native:
+                self._inputs = (self.view.vth, self.view.tc_scale, None, None)
+            else:
+                xp, dt = self._backend, self.dtype
+                bti_dir, hci_dir = self.aging.direction_tensors()
+                self._inputs = (
+                    xp.asarray(self.view.vth, dt),
+                    xp.asarray(self.view.tc_scale, dt),
+                    xp.asarray(bti_dir, dt),
+                    xp.asarray(hci_dir, dt),
+                )
+        return self._inputs
 
 
 def make_batch_study(
@@ -604,6 +765,9 @@ def make_batch_study(
     mission: Optional[MissionProfile] = None,
     idle_policy: Optional[IdlePolicy] = None,
     rng: RngLike = None,
+    dtype: str = "float64",
+    block_size: Optional[int] = None,
+    backend: Union[None, str, ArrayBackend] = None,
 ) -> BatchStudy:
     """Fabricate ``n_chips`` of ``design`` as one batched study.
 
@@ -611,7 +775,10 @@ def make_batch_study(
     (fabrication children first, then one aging child per chip, NBTI
     prefactors before HCI), so the same seed yields the same silicon on
     both paths: golden responses and aging deltas are bit-identical, and
-    frequencies agree to rounding.
+    frequencies agree to rounding.  ``dtype`` / ``backend`` /
+    ``block_size`` select the kernel tier (see :class:`BatchStudy`);
+    fabrication itself always samples in float64, so every tier starts
+    from identical silicon.
     """
     fab_rng, aging_rng = spawn(rng, 2)
     mission = mission or MissionProfile()
@@ -626,4 +793,7 @@ def make_batch_study(
             view=PopulationView.from_chips(population),
             aging=aging,
             mission=mission,
+            dtype=dtype,
+            block_size=block_size,
+            backend=backend,
         )

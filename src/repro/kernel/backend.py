@@ -1,0 +1,259 @@
+"""The array-backend seam of the fused kernel.
+
+The kernel itself (:mod:`repro.kernel.fused`) is written against a tiny
+namespace of array operations — the ufuncs of its hot chain plus
+allocation, host transfer and the reduction matvec.  This module supplies
+that namespace:
+
+* :data:`NUMPY` — the default backend.  Its attributes *are* the numpy
+  ufuncs (not wrappers), so routing the kernel through the seam adds
+  zero overhead and changes zero bytes relative to calling numpy
+  directly — which is what keeps the float64 CPU path bit-identical to
+  the pre-seam code.
+* ``"cupy"`` / ``"torch"`` — optional drop-ins resolved **lazily** at
+  :func:`resolve_backend` time via :func:`importlib.import_module`.
+  Neither library is imported at package import (or ever, unless
+  explicitly requested), so the seam costs nothing on machines without
+  them.
+* :func:`register_backend` — test/extension hook to install additional
+  backends by name.
+
+Device backends compute each block on the device and hand host rows back
+through :meth:`ArrayBackend.to_numpy`; results that cross the engine
+boundary (frequency memos, response bits) are always host numpy arrays,
+so experiment code runs unchanged on any backend.
+
+Selection: ``resolve_backend(None)`` honours the ``REPRO_KERNEL_BACKEND``
+environment variable (default ``"numpy"``); engines also take an explicit
+``backend=`` argument which wins over the environment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import os
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+#: environment variable naming the default backend for new studies
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+class ArrayBackend:
+    """The operation namespace the fused kernel is written against.
+
+    Instances carry the ufuncs of the hot chain (``subtract`` /
+    ``multiply`` / ``log`` / ``exp`` / ``minimum`` / ``reciprocal``, all
+    honouring ``out=``) plus allocation (:meth:`empty`), ingest
+    (:meth:`asarray`), host transfer (:meth:`to_numpy`), the stage
+    reduction (:meth:`matmul_into`) and the finiteness check
+    (:meth:`all_finite`).  ``is_host`` tells the engines whether arrays
+    live in addressable host memory (numpy) or need an explicit
+    device→host copy per block.
+    """
+
+    name: str = "abstract"
+    is_host: bool = False
+
+    # hot-chain ufuncs, bound by subclasses
+    subtract: Callable
+    multiply: Callable
+    log: Callable
+    exp: Callable
+    minimum: Callable
+    reciprocal: Callable
+
+    def empty(self, shape, dtype) -> object:
+        raise NotImplementedError
+
+    def asarray(self, array: np.ndarray, dtype) -> object:
+        """Backend array with the backend's layout, cast to ``dtype``."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Host numpy view/copy of a backend array."""
+        raise NotImplementedError
+
+    def matmul_into(self, matrix, vector, out) -> None:
+        """``out[:] = matrix @ vector`` (the stage-weight reduction)."""
+        raise NotImplementedError
+
+    def all_finite(self, array) -> bool:
+        raise NotImplementedError
+
+    def errstate(self):
+        """Context suppressing invalid/divide warnings during the kernel."""
+        return contextlib.nullcontext()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArrayBackend {self.name}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """Default backend: the attributes are numpy's own ufuncs."""
+
+    name = "numpy"
+    is_host = True
+
+    subtract = staticmethod(np.subtract)
+    multiply = staticmethod(np.multiply)
+    log = staticmethod(np.log)
+    exp = staticmethod(np.exp)
+    minimum = staticmethod(np.minimum)
+    reciprocal = staticmethod(np.reciprocal)
+
+    def empty(self, shape, dtype) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def asarray(self, array: np.ndarray, dtype) -> np.ndarray:
+        return np.ascontiguousarray(array, dtype=dtype)
+
+    def to_numpy(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def matmul_into(self, matrix, vector, out) -> None:
+        np.dot(matrix, vector, out=out)
+
+    def all_finite(self, array: np.ndarray) -> bool:
+        return bool(np.isfinite(array).all())
+
+    def errstate(self):
+        return np.errstate(invalid="ignore", divide="ignore")
+
+
+#: the process-wide default backend instance
+NUMPY = NumpyBackend()
+
+
+def _make_cupy_backend() -> ArrayBackend:
+    cupy = importlib.import_module("cupy")
+
+    class CupyBackend(ArrayBackend):
+        name = "cupy"
+        is_host = False
+
+        subtract = staticmethod(cupy.subtract)
+        multiply = staticmethod(cupy.multiply)
+        log = staticmethod(cupy.log)
+        exp = staticmethod(cupy.exp)
+        minimum = staticmethod(cupy.minimum)
+        reciprocal = staticmethod(cupy.reciprocal)
+
+        def empty(self, shape, dtype):
+            return cupy.empty(shape, dtype=dtype)
+
+        def asarray(self, array, dtype):
+            return cupy.asarray(array, dtype=dtype)
+
+        def to_numpy(self, array):
+            return cupy.asnumpy(array)
+
+        def matmul_into(self, matrix, vector, out):
+            cupy.dot(matrix, vector, out=out)
+
+        def all_finite(self, array):
+            return bool(cupy.isfinite(array).all())
+
+    return CupyBackend()
+
+
+def _make_torch_backend() -> ArrayBackend:
+    torch = importlib.import_module("torch")
+    dtype_map = {
+        np.dtype(np.float64): torch.float64,
+        np.dtype(np.float32): torch.float32,
+    }
+
+    def _subtract(a, b, out=None):
+        # the kernel's only subtract with a scalar lhs is vdd - vth
+        if not torch.is_tensor(a):
+            torch.negative(b, out=out)
+            out += a
+            return out
+        return torch.subtract(a, b, out=out)
+
+    def _minimum(a, cap, out=None):
+        return torch.clamp(a, max=float(cap), out=out)
+
+    class TorchBackend(ArrayBackend):
+        name = "torch"
+        is_host = False
+
+        subtract = staticmethod(_subtract)
+        multiply = staticmethod(torch.multiply)
+        log = staticmethod(torch.log)
+        exp = staticmethod(torch.exp)
+        minimum = staticmethod(_minimum)
+        reciprocal = staticmethod(torch.reciprocal)
+
+        def empty(self, shape, dtype):
+            return torch.empty(shape, dtype=dtype_map[np.dtype(dtype)])
+
+        def asarray(self, array, dtype):
+            return torch.as_tensor(
+                np.ascontiguousarray(array), dtype=dtype_map[np.dtype(dtype)]
+            )
+
+        def to_numpy(self, array):
+            return array.detach().cpu().numpy()
+
+        def matmul_into(self, matrix, vector, out):
+            torch.mv(matrix, vector, out=out)
+
+        def all_finite(self, array):
+            return bool(torch.isfinite(array).all())
+
+    return TorchBackend()
+
+
+#: name -> zero-argument factory; factories import their library lazily
+_REGISTRY: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": lambda: NUMPY,
+    "cupy": _make_cupy_backend,
+    "torch": _make_torch_backend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Install (or replace) a named backend factory.
+
+    The factory is called on each :func:`resolve_backend` request for
+    ``name`` — keep it cheap or memoise inside.  Used by tests to
+    exercise the seam without a GPU, and by extensions shipping their
+    own array library adapters.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def resolve_backend(
+    spec: Union[None, str, ArrayBackend] = None,
+) -> ArrayBackend:
+    """The :class:`ArrayBackend` for ``spec``.
+
+    ``None`` consults the ``REPRO_KERNEL_BACKEND`` environment variable
+    and falls back to numpy; a string is looked up in the registry
+    (importing the backing library *now*, never earlier); an
+    :class:`ArrayBackend` instance passes through unchanged.  Unknown
+    names and unimportable libraries raise ``RuntimeError`` with the
+    available choices.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    name = spec or os.environ.get(BACKEND_ENV) or "numpy"
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise RuntimeError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    try:
+        return factory()
+    except ImportError as exc:
+        raise RuntimeError(
+            f"kernel backend {name!r} is registered but its library "
+            f"cannot be imported: {exc}"
+        ) from exc

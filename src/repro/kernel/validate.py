@@ -1,0 +1,145 @@
+"""The dtype-tier validation harness.
+
+The float32 tier is roughly 2× faster on the memory-bound kernel but is
+**not** bit-identical in frequencies — only in response *bits*, and only
+empirically.  The contract enforced across the repo: float32 results may
+be reported, cached or used to gate CI *only after* this harness has
+proven response-bit identity against float64 at the scale in question.
+The CLI runs it automatically before ``check-anchors`` accepts a
+``--dtype float32`` run, and the test suite pins it at anchor scale
+(50 chips × 256 ROs).
+
+The harness fabricates the same silicon twice from one seed (the dtype
+only affects kernel arithmetic, never the sampled thresholds or
+prefactors), sweeps both studies over a (years × corners) grid, and
+compares every response bit.  Frequencies are compared too, but only to
+report the worst relative error — bits are the pass/fail criterion,
+because bits are what every experiment metric consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..aging.schedule import IdlePolicy, MissionProfile
+from ..environment.conditions import OperatingConditions
+
+#: default year grid of the harness: fresh silicon, mid-mission, and the
+#: 10-year horizon every experiment reports
+DEFAULT_YEARS: Tuple[float, ...] = (0.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class DtypeValidationReport:
+    """Outcome of one float32-vs-float64 response-identity sweep."""
+
+    reference_dtype: str
+    candidate_dtype: str
+    n_chips: int
+    n_bits: int
+    corners: int
+    total_bits: int
+    mismatched_bits: int
+    max_freq_rel_err: float
+    #: human-readable ``(t_years, temperature_k, vdd)`` of corners with
+    #: at least one mismatched bit (empty on a pass)
+    failing_corners: List[Tuple[float, float, Optional[float]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True iff every response bit matched at every corner."""
+        return self.mismatched_bits == 0
+
+    def summary(self) -> str:
+        verdict = "identical" if self.ok else "MISMATCH"
+        line = (
+            f"dtype tier {self.candidate_dtype} vs {self.reference_dtype}: "
+            f"{verdict} — {self.total_bits - self.mismatched_bits}/"
+            f"{self.total_bits} bits agree over {self.corners} corner(s), "
+            f"{self.n_chips} chips; max frequency rel err "
+            f"{self.max_freq_rel_err:.3e}"
+        )
+        if self.failing_corners:
+            worst = ", ".join(
+                f"(t={t:g}y, T={temp:g}K, vdd={vdd})"
+                for t, temp, vdd in self.failing_corners[:4]
+            )
+            line += f"; failing corners: {worst}"
+        return line
+
+
+def validate_response_identity(
+    design,
+    n_chips: int,
+    *,
+    seed,
+    mission: Optional[MissionProfile] = None,
+    idle_policy: Optional[IdlePolicy] = None,
+    years: Sequence[float] = DEFAULT_YEARS,
+    conditions: Optional[Sequence[OperatingConditions]] = None,
+    reference_dtype: str = "float64",
+    candidate_dtype: str = "float32",
+) -> DtypeValidationReport:
+    """Sweep two same-seed studies at both dtypes; compare every bit.
+
+    ``conditions`` defaults to nominal only; callers probing voltage /
+    temperature corners pass their own grid.  Returns the report — it is
+    the caller's decision whether a mismatch raises, warns or blocks a
+    gate (the CLI refuses to gate, the tests assert :attr:`ok`).
+    """
+    from ..core.population import make_batch_study
+
+    cond_grid = list(conditions) if conditions else [OperatingConditions.nominal()]
+    ref = make_batch_study(
+        design,
+        n_chips,
+        mission=mission,
+        idle_policy=idle_policy,
+        rng=seed,
+        dtype=reference_dtype,
+    )
+    cand = make_batch_study(
+        design,
+        n_chips,
+        mission=mission,
+        idle_policy=idle_policy,
+        rng=seed,
+        dtype=candidate_dtype,
+    )
+    total = 0
+    mismatched = 0
+    corners = 0
+    max_rel = 0.0
+    failing: List[Tuple[float, float, Optional[float]]] = []
+    for cond in cond_grid:
+        for t in years:
+            corners += 1
+            bits_ref = ref.responses(t_years=t, conditions=cond)
+            bits_cand = cand.responses(t_years=t, conditions=cond)
+            total += bits_ref.size
+            bad = int(np.count_nonzero(bits_ref != bits_cand))
+            mismatched += bad
+            if bad:
+                failing.append((float(t), cond.temperature_k, cond.vdd))
+            f_ref = ref.frequencies(t, cond)
+            f_cand = cand.frequencies(t, cond)
+            rel = float(
+                np.max(np.abs(f_cand.astype(np.float64) - f_ref) / f_ref)
+            )
+            max_rel = max(max_rel, rel)
+    return DtypeValidationReport(
+        reference_dtype=reference_dtype,
+        candidate_dtype=candidate_dtype,
+        n_chips=n_chips,
+        n_bits=design.n_bits,
+        corners=corners,
+        total_bits=total,
+        mismatched_bits=mismatched,
+        max_freq_rel_err=max_rel,
+        failing_corners=failing,
+    )

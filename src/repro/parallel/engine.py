@@ -86,6 +86,7 @@ class ParallelBatchStudy:
         store: str = "ram",
         block_size: Optional[int] = None,
         store_dir: Optional[str] = None,
+        dtype: str = "float64",
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -93,6 +94,16 @@ class ParallelBatchStudy:
             raise ValueError("n_chips must be positive")
         if store not in ("ram", "mmap"):
             raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if store == "mmap" and dtype != "float64":
+            # the store's on-disk segments are float64 and its kernels
+            # promise bit-identity with the dense path — a mixed tier
+            # would silently compute in float64-then-cast, which is
+            # neither tier, so refuse instead
+            raise ValueError("store='mmap' supports dtype='float64' only")
         mission = mission or MissionProfile()
         # Consume the RNG exactly like make_batch_study / make_study
         # (fabrication child first, then aging), then derive the whole
@@ -142,6 +153,7 @@ class ParallelBatchStudy:
                 store_root=(
                     str(self._store_root) if self._store_root is not None else None
                 ),
+                dtype=dtype,
             )
             for start, stop in shard_bounds(n_chips, jobs)
         ]
@@ -442,6 +454,7 @@ def make_parallel_study(
     store: str = "ram",
     block_size: Optional[int] = None,
     store_dir: Optional[str] = None,
+    dtype: str = "float64",
 ) -> Union[BatchStudy, ParallelBatchStudy]:
     """Drop-in for :func:`make_batch_study` with ``--jobs``/``--store`` knobs.
 
@@ -452,12 +465,16 @@ def make_parallel_study(
     ``min(jobs, n_chips)`` worker processes — with ``store="mmap"`` the
     workers share one mmap store instead of fabricating in-RAM shards.
     Every combination of the two knobs produces bit-identical responses,
-    frequencies and deltas under the same seed.
+    frequencies and deltas under the same seed.  ``dtype="float32"``
+    selects the reduced-precision kernel tier (RAM engines only; see
+    :mod:`repro.kernel.validate` for the identity contract).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if store not in ("ram", "mmap"):
         raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
+    if store == "mmap" and dtype != "float64":
+        raise ValueError("store='mmap' supports dtype='float64' only")
     if jobs == 1:
         if store == "mmap":
             from ..store import make_store_study
@@ -472,7 +489,13 @@ def make_parallel_study(
                 store_dir=store_dir,
             )
         return make_batch_study(
-            design, n_chips, mission=mission, idle_policy=idle_policy, rng=rng
+            design,
+            n_chips,
+            mission=mission,
+            idle_policy=idle_policy,
+            rng=rng,
+            dtype=dtype,
+            block_size=block_size,
         )
     return ParallelBatchStudy(
         design,
@@ -485,4 +508,5 @@ def make_parallel_study(
         store=store,
         block_size=block_size,
         store_dir=store_dir,
+        dtype=dtype,
     )

@@ -79,6 +79,12 @@ class ShardSpec:
         instead of fabricating an in-RAM shard.  The keys still ride
         along — they are a few bytes per chip and double as the worker's
         identity check against the store's persisted key lists.
+    dtype:
+        Kernel arithmetic tier for the worker's
+        :class:`~repro.core.population.BatchStudy` (``"float64"`` or
+        ``"float32"``).  Result-defining — every shard of a study
+        carries the same tier.  Ignored by store-attached shards, which
+        are float64 only.
     """
 
     design: PufDesign
@@ -88,6 +94,7 @@ class ShardSpec:
     fab_keys: Tuple[int, ...]
     aging_keys: Tuple[int, ...]
     store_root: Optional[str] = None
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if not self.fab_keys:

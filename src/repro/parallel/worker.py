@@ -184,6 +184,7 @@ def fabricate_shard(spec: ShardSpec) -> BatchStudy:
             view=PopulationView.from_chips(population),
             aging=aging,
             mission=mission,
+            dtype=spec.dtype,
         )
 
 

@@ -52,6 +52,11 @@ from ..core.population import (
     frequency_block_kernel,
 )
 from ..core.readout import compare_pairs
+from ..kernel.fused import (
+    OVERDRIVE_ERROR,
+    MarginHistogramSink,
+    ResponseBlockSink,
+)
 from ..environment.conditions import OperatingConditions
 from ..forensics import hook as _forensics_hook
 from ..parallel.cache import ResultCache, cache_key
@@ -320,7 +325,21 @@ class StoreStudy:
         cached = self._lookup(key)
         if cached is not None:
             return cached
+        return self._corner(key, t, cond)
+
+    def _corner(
+        self, key: tuple, t: float, cond: OperatingConditions, sinks: tuple = ()
+    ) -> np.ndarray:
+        """Compute, seal and memoise one frequency corner (memo miss path).
+
+        ``sinks`` ride along into the streaming compute so derived
+        quantities (bits, histogram counts) are taken from each block
+        while its pages are still resident, instead of re-faulting the
+        whole corner segment in a second pass.
+        """
         telemetry.count("store.corner_memo_misses")
+        if sinks:
+            telemetry.count("store.fused_passes")
         sp = telemetry.start_span(
             "store.frequencies",
             t_years=t,
@@ -330,7 +349,7 @@ class StoreStudy:
         )
         out, spill_key = self._alloc_result(key)
         try:
-            self._compute_frequencies(t, cond, out)
+            self._compute_frequencies(t, cond, out, sinks)
         except Exception:
             if spill_key is not None and self._spill is not None:
                 del out
@@ -347,7 +366,11 @@ class StoreStudy:
         return self._memoise(key, freqs, spill_key)
 
     def _compute_frequencies(
-        self, t: float, cond: OperatingConditions, out: np.ndarray
+        self,
+        t: float,
+        cond: OperatingConditions,
+        out: np.ndarray,
+        sinks: tuple = (),
     ) -> None:
         tech = self.design.tech
         vdd = cond.effective_vdd(tech)
@@ -422,17 +445,19 @@ class StoreStudy:
                         subtract_aging=subtract,
                     )
                     if not np.isfinite(out_rows).all():
-                        raise ValueError(
-                            "non-positive gate overdrive: the supply cannot "
-                            "turn on every device at this corner (vdd too low "
-                            "or thresholds too high)"
-                        )
+                        raise ValueError(OVERDRIVE_ERROR)
                     np.reciprocal(out_rows, out=out_rows)
                     if tr is not None:
                         tr.observe(
                             "store.block_s",
                             (time.perf_counter_ns() - _blk0) / 1e9,
                         )
+                # sinks consume the store block's fresh frequency rows in
+                # one call — coarse enough to amortise their per-call
+                # dispatch, and necessarily before the streaming release
+                # below evicts the pages they read
+                for sink in sinks:
+                    sink(blo - r0, bhi - r0, out[blo - r0 : bhi - r0])
                 # pages of this store block (inputs and, when spilling,
                 # the freshly written output rows) leave the resident set
                 if self._streaming:
@@ -454,25 +479,39 @@ class StoreStudy:
         Shape ``(n_chips, n_bits)`` uint8, bit-identical to the in-RAM
         path — comparisons are elementwise, so chunking over a memmap
         changes nothing.
+
+        On a corner-memo miss the bits are emitted by the streaming
+        compute itself (fused: no second pass re-faulting the corner
+        segment); on a hit they are chunk-compared from the cached
+        corner.  Identical comparison either way.
         """
         telemetry.count("store.response_passes")
         cond = conditions or OperatingConditions.nominal()
+        t = float(t_years)
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
-        freqs = self.frequencies(t_years, cond)
-        n = self.n_chips
-        bits = np.empty((n, self.design.n_bits), dtype=np.uint8)
-        step = self._kernel_block()
-        for lo in range(0, n, step):
-            hi = min(lo + step, n)
-            bits[lo:hi] = compare_pairs(
-                freqs[lo:hi], pairs, self.design.tech, self.design.readout
+        key = (t, cond)
+        freqs = self._lookup(key)
+        if freqs is not None:
+            n = self.n_chips
+            bits = np.empty((n, pairs.shape[0]), dtype=np.uint8)
+            step = self._kernel_block()
+            for lo in range(0, n, step):
+                hi = min(lo + step, n)
+                bits[lo:hi] = compare_pairs(
+                    freqs[lo:hi], pairs, self.design.tech, self.design.readout
+                )
+        else:
+            bits = np.empty(
+                (self.n_chips, pairs.shape[0]), dtype=np.uint8
             )
+            sink = ResponseBlockSink(
+                pairs, self.design.tech, self.design.readout, bits
+            )
+            freqs = self._corner(key, t, cond, sinks=(sink,))
         # forensics hook, mirroring ParallelBatchStudy: only touch the
         # full frequency array when a collector is actually installed
         if _forensics_hook.active_collector() is not None:
-            _forensics_hook.record_response_margins(
-                freqs, pairs, float(t_years), cond
-            )
+            _forensics_hook.record_response_margins(freqs, pairs, t, cond)
         self._release_result(freqs)
         return bits
 
@@ -588,20 +627,31 @@ class StoreStudy:
 
         Accumulated block by block; binning is per-element and counts
         merge by addition, so the result equals the one-shot in-RAM
-        histogram exactly.
+        histogram exactly.  On a corner-memo miss the counts come out of
+        the streaming compute itself via a
+        :class:`~repro.kernel.fused.MarginHistogramSink`; on a hit the
+        cached corner is chunk-binned.
         """
         from ..metrics.margins import margin_histogram, relative_margins
 
+        cond = conditions or OperatingConditions.nominal()
+        t = float(t_years)
         pairs = self.design.pairing.pairs(self.design.n_ros, challenge)
-        freqs = self.frequencies(t_years, conditions)
-        counts = np.zeros(len(edges) - 1, dtype=np.int64)
-        n = self.n_chips
-        step = self._kernel_block()
-        for lo in range(0, n, step):
-            hi = min(lo + step, n)
-            counts += margin_histogram(
-                relative_margins(freqs[lo:hi], pairs), edges
-            )
+        key = (t, cond)
+        freqs = self._lookup(key)
+        if freqs is not None:
+            counts = np.zeros(len(edges) - 1, dtype=np.int64)
+            n = self.n_chips
+            step = self._kernel_block()
+            for lo in range(0, n, step):
+                hi = min(lo + step, n)
+                counts += margin_histogram(
+                    relative_margins(freqs[lo:hi], pairs), edges
+                )
+        else:
+            sink = MarginHistogramSink(pairs, edges)
+            freqs = self._corner(key, t, cond, sinks=(sink,))
+            counts = sink.counts
         self._release_result(freqs)
         return counts
 

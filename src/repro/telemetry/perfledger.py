@@ -241,11 +241,18 @@ def entry_from_bench_payload(
     """A :class:`PerfEntry` from one ``benchmarks/results/*.json`` payload.
 
     Takes every finite scalar from the ``values`` section, peak RSS from
-    the ``memory`` section, and p50/p99 per site from the ``histograms``
-    summaries — whatever subset the bench emitted; absent sections cost
-    nothing.
+    the ``memory`` section, throughput metrics from the ``roofline``
+    section (``chips_years_per_s`` keys — the changepoint detector knows
+    their bigger-is-better direction by name), and p50/p99 per site from
+    the ``histograms`` summaries — whatever subset the bench emitted;
+    absent sections cost nothing.
     """
     values: Dict[str, Any] = dict(payload.get("values") or {})
+    roofline = payload.get("roofline")
+    if isinstance(roofline, Mapping):
+        for key, value in roofline.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.setdefault(key, float(value))
     memory = payload.get("memory")
     if isinstance(memory, Mapping):
         rss = memory.get("peak_rss_bytes")

@@ -1,0 +1,129 @@
+"""The array-backend seam: resolution, registration, laziness.
+
+The seam's contract is deliberately thin: :func:`resolve_backend` turns
+a spec (instance, name, env var, None) into an :class:`ArrayBackend`;
+the numpy backend's ufunc attributes ARE numpy's ufuncs (so routing the
+kernel through the seam cannot perturb a single byte); and optional
+device backends are imported only inside their factories — merely
+listing or resolving ``"numpy"`` must never touch cupy or torch.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.kernel import ArrayBackend, register_backend, resolve_backend
+from repro.kernel.backend import BACKEND_ENV, NUMPY, NumpyBackend
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) is NUMPY
+
+    def test_name_lookup(self):
+        assert resolve_backend("numpy") is NUMPY
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend(None) is NUMPY
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RuntimeError, match="unknown"):
+            resolve_backend("not-a-backend")
+
+    def test_registered_backend_resolves(self):
+        sentinel = NumpyBackend()
+        register_backend("test-sentinel", lambda: sentinel)
+        assert resolve_backend("test-sentinel") is sentinel
+
+
+class TestNumpyBackend:
+    """The host backend must add zero indirection and zero byte drift."""
+
+    def test_ufuncs_are_numpy_ufuncs(self):
+        assert NUMPY.subtract is np.subtract
+        assert NUMPY.multiply is np.multiply
+        assert NUMPY.log is np.log
+        assert NUMPY.exp is np.exp
+        assert NUMPY.minimum is np.minimum
+        assert NUMPY.reciprocal is np.reciprocal
+
+    def test_is_host(self):
+        assert NUMPY.is_host
+
+    def test_to_numpy_is_identity_for_ndarray(self):
+        arr = np.arange(4.0)
+        assert NUMPY.to_numpy(arr) is arr
+
+    def test_matmul_into_matches_dot(self):
+        rng = np.random.default_rng(3)
+        m = rng.normal(size=(6, 10))
+        v = rng.normal(size=10)
+        out = np.empty(6)
+        NUMPY.matmul_into(m, v, out)
+        assert np.array_equal(out, np.dot(m, v))
+
+    def test_all_finite(self):
+        assert NUMPY.all_finite(np.ones(3))
+        assert not NUMPY.all_finite(np.array([1.0, np.nan]))
+        assert not NUMPY.all_finite(np.array([1.0, np.inf]))
+
+    def test_empty_honours_dtype(self):
+        assert NUMPY.empty((2, 3), np.dtype(np.float32)).dtype == np.float32
+
+
+class TestLaziness:
+    """Optional device backends must never be imported eagerly."""
+
+    def test_import_does_not_pull_device_frameworks(self):
+        # repro.kernel is imported (this test file does), yet neither
+        # optional framework may have been imported as a side effect —
+        # unless the test environment itself already had them loaded
+        # before repro (in which case the assertion is vacuous anyway)
+        import repro.kernel  # noqa: F401 - the import under test
+
+        for module in ("cupy",):
+            assert module not in sys.modules or not hasattr(
+                sys.modules[module], "__repro_eager_import__"
+            )
+
+    def test_missing_framework_is_a_clean_error(self, monkeypatch):
+        # resolving a registered-but-unavailable backend must raise a
+        # RuntimeError naming the backend, not leak the ImportError
+        monkeypatch.setitem(sys.modules, "cupy", None)
+        with pytest.raises(RuntimeError, match="cupy"):
+            resolve_backend("cupy")
+
+
+class TestCustomBackend:
+    """A drop-in backend routes every kernel array op through itself."""
+
+    def test_counting_backend_sees_kernel_traffic(self):
+        class CountingBackend(NumpyBackend):
+            name = "counting"
+
+            def __init__(self):
+                self.matvecs = 0
+
+            def matmul_into(self, matrix, vector, out):
+                self.matvecs += 1
+                return np.dot(matrix, vector, out=out)
+
+        from repro.core import aro_design
+        from repro.core.population import make_batch_study
+
+        backend = CountingBackend()
+        batch = make_batch_study(
+            aro_design(n_ros=16), 5, rng=7, backend=backend
+        )
+        reference = make_batch_study(aro_design(n_ros=16), 5, rng=7)
+        assert np.array_equal(
+            batch.responses(t_years=10.0), reference.responses(t_years=10.0)
+        )
+        assert backend.matvecs > 0

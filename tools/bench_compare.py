@@ -18,11 +18,15 @@ doing *more work* is not by itself a regression.  ``memory`` sections
 ``histograms`` sections (per-metric latency quantile summaries — p50 and
 p99 are diffed) are handled informationally too, and tolerantly:
 artefacts written before those fields existed simply show ``n/a`` on
-their side of the table rather than failing the diff.  ``--gate``
-promotes the memory and histogram sections to gating: growth beyond the
-threshold on a metric present in *both* sets exits 1 like a values
-regression, while one-sided ``n/a`` rows still never gate (counters and
-ledger scalars stay informational even then).  Run-ledger ``*.jsonl``
+their side of the table rather than failing the diff.  ``roofline``
+sections (throughput metrics, chips x years per second — bigger is
+better) get the same union-keyed ``n/a`` tolerance with the gate
+direction inverted: a *drop* beyond the threshold regresses.  ``--gate``
+promotes the memory, roofline and histogram sections to gating: a move
+in the bad direction beyond the threshold on a metric present in *both*
+sets exits 1 like a values regression, while one-sided ``n/a`` rows
+still never gate (counters and ledger scalars stay informational even
+then).  Run-ledger ``*.jsonl``
 files found in either directory are diffed the same informational way
 (experiment scalars have no universal "better" direction — the anchor
 registry judges those, see ``tools/check_anchors.py``).  Exit status is
@@ -190,13 +194,17 @@ def print_optional_section(
     title: str,
     rows: List[Tuple[str, object, object]],
     threshold=None,
+    bigger_is_better: bool = False,
 ) -> List[str]:
     """Print one tolerant (union-keyed) section; return gated regressions.
 
     With ``threshold=None`` (the default informational mode) nothing is
     flagged.  With a threshold (``--gate``), a metric present on *both*
-    sides that grew beyond it is returned as a regression; one-sided
-    ``n/a`` rows still never gate.
+    sides that moved in the bad direction beyond it is returned as a
+    regression; one-sided ``n/a`` rows still never gate.  The bad
+    direction is growth for cost metrics (seconds, bytes — the default)
+    and *shrinkage* for ``bigger_is_better`` throughput metrics
+    (``roofline`` chips x years per second).
     """
     regressions: List[str] = []
     if not rows:
@@ -209,9 +217,11 @@ def print_optional_section(
         change = tolerant_change(a, b)
         change_text = "    n/a" if change is None else f"{change:>+7.1%}"
         flag = ""
-        if threshold is not None and change is not None and change > threshold:
-            flag = "  REGRESSION"
-            regressions.append(key)
+        if threshold is not None and change is not None:
+            bad = -change if bigger_is_better else change
+            if bad > threshold:
+                flag = "  REGRESSION"
+                regressions.append(key)
         print(f"{key:<{width}}  {a_text:>12}  {b_text:>12}  {change_text}{flag}")
     return regressions
 
@@ -259,9 +269,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--gate",
         action="store_true",
-        help="also gate on memory and histogram-quantile growth beyond "
-        "the threshold (one-sided n/a rows still never gate); counters "
-        "and ledger scalars stay informational",
+        help="also gate on memory/histogram-quantile growth and roofline "
+        "throughput drops beyond the threshold (one-sided n/a rows still "
+        "never gate); counters and ledger scalars stay informational",
     )
     args = parser.parse_args(argv)
 
@@ -272,6 +282,8 @@ def main(argv=None) -> int:
         new_counters = load_results(args.candidate, section="counters")
         old_memory = load_results(args.baseline, section="memory")
         new_memory = load_results(args.candidate, section="memory")
+        old_roofline = load_results(args.baseline, section="roofline")
+        new_roofline = load_results(args.candidate, section="roofline")
         old_hist = load_histograms(args.baseline)
         new_hist = load_histograms(args.candidate)
         old_ledger = load_ledger_scalars(args.baseline)
@@ -289,6 +301,7 @@ def main(argv=None) -> int:
         return 2
     counter_rows, _, _ = compare(old_counters, new_counters, args.threshold)
     memory_rows = compare_memory(old_memory, new_memory)
+    roofline_rows = compare_memory(old_roofline, new_roofline)
     histogram_rows = compare_memory(old_hist, new_hist)
     ledger_rows, _, _ = compare(old_ledger, new_ledger, args.threshold)
 
@@ -317,12 +330,21 @@ def main(argv=None) -> int:
         memory_rows,
         threshold=gate_threshold,
     )
+    roofline_regressions = print_optional_section(
+        f"roofline throughput (chips x years per second, {mode}; "
+        "bigger is better — a drop gates)",
+        roofline_rows,
+        threshold=gate_threshold,
+        bigger_is_better=True,
+    )
     histogram_regressions = print_optional_section(
         f"latency histograms (p50/p99, {mode})",
         histogram_rows,
         threshold=gate_threshold,
     )
-    regressions += memory_regressions + histogram_regressions
+    regressions += (
+        memory_regressions + roofline_regressions + histogram_regressions
+    )
 
     if ledger_rows:
         lwidth = max(len(key) for key, *_ in ledger_rows)
@@ -361,6 +383,16 @@ def main(argv=None) -> int:
                     "regression": key in memory_regressions,
                 }
                 for key, a, b in memory_rows
+            ],
+            "roofline": [
+                {
+                    "metric": key,
+                    "baseline": a,
+                    "candidate": b,
+                    "change": tolerant_change(a, b),
+                    "regression": key in roofline_regressions,
+                }
+                for key, a, b in roofline_rows
             ],
             "histograms": [
                 {
