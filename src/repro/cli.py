@@ -95,6 +95,7 @@ from . import telemetry
 from .aging.schedule import MissionProfile
 from .analysis import experiments as exp
 from .analysis import render
+from .service.loadgen import DESIGN_FLIPS_10Y
 
 
 @dataclass(frozen=True)
@@ -332,6 +333,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="stream throttled JSONL progress heartbeats to PATH",
+    )
+    tgroup.add_argument(
+        "--events-max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="rotate the --events file to <name>.1 before it exceeds N "
+        "bytes (min 1024) and lift the per-run event cap — bounded disk "
+        "for long-lived runs like 'serve'; monitor --follow survives the "
+        "rotation",
     )
 
     sub.add_parser("list", help="list the available experiments")
@@ -576,6 +587,207 @@ def build_parser() -> argparse.ArgumentParser:
         help="trailing baseline window in runs (default %(default)s)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the fleet enrollment/authentication service (asyncio "
+        "TCP, newline-delimited JSON; Ctrl-C / SIGTERM to stop)",
+        parents=[telemetry_args],
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=9750,
+        help="bind port; 0 picks a free one (default %(default)s)",
+    )
+    serve_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional-HD acceptance bound for auth (default %(default)s)",
+    )
+    serve_p.add_argument(
+        "--key-bits",
+        type=int,
+        default=128,
+        help="extracted key width for the fuzzy-extractor endpoints "
+        "(default %(default)s)",
+    )
+    serve_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="enrollment masking-randomness seed (default %(default)s)",
+    )
+    serve_p.add_argument(
+        "--audit",
+        metavar="PATH",
+        default=None,
+        help="append one JSONL audit line per request (trace id, "
+        "endpoint, chip, outcome, duration) to PATH",
+    )
+    serve_p.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="persist enrollment records (reference + helper data + key "
+        "digest) to this append-only JSONL file, reloading it on start",
+    )
+    serve_p.add_argument(
+        "--inject-latency-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="artificial per-request delay inside the measured window "
+        "(SLO-regression test hook; default 0)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="enroll a synthetic aging fleet and hammer the service; "
+        "RED metrics, SLO verdicts and a benchmark-shaped artefact out",
+        parents=[telemetry_args],
+    )
+    loadgen.add_argument(
+        "--chips",
+        type=int,
+        default=16,
+        help="synthetic fleet size (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--design",
+        choices=sorted(DESIGN_FLIPS_10Y),
+        default="aro-puf",
+        help="which 10-year flip-rate curve ages the fleet "
+        "(default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="fleet seed (default %(default)s)"
+    )
+    bound = loadgen.add_mutually_exclusive_group()
+    bound.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N requests (default 2000 when --duration unset)",
+    )
+    bound.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="stop after S seconds of request load",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="concurrent worker coroutines (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--years",
+        type=float,
+        default=10.0,
+        help="mission horizon the fleet ages over during the run "
+        "(default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--votes",
+        type=int,
+        default=5,
+        help="enrollment-time majority-vote reads per chip "
+        "(default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--noise",
+        type=float,
+        default=1.0,
+        metavar="PCT",
+        help="fresh measurement-noise floor, %% of bits (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--key-fraction",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of requests hitting the fuzzy-extractor 'key' "
+        "endpoint instead of 'auth' (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--impostor-fraction",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of auths answered from the wrong chip's silicon "
+        "(default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="inline service's auth threshold (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--key-bits",
+        type=int,
+        default=128,
+        help="inline service's key width (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--inject-latency-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="inline service's artificial per-request delay (SLO-"
+        "regression test hook; default 0)",
+    )
+    loadgen.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="load an already-running 'repro serve' over TCP instead of "
+        "an in-process service (one connection per worker; retries "
+        "until --connect-timeout)",
+    )
+    loadgen.add_argument(
+        "--connect-timeout",
+        type=_positive_float,
+        default=10.0,
+        metavar="S",
+        help="seconds to keep retrying --connect (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the benchmark-shaped loadgen artefact (values + "
+        "histograms + service RED/SLO sections + manifest) to PATH",
+    )
+    loadgen.add_argument(
+        "--slo-spec",
+        metavar="PATH",
+        default=None,
+        help="JSON SLO spec to judge instead of the built-in defaults "
+        "(see docs/observability.md for the format)",
+    )
+    loadgen.add_argument(
+        "--slo-gate",
+        choices=["off", "informational", "enforce"],
+        default="informational",
+        help="off: skip verdicts; informational: print them; enforce: "
+        "exit non-zero when any objective fails (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--perf-ledger",
+        metavar="PATH",
+        default=None,
+        help="append the run's throughput/quantiles to this perf ledger "
+        "(REPRO_PERF_LEDGER is honoured when the flag is unset)",
+    )
+
     anchors = sub.add_parser(
         "check-anchors",
         help="measure the paper's anchors and exit non-zero on failure",
@@ -772,13 +984,30 @@ def _cache_summary(
     return {"dir": str(cache.root), "hits": hits, "misses": misses}
 
 
-def _start_telemetry(args: argparse.Namespace) -> None:
-    """Install the tracer/emitter/sampler the flags ask for."""
+def _start_telemetry(
+    args: argparse.Namespace,
+    tracer_factory: Optional[Callable[[], telemetry.Tracer]] = None,
+) -> None:
+    """Install the tracer/emitter/sampler the flags ask for.
+
+    ``tracer_factory`` overrides the tracer construction — the serving
+    commands install an :class:`~repro.telemetry.AsyncTracer` so spans
+    propagate per task instead of per stack.
+    """
     if _telemetry_wanted(args):
-        telemetry.install(telemetry.Tracer(memory=args.profile))
+        if tracer_factory is None:
+            telemetry.install(telemetry.Tracer(memory=args.profile))
+        else:
+            telemetry.install(tracer_factory())
     if getattr(args, "events", None):
+        max_bytes = getattr(args, "events_max_bytes", None)
+        kwargs: Dict[str, Any] = {"max_bytes": max_bytes}
+        if max_bytes is not None:
+            # rotation bounds the disk, so the anti-runaway event cap
+            # would only truncate a deliberately long-lived run
+            kwargs["max_events"] = 10**9
         emitter = telemetry.install_emitter(
-            telemetry.ProgressEmitter(args.events)
+            telemetry.ProgressEmitter(args.events, **kwargs)
         )
         # a raising first heartbeat (unwritable path, closed pipe) must
         # not leave the emitter installed: main() only reaches its
@@ -877,15 +1106,28 @@ def _monitor_command(args: argparse.Namespace) -> int:
         while True:
             if path.exists():
                 if path.stat().st_size < pos:
-                    # the file shrank under us (rotated or truncated):
-                    # the run this dashboard was following is gone, and
-                    # re-reading from `pos` would silently hang at EOF
-                    # forever — exit cleanly instead
-                    print(
-                        f"events file {path} was truncated; stopping",
-                        flush=True,
-                    )
-                    return 0
+                    # the file shrank under us.  A size-capped emitter
+                    # (--events-max-bytes) rotates the full file to
+                    # <name>.1 and keeps writing a fresh one: drain the
+                    # lines we had not yet read from the rotated file,
+                    # then restart from the new file's head.  No .1
+                    # sibling means a genuine truncation — the run this
+                    # dashboard was following is gone, and re-reading
+                    # from `pos` would silently hang at EOF forever.
+                    rotated = path.with_name(path.name + ".1")
+                    if rotated.exists() and rotated.stat().st_size >= pos:
+                        with rotated.open() as fh:
+                            fh.seek(pos)
+                            tail = fh.readlines()
+                        if tail:
+                            telemetry.parse_events(tail, state)
+                        pos = 0
+                    else:
+                        print(
+                            f"events file {path} was truncated; stopping",
+                            flush=True,
+                        )
+                        return 0
                 with path.open() as fh:
                     fh.seek(pos)
                     lines = fh.readlines()
@@ -1207,6 +1449,234 @@ def _explain_command(
     return 0
 
 
+async def _serve_async(args: argparse.Namespace, service) -> None:
+    """Bind the service and serve until SIGINT/SIGTERM (or Ctrl-C)."""
+    import asyncio
+    import signal
+
+    from .service import serve as bind_service
+
+    server = await bind_service(service, args.host, args.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(
+        f"serving on {host}:{port} "
+        f"({service.response_bits}-bit responses, threshold "
+        f"{service.threshold}, {len(service.store)} chip(s) enrolled); "
+        "Ctrl-C to stop",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, ValueError):  # pragma: no cover
+            pass  # non-Unix loop: KeyboardInterrupt still unwinds us
+    async with telemetry.EventLoopLagProbe():
+        await stop.wait()
+    server.close()
+    await server.wait_closed()
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """``repro serve``: the fleet service with full observability."""
+    import asyncio
+
+    from .service import AuditTrail, FleetService, HelperStore, default_extractor
+
+    config = exp.ExperimentConfig(seed=args.seed)
+    _start_telemetry(
+        args, tracer_factory=lambda: telemetry.AsyncTracer(memory=args.profile)
+    )
+    service = None
+    try:
+        service = FleetService(
+            extractor=default_extractor(args.key_bits),
+            threshold=args.threshold,
+            seed=args.seed,
+            store=HelperStore(args.store) if args.store else None,
+            audit=AuditTrail(args.audit) if args.audit else None,
+            inject_latency_s=args.inject_latency_ms / 1e3,
+        )
+        try:
+            asyncio.run(_serve_async(args, service))
+        except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+            pass
+        metrics = service.red.metrics()
+        if metrics:
+            print("service RED metrics:")
+            for key, value in sorted(metrics.items()):
+                print(f"  {key} = {value:.6g}")
+        return 0
+    finally:
+        if service is not None:
+            tracer = telemetry.active()
+            if tracer is not None:
+                # fold RED counters + latency histograms into the tracer
+                # so --metrics-out / --ledger / manifests carry them
+                service.red.publish(tracer)
+            if service.audit is not None:
+                service.audit.close()
+                print(
+                    f"audit trail: {service.audit.n_records} request(s) "
+                    f"in {service.audit.path}"
+                )
+        _finish_telemetry(args, config)
+
+
+async def _loadgen_async(args: argparse.Namespace, n_requests: Optional[int]):
+    """Build the client (inline or TCP pool) + fleet, run the load."""
+    import asyncio
+    import time as _time
+
+    from .service import (
+        FleetService,
+        FleetSpec,
+        ServiceClientPool,
+        SyntheticFleet,
+        default_extractor,
+        run_loadgen,
+    )
+
+    close_client = None
+    if args.connect:
+        host, _, port_s = args.connect.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_s)
+        except ValueError:
+            raise SystemExit(f"error: --connect wants HOST:PORT, got {args.connect!r}")
+        deadline = _time.perf_counter() + args.connect_timeout
+        while True:
+            try:
+                client = await ServiceClientPool.connect(
+                    host, port, args.concurrency
+                )
+                break
+            except OSError:
+                if _time.perf_counter() >= deadline:
+                    raise
+                await asyncio.sleep(0.2)
+        close_client = client.close
+        status = await client.status()
+        response_bits = int(status["response_bits"])
+    else:
+        client = FleetService(
+            extractor=default_extractor(args.key_bits),
+            threshold=args.threshold,
+            seed=args.seed,
+            inject_latency_s=args.inject_latency_ms / 1e3,
+        )
+        response_bits = client.response_bits
+    fleet = SyntheticFleet(
+        FleetSpec(
+            n_chips=args.chips,
+            seed=args.seed,
+            design=args.design,
+            noise_pct=args.noise,
+        ),
+        response_bits,
+    )
+    probe = telemetry.EventLoopLagProbe().start()
+    try:
+        report = await run_loadgen(
+            client,
+            fleet,
+            n_requests=n_requests,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            years=args.years,
+            votes=args.votes,
+            key_fraction=args.key_fraction,
+            impostor_fraction=args.impostor_fraction,
+        )
+    finally:
+        await probe.stop()
+        if close_client is not None:
+            await close_client()
+    report.max_loop_lag_ms = probe.max_lag_ms if probe.n_ticks else None
+    return report
+
+
+def _loadgen_command(args: argparse.Namespace) -> int:
+    """``repro loadgen``: synthetic aging fleet + SLO-gated verdicts."""
+    import asyncio
+    import json as _json
+    import os
+
+    from .service import (
+        DEFAULT_SLOS,
+        check_slos,
+        load_slo_spec,
+        loadgen_payload,
+        render_slo_verdicts,
+    )
+
+    try:
+        slos = load_slo_spec(args.slo_spec) if args.slo_spec else DEFAULT_SLOS
+    except (OSError, ValueError) as exc:
+        print(f"error: bad SLO spec {args.slo_spec}: {exc}", file=sys.stderr)
+        return 2
+    n_requests = args.requests
+    if n_requests is None and args.duration is None:
+        n_requests = 2000
+    config = exp.ExperimentConfig(n_chips=args.chips, seed=args.seed)
+    _start_telemetry(
+        args, tracer_factory=lambda: telemetry.AsyncTracer(memory=args.profile)
+    )
+    try:
+        report = asyncio.run(_loadgen_async(args, n_requests))
+        tracer = telemetry.active()
+        if tracer is not None:
+            report.red.publish(tracer)
+        manifest = _collect_manifest(args, config).to_dict()
+        payload = loadgen_payload(report, slos=slos, manifest=manifest)
+        print(
+            f"loadgen: {report.n_requests} requests in {report.wall_s:.2f}s "
+            f"-> {report.auth_per_s:,.0f} req/s "
+            f"(concurrency {report.concurrency}, fleet "
+            f"{report.spec.n_chips} x {report.spec.design}, "
+            f"{report.years:g}y horizon"
+            + (
+                f", peak loop lag {report.max_loop_lag_ms:.2f} ms)"
+                if report.max_loop_lag_ms is not None
+                else ")"
+            )
+        )
+        if report.outcomes:
+            print(
+                "outcomes: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(report.outcomes.items())
+                )
+            )
+        if args.out:
+            out_path = pathlib.Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(
+                _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"loadgen artefact written to {out_path}")
+        ledger_path = args.perf_ledger or os.environ.get(
+            telemetry.PERF_LEDGER_ENV
+        )
+        if ledger_path:
+            telemetry.PerfLedger(ledger_path).append(
+                telemetry.entry_from_bench_payload("loadgen", payload)
+            )
+            print(f"perf ledger: loadgen entry appended to {ledger_path}")
+        if args.slo_gate != "off":
+            verdicts = check_slos(report.red.metrics(), slos)
+            print(render_slo_verdicts(verdicts))
+            worst = telemetry.worst_status(verdicts)
+            print(f"slo worst status: {worst} (gate: {args.slo_gate})")
+            if args.slo_gate == "enforce" and worst == "fail":
+                return 1
+        return 0
+    finally:
+        _finish_telemetry(args, config)
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -1224,6 +1694,12 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.command == "perf":
         return _perf_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "loadgen":
+        return _loadgen_command(args)
 
     kwargs: Dict[str, Any] = {"n_chips": args.chips, "n_ros": args.ros}
     if args.seed is not None:

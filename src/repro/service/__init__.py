@@ -1,0 +1,82 @@
+"""repro.service — the asyncio enrollment/authentication fleet service.
+
+The productionised form of experiment E10: the paper's end-game is
+lifetime authentication, so this package turns the protocol and keygen
+primitives into a *served* host-side stack (the device↔host split of
+the litepuf-style evaluation flow):
+
+* :class:`HelperStore` / :class:`EnrollmentRecord` — the helper-data
+  store keyed by chip id: majority-voted reference response, public
+  fuzzy-extractor helper string, and the SHA-256 digest of the enrolled
+  key (the key itself is never stored);
+* :class:`FleetService` — the asyncio server core: ``enroll`` (majority-
+  vote over repeated noisy measurements), ``auth`` (threshold fractional
+  Hamming distance, the hot path) and ``key`` (full fuzzy-extractor key
+  regeneration), each traced per request, RED-metered per endpoint ×
+  outcome, and appended to a JSONL audit trail;
+* :func:`serve` / :class:`ServiceClient` — a newline-delimited-JSON TCP
+  wire protocol over asyncio streams, plus the matching client;
+* :class:`SyntheticFleet` / :func:`run_loadgen` — the load generator:
+  a seeded fleet whose responses age along the paper's 10-year flip
+  rates (32 % conventional, 7.7 % ARO), replayed against the service at
+  configurable concurrency while every observability surface records;
+* :data:`DEFAULT_SLOS` / :func:`check_slos` — the declarative SLO spec
+  (availability, p99/p999 latency) with anchors-style pass/warn/fail
+  bands, gating ``repro loadgen`` exits.
+"""
+
+from .audit import AUDIT_FORMAT, AuditTrail
+from .loadgen import (
+    DESIGN_FLIPS_10Y,
+    FleetSpec,
+    LoadgenReport,
+    SyntheticFleet,
+    loadgen_payload,
+    run_loadgen,
+)
+from .server import (
+    FleetService,
+    ServiceClient,
+    ServiceClientPool,
+    default_extractor,
+    majority_vote,
+    serve,
+)
+from .slo import (
+    DEFAULT_SLOS,
+    SLO_SPEC_FORMAT,
+    Slo,
+    SloVerdict,
+    check_slos,
+    load_slo_spec,
+    render_slo_verdicts,
+    slo_verdicts_payload,
+)
+from .store import EnrollmentRecord, HelperStore
+
+__all__ = [
+    "AUDIT_FORMAT",
+    "AuditTrail",
+    "DEFAULT_SLOS",
+    "DESIGN_FLIPS_10Y",
+    "EnrollmentRecord",
+    "FleetService",
+    "FleetSpec",
+    "HelperStore",
+    "LoadgenReport",
+    "SLO_SPEC_FORMAT",
+    "ServiceClient",
+    "ServiceClientPool",
+    "Slo",
+    "SloVerdict",
+    "SyntheticFleet",
+    "check_slos",
+    "default_extractor",
+    "load_slo_spec",
+    "loadgen_payload",
+    "majority_vote",
+    "render_slo_verdicts",
+    "run_loadgen",
+    "serve",
+    "slo_verdicts_payload",
+]

@@ -23,7 +23,16 @@ layers:
 * :class:`ResourceSampler` — opt-in background RSS/probe sampling
   (``--sample-rss HZ``), each tick attributed to the open span;
 * :func:`parse_events` / :func:`render_monitor` — the ``repro monitor``
-  dashboard over an events JSONL, live or post-hoc.
+  dashboard over an events JSONL, live or post-hoc;
+* :class:`AsyncTracer` / :func:`current_trace_id` — contextvar-based
+  span propagation for asyncio serving: per-request trace ids that
+  survive ``await`` and task fan-out, finished requests parked on
+  Chrome-trace lanes (``repro serve`` / ``repro loadgen``);
+* :class:`RedMetrics` — per-endpoint rate / error-taxonomy / duration
+  aggregation for the fleet service, flattened into the scalar map the
+  SLO spec (:mod:`repro.service.slo`) gates;
+* :class:`EventLoopLagProbe` — event-loop scheduling delay as a sampler
+  probe (a counter track next to RSS when serving).
 
 **Across runs** (the longitudinal layer):
 
@@ -121,6 +130,14 @@ from .sampler import (
     uninstall_sampler,
     unregister_probe,
 )
+from .asynctrace import AsyncTracer, EventLoopLagProbe, current_trace_id
+from .red import (
+    ERROR_CLASSES,
+    NON_ERROR_OUTCOMES,
+    RED_FORMAT,
+    SLO_QUANTILES,
+    RedMetrics,
+)
 from .monitor import MonitorState, StageProgress, parse_events, render_monitor
 from .events import (
     EVENTS_FORMAT,
@@ -178,7 +195,10 @@ __all__ = [
     "ANCHOR_EXPERIMENTS",
     "Anchor",
     "AnchorVerdict",
+    "AsyncTracer",
     "ChangePoint",
+    "ERROR_CLASSES",
+    "EventLoopLagProbe",
     "EVENTS_FORMAT",
     "GROWTH",
     "Histogram",
@@ -189,6 +209,7 @@ __all__ = [
     "METRICS_FORMAT",
     "MIN_HISTORY",
     "MonitorState",
+    "NON_ERROR_OUTCOMES",
     "PAPER_ANCHORS",
     "PERF_LEDGER_ENV",
     "PERF_LEDGER_FORMAT",
@@ -198,9 +219,12 @@ __all__ = [
     "ProfileRow",
     "ProgressEmitter",
     "QUANTILE_RELATIVE_ERROR",
+    "RED_FORMAT",
+    "RedMetrics",
     "ResourceSampler",
     "RunLedger",
     "RunManifest",
+    "SLO_QUANTILES",
     "Span",
     "StageProgress",
     "Tracer",
@@ -220,6 +244,7 @@ __all__ = [
     "count",
     "critical_path",
     "current_rss_bytes",
+    "current_trace_id",
     "detect",
     "emitter_session",
     "enabled",

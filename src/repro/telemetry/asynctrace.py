@@ -1,0 +1,312 @@
+"""Async request tracing: contextvar-propagated spans and request lanes.
+
+The synchronous :class:`~repro.telemetry.tracer.Tracer` keeps its active
+span on an instance list — correct for one linear flow of control, wrong
+the moment an asyncio server interleaves requests: two concurrent
+handlers would push onto one shared stack and each would close the
+other's spans.  :class:`AsyncTracer` replaces the list with a
+:mod:`contextvars` slot, which the event loop snapshots per task:
+
+* within one coroutine, spans nest across ``await`` boundaries exactly
+  like the sync tracer (the contextvar survives suspension points);
+* ``asyncio.create_task`` / ``asyncio.gather`` copy the caller's
+  context, so fanned-out subtasks *inherit* the current span as their
+  parent but mutate only their own copy — no cross-request leakage, and
+  a child task's forgotten span can never corrupt a sibling's stack.
+
+:meth:`AsyncTracer.request` is the serving entry point: it opens a root
+span carrying a fresh per-request **trace id**, detached from whatever
+ambient span the accept loop was under, and on completion parks the
+finished tree on a **request lane** (``req-<k>``) via the tracer's
+``remote_lanes`` — the same mechanism parallel worker shards use — so
+the Chrome/Perfetto export renders concurrent requests as parallel
+worker-style timeline rows with correct re-nesting inside each.  Lanes
+are recycled lowest-free-first, so the lane count equals the peak
+request concurrency, not the request count.
+
+:class:`EventLoopLagProbe` closes the loop-health gap: a cooperative
+coroutine that sleeps on a fixed interval and records how late the loop
+woke it (scheduler delay — the single best proxy for "the loop is
+saturated").  It registers with the resource sampler's module-level
+probe registry, so an active ``--sample-rss`` thread turns the lag into
+a counter track next to RSS with zero hooks on any request path.
+
+Everything here is single-loop by design: the tracer mutates its trees
+only from event-loop context (the sampler thread merely *reads*
+:attr:`active_span` for sample attribution).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import heapq
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Tuple
+
+from . import tracer as _tracer_mod
+from .sampler import register_probe, unregister_probe
+from .tracer import Span, Tracer
+
+#: the context-local (tracer, span) pair.  One module-level ContextVar —
+#: never per-instance — because contexts outlive tracers; entries are
+#: tagged with their owning tracer and ignored by any other, so a stale
+#: value from a discarded test tracer cannot pollute a fresh one.
+_CURRENT: "contextvars.ContextVar[Optional[Tuple[AsyncTracer, Span]]]" = (
+    contextvars.ContextVar("repro_async_span", default=None)
+)
+
+
+def current_trace_id() -> Optional[int]:
+    """The trace id of the request the calling context is serving.
+
+    Walks from the context-local span to its root and returns the root's
+    ``trace_id`` attribute; ``None`` outside any request (or when the
+    installed tracer is not an :class:`AsyncTracer`).  Survives ``await``
+    and task fan-out because the underlying slot is a contextvar.
+    """
+    entry = _CURRENT.get()
+    if entry is None or entry[0] is not _tracer_mod._active:
+        return None
+    span: Optional[Span] = entry[1]
+    while span is not None:
+        trace_id = span.attrs.get("trace_id")
+        if trace_id is not None:
+            return int(trace_id)
+        span = span.parent
+    return None
+
+
+class AsyncTracer(Tracer):
+    """A :class:`Tracer` whose active-span state is context-local.
+
+    Drop-in for the installed-tracer slot: the module-level single-branch
+    helpers (``telemetry.start_span`` / ``end_span`` / ``span``) dispatch
+    to the overrides below, so every existing instrumentation site
+    becomes task-safe the moment an ``AsyncTracer`` is installed.  The
+    disabled path is untouched — no contextvar is read unless a tracer
+    is installed.
+
+    Parameters
+    ----------
+    memory:
+        As for :class:`Tracer`.  Note that tracemalloc peaks are
+        process-global; under interleaved requests a span's peak may
+        include a neighbour's allocations, so memory profiling of an
+        async run is indicative, not attributable.
+    lane_prefix:
+        Label prefix for request lanes in the Chrome-trace export.
+    """
+
+    def __init__(self, *, memory: bool = False, lane_prefix: str = "req"):
+        super().__init__(memory=memory)
+        self.lane_prefix = lane_prefix
+        self._open: "set[Span]" = set()
+        self._last_started: Optional[Span] = None
+        self._free_lanes: List[int] = []
+        self._n_lanes = 0
+        self._trace_seq = 0
+
+    # ---- contextvar span stack ----------------------------------------
+
+    def start_span(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the *context-local* active span."""
+        span = Span(name, attrs or None)
+        entry = _CURRENT.get()
+        parent = entry[1] if entry is not None and entry[0] is self else None
+        if parent is not None:
+            span.parent = parent
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._open.add(span)
+        self._last_started = span
+        _CURRENT.set((self, span))
+        if self.memory:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
+            span._mem_start_bytes = tracemalloc.get_traced_memory()[0]
+        span.start_ns = time.perf_counter_ns()
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close ``span`` (and any forgotten descendants still open in
+        the calling context), then re-activate its parent *in this
+        context only* — sibling tasks are untouched."""
+        end_ns = time.perf_counter_ns()
+        if span.end_ns is not None:
+            raise ValueError(f"span {span.name!r} already ended")
+        if span not in self._open:
+            raise ValueError(f"span {span.name!r} is not open on this tracer")
+        entry = _CURRENT.get()
+        current = entry[1] if entry is not None and entry[0] is self else None
+        # unwind the context-local parent chain down to (excluding) span,
+        # closing descendants an exception path forgot to end
+        node = current
+        chain: List[Span] = []
+        while node is not None and node is not span:
+            chain.append(node)
+            node = node.parent
+        if node is span:
+            for forgotten in chain:
+                if forgotten.end_ns is None:
+                    forgotten.end_ns = end_ns
+                    self._finish_memory(forgotten)
+                self._open.discard(forgotten)
+        span.end_ns = end_ns
+        self._finish_memory(span)
+        self._open.discard(span)
+        _CURRENT.set((self, span.parent) if span.parent is not None else None)
+        return span
+
+    def _finish_memory(self, span: Span) -> None:
+        if not self.memory:
+            return
+        import tracemalloc
+
+        _current, peak = tracemalloc.get_traced_memory()
+        base = span._mem_start_bytes or 0
+        span.mem_peak_bytes = max(0, peak - base)
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        """The calling context's open span — or, read from another
+        thread (the resource sampler), the most recently started span
+        still open anywhere, which is the right attribution for a
+        sample taken while the loop serves requests."""
+        entry = _CURRENT.get()
+        if entry is not None and entry[0] is self and entry[1] is not None:
+            return entry[1]
+        last = self._last_started
+        if last is not None and last.end_ns is None:
+            return last
+        return None
+
+    # ---- per-request tracing ------------------------------------------
+
+    def next_trace_id(self) -> int:
+        """Allocate the next per-request trace id (monotone from 1)."""
+        self._trace_seq += 1
+        return self._trace_seq
+
+    @contextmanager
+    def request(self, endpoint: str, **attrs: Any) -> Iterator[Span]:
+        """Trace one request: a fresh root span with its own trace id.
+
+        The span is detached from any ambient span (the accept loop's
+        ``serve`` span must not adopt every request as a child), given a
+        ``trace_id``/``endpoint`` pair, and — once finished — moved off
+        the coordinator roots onto a recycled request lane so the
+        exported timeline shows concurrency instead of a pile-up.
+        """
+        trace_id = self.next_trace_id()
+        if self._free_lanes:
+            lane = heapq.heappop(self._free_lanes)
+        else:
+            lane = self._n_lanes
+            self._n_lanes += 1
+        token = _CURRENT.set(None)  # detach: requests are roots
+        span = self.start_span(
+            f"request.{endpoint}", trace_id=trace_id, endpoint=endpoint, **attrs
+        )
+        try:
+            yield span
+        except BaseException:
+            span.error = True
+            raise
+        finally:
+            if span.end_ns is None:
+                self.end_span(span)
+            _CURRENT.reset(token)
+            try:
+                self.roots.remove(span)
+            except ValueError:  # pragma: no cover - already moved
+                pass
+            self.add_remote_lane(f"{self.lane_prefix}-{lane}", [span])
+            heapq.heappush(self._free_lanes, lane)
+
+    # ---- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """End every still-open span and release tracemalloc if owned."""
+        end_ns = time.perf_counter_ns()
+        for span in list(self._open):
+            if span.end_ns is None:
+                span.end_ns = end_ns
+        self._open.clear()
+        if self._owns_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+
+class EventLoopLagProbe:
+    """Event-loop scheduling delay as a sampler probe.
+
+    A cooperative coroutine sleeps ``interval_s`` and measures how much
+    *later* than requested the loop woke it; that excess is the time the
+    loop spent unable to schedule ready callbacks — the canonical
+    saturation signal for an asyncio service.  The most recent lag (ms)
+    is exposed through :func:`~repro.telemetry.sampler.register_probe`
+    under ``name``, so an active :class:`ResourceSampler` records it as
+    a time series (and the Chrome export as a counter track) without the
+    probe knowing whether anyone is listening.
+
+    Use as an async context manager around the serving block::
+
+        async with EventLoopLagProbe() as probe:
+            await run_loadgen(...)
+        print(probe.max_lag_ms)
+    """
+
+    def __init__(self, interval_s: float = 0.02, name: str = "loop_lag_ms"):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self.name = name
+        self.lag_ms = 0.0
+        self.max_lag_ms = 0.0
+        self.n_ticks = 0
+        self._task: Optional[Any] = None
+
+    async def _run(self) -> None:
+        import asyncio
+
+        while True:
+            t0 = time.perf_counter()
+            await asyncio.sleep(self.interval_s)
+            lag_s = (time.perf_counter() - t0) - self.interval_s
+            self.lag_ms = max(0.0, lag_s * 1e3)
+            self.max_lag_ms = max(self.max_lag_ms, self.lag_ms)
+            self.n_ticks += 1
+
+    def start(self) -> "EventLoopLagProbe":
+        """Register the probe and start its loop task (idempotent)."""
+        import asyncio
+
+        if self._task is None:
+            register_probe(self.name, lambda: self.lag_ms)
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Cancel the loop task and unregister the probe (idempotent)."""
+        import asyncio
+
+        task, self._task = self._task, None
+        if task is None:
+            return
+        unregister_probe(self.name)
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def __aenter__(self) -> "EventLoopLagProbe":
+        return self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()

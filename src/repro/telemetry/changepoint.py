@@ -160,9 +160,17 @@ def metric_orientation(name: str) -> Optional[bool]:
     key = leaf.rsplit(".", 1)[-1].lower()
     if key in ("p50", "p95", "p99") and "." in leaf:
         return False
+    if key in ("p50_ms", "p95_ms", "p99_ms", "p999_ms"):
+        # the service layer's flat latency quantiles (service.auth.p99_ms)
+        return False
     if "chips_per_s" in leaf or "chips_years_per_s" in leaf:
         return True
     if "throughput" in leaf or leaf.startswith("speedup") or "speedup_" in leaf:
+        return True
+    if key.endswith("per_s"):
+        # rate metrics (auth_per_s, requests_per_s, rate_per_s): bigger
+        # is better — checked before the *_s wall-time rule, which would
+        # otherwise misread the suffix as a duration
         return True
     if key.endswith("_s") or key.endswith("_ns") or key in ("wall_s",):
         return False

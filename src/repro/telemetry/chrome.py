@@ -83,6 +83,21 @@ def _metadata(name: str, tid: int, label: str) -> Dict[str, Any]:
     }
 
 
+def _lane_sort_key(label: str) -> "tuple":
+    """Natural lane ordering: ``req-2`` before ``req-10``.
+
+    Worker and request lanes are ``<prefix>-<index>`` labels; a plain
+    lexicographic sort interleaves them past ten lanes, which scrambles
+    the Perfetto row order exactly when concurrency is high enough for
+    the order to matter.  Labels without a numeric tail keep their
+    lexicographic position.
+    """
+    prefix, sep, tail = label.rpartition("-")
+    if sep and tail.isdigit():
+        return (prefix, 1, int(tail), label)
+    return (label, 0, 0, label)
+
+
 def chrome_trace_events(
     tracer: Tracer, sampler: Optional[Any] = None
 ) -> List[Dict[str, Any]]:
@@ -99,7 +114,8 @@ def chrome_trace_events(
     ]
     for root in tracer.roots:
         _span_events(root, MAIN_TID, epoch_ns, events)
-    for tid, label in enumerate(sorted(tracer.remote_lanes), start=1):
+    lane_order = sorted(tracer.remote_lanes, key=_lane_sort_key)
+    for tid, label in enumerate(lane_order, start=1):
         events.append(_metadata("thread_name", tid, label))
         for root in tracer.remote_lanes[label]:
             _span_events(root, tid, epoch_ns, events)

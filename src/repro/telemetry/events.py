@@ -60,6 +60,13 @@ class ProgressEmitter:
     max_events:
         Hard cap on lines written over the emitter's lifetime — the
         bound that keeps a runaway loop from filling a disk.
+    max_bytes:
+        Optional size cap for long-lived runs (a server left serving for
+        days): when the *file* would grow past it, the current file is
+        rotated to ``<name>.1`` (replacing any previous rotation) and a
+        fresh file is started — disk usage stays bounded by roughly
+        ``2 * max_bytes`` however long the emitter lives.  Minimum 1024;
+        ``None`` (the default) never rotates.
     clock:
         Injectable monotonic clock (tests pin it to fake time).
     """
@@ -70,23 +77,29 @@ class ProgressEmitter:
         *,
         min_interval_s: float = 0.25,
         max_events: int = 1000,
+        max_bytes: Optional[int] = None,
         clock=time.monotonic,
     ):
         if min_interval_s < 0:
             raise ValueError("min_interval_s must be non-negative")
         if max_events < 1:
             raise ValueError("max_events must be positive")
+        if max_bytes is not None and max_bytes < 1024:
+            raise ValueError("max_bytes must be >= 1024 (or None)")
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.min_interval_s = float(min_interval_s)
         self.max_events = int(max_events)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self._clock = clock
         self._fh = open(self.path, "a")
+        self._bytes = self._fh.tell()  # append mode: current file size
         self._t0 = clock()
         self._last_write: Optional[float] = None
         self._stage_first_seen: Dict[str, float] = {}
         self.n_events = 0
         self.n_throttled = 0
+        self.n_rotations = 0
 
     # ---- emission ----------------------------------------------------
 
@@ -155,9 +168,32 @@ class ProgressEmitter:
         return True
 
     def _write(self, record: Dict[str, Any]) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes > 0
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._fh.write(line)
         self._fh.flush()  # heartbeats must be visible to `tail -f` now
+        self._bytes += len(line)
         self.n_events += 1
+
+    def _rotate(self) -> None:
+        """Move the full file aside to ``<name>.1`` and start fresh.
+
+        A single backup generation keeps the implementation atomic
+        (one ``rename``) and the disk bound tight; readers following the
+        live file (``repro monitor --follow``) detect the shrink-with-
+        sibling and restart from the new file's head.
+        """
+        self._fh.close()
+        self._fh = None  # a failed rotation must not look half-open
+        self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._fh = open(self.path, "a")
+        self._bytes = 0
+        self.n_rotations += 1
 
     # ---- lifecycle ---------------------------------------------------
 

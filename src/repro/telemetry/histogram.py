@@ -129,6 +129,17 @@ class Histogram:
             out[name] = self.quantile(q)
         return out
 
+    def quantiles(
+        self, pairs: Sequence["tuple[str, float]"]
+    ) -> Dict[str, float]:
+        """Named quantiles beyond the fixed summary set.
+
+        The SLO layer gates tail quantiles (p999) that
+        :data:`SUMMARY_QUANTILES` deliberately omits from every summary;
+        this queries them on demand: ``h.quantiles((("p999", 0.999),))``.
+        """
+        return {name: self.quantile(q) for name, q in pairs}
+
     # ---- merge / serialise -------------------------------------------
 
     def merge(self, other: "Histogram") -> "Histogram":

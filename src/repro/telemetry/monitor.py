@@ -66,6 +66,8 @@ class MonitorState:
     current_span: Optional[str] = None
     rss_series: List[float] = field(default_factory=list)
     last_rss_bytes: Optional[float] = None
+    lag_series: List[float] = field(default_factory=list)
+    last_loop_lag_ms: Optional[float] = None
     elapsed_s: float = 0.0
     n_events: int = 0
     n_skipped: int = 0
@@ -153,6 +155,13 @@ def _fold_sample(state: MonitorState, record: Dict[str, Any]) -> None:
     span = record.get("span")
     if isinstance(span, str):
         state.current_span = span
+    # the event-loop-lag probe (serving runs) echoes through the sampler
+    # as a flattened probe field; fold it like the RSS series
+    lag = record.get("loop_lag_ms")
+    if isinstance(lag, (int, float)):
+        state.last_loop_lag_ms = float(lag)
+        state.lag_series.append(float(lag))
+        del state.lag_series[:-120]
 
 
 def _bar(fraction: Optional[float], width: int = 24) -> str:
@@ -202,5 +211,11 @@ def render_monitor(state: MonitorState, spark_width: int = 40) -> str:
         lines.append(
             f"rss : {sparkline(series)}  now {_fmt_rss(series[-1])}  "
             f"peak {_fmt_rss(max(state.rss_series))}"
+        )
+    if state.lag_series:
+        series = state.lag_series[-spark_width:]
+        lines.append(
+            f"lag : {sparkline(series)}  now {series[-1]:.2f} ms  "
+            f"peak {max(state.lag_series):.2f} ms"
         )
     return "\n".join(lines)

@@ -243,9 +243,13 @@ def entry_from_bench_payload(
     Takes every finite scalar from the ``values`` section, peak RSS from
     the ``memory`` section, throughput metrics from the ``roofline``
     section (``chips_years_per_s`` keys — the changepoint detector knows
-    their bigger-is-better direction by name), and p50/p99 per site from
-    the ``histograms`` summaries — whatever subset the bench emitted;
-    absent sections cost nothing.
+    their bigger-is-better direction by name), p50/p99 per site from
+    the ``histograms`` summaries, and — for serving artefacts (``repro
+    loadgen --out``) — the flat RED/SLO scalars of the ``service``
+    section under a ``service.`` prefix, so availability and endpoint
+    tail latency join the longitudinal series ``repro perf history``
+    renders.  Whatever subset the artefact emitted; absent sections
+    cost nothing.
     """
     values: Dict[str, Any] = dict(payload.get("values") or {})
     roofline = payload.get("roofline")
@@ -253,6 +257,15 @@ def entry_from_bench_payload(
         for key, value in roofline.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 values.setdefault(key, float(value))
+    service = payload.get("service")
+    if isinstance(service, Mapping):
+        metrics = service.get("metrics")
+        if isinstance(metrics, Mapping):
+            for key, value in metrics.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    values.setdefault(f"service.{key}", float(value))
     memory = payload.get("memory")
     if isinstance(memory, Mapping):
         rss = memory.get("peak_rss_bytes")

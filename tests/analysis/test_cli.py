@@ -833,3 +833,116 @@ class TestEmitterCleanupOnFailure:
             telemetry.ProgressEmitter(tmp_path / "again.jsonl")
         )
         telemetry.uninstall_emitter()
+
+
+class TestServeAndLoadgen:
+    """The fleet-service observatory: loadgen artefacts and SLO gating."""
+
+    def _loadgen(self, *extra):
+        return main(
+            ["loadgen", "--chips", "2", "--requests", "30",
+             "--concurrency", "2", "--seed", "3", "--slo-gate", "off",
+             *extra]
+        )
+
+    def test_loadgen_smoke_writes_service_artefact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "loadgen.json"
+        assert self._loadgen("--out", str(out)) == 0
+        stdout = capsys.readouterr().out
+        assert "loadgen: 30 requests" in stdout
+        assert f"loadgen artefact written to {out}" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["values"]["auth_per_s"] > 0
+        service = payload["service"]
+        auth = service["red"]["endpoints"]["auth"]
+        assert auth["requests"] == 30
+        assert 0.0 <= auth["availability"] <= 1.0
+        assert service["metrics"]["auth.p99_ms"] >= 0.0
+
+    def test_slo_gate_enforce_fails_on_injected_latency(self, capsys):
+        """The ISSUE acceptance hook: a latency regression must turn the
+        enforced gate into a non-zero exit."""
+        code = main(
+            ["loadgen", "--chips", "2", "--requests", "12",
+             "--concurrency", "4", "--seed", "3",
+             "--inject-latency-ms", "80", "--slo-gate", "enforce"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "slo worst status: fail (gate: enforce)" in out
+        assert "auth-p99-latency" in out
+
+    def test_slo_gate_informational_reports_without_failing(self, capsys):
+        code = main(
+            ["loadgen", "--chips", "2", "--requests", "12",
+             "--concurrency", "4", "--seed", "3",
+             "--inject-latency-ms", "80", "--slo-gate", "informational"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo worst status: fail (gate: informational)" in out
+
+    def test_bad_slo_spec_exits_two(self, tmp_path, capsys):
+        spec = tmp_path / "slo.json"
+        spec.write_text('{"not": "a spec"}')
+        code = self._loadgen("--slo-spec", str(spec))
+        assert code == 2
+        assert "bad SLO spec" in capsys.readouterr().err
+
+    def test_trace_out_parks_requests_on_recycled_lanes(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        trace = tmp_path / "loadgen.trace.json"
+        assert self._loadgen("--trace-out", str(trace)) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        lanes = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        req_tids = {
+            tid for name, tid in lanes.items() if name.startswith("req-")
+        }
+        # two workers -> at most two recycled lanes, never one per request
+        assert 1 <= len(req_tids) <= 2
+        request_spans = [
+            e for e in events
+            if e["ph"] == "X" and e["name"].startswith("request.")
+        ]
+        # 30 load requests + one enrollment per chip, all on req lanes
+        assert len(request_spans) == 32
+        by_name = {e["name"] for e in request_spans}
+        assert by_name == {"request.enroll", "request.auth"}
+        assert {e["tid"] for e in request_spans} <= req_tids
+
+    def test_perf_ledger_ingests_service_metrics(self, tmp_path, capsys):
+        from repro import telemetry
+
+        ledger_path = tmp_path / "perf.jsonl"
+        assert self._loadgen("--perf-ledger", str(ledger_path)) == 0
+        (entry,) = telemetry.PerfLedger(ledger_path).entries()
+        assert entry.bench == "loadgen"
+        assert entry.values["auth_per_s"] > 0
+        assert "service.auth.availability" in entry.values
+        assert "service.auth.p99_ms" in entry.values
+
+    def test_events_heartbeats_with_rotation_cap(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        code = self._loadgen(
+            "--events", str(events), "--events-max-bytes", "65536"
+        )
+        assert code == 0
+        recs = [json.loads(l) for l in events.read_text().splitlines()]
+        assert recs[0]["event"] == "run.start"
+        assert recs[0]["command"] == "loadgen"
+        assert recs[-1]["event"] == "run.end"
+        # heartbeats are throttled, so a sub-interval run may emit none;
+        # any that land must come from the loadgen stages
+        stages = {r["stage"] for r in recs if "stage" in r}
+        assert stages <= {"loadgen.enroll", "loadgen.requests"}

@@ -1,0 +1,220 @@
+"""FleetService endpoints in-process: enroll/auth/key semantics + driver."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.service import FleetService, HelperStore, majority_vote
+from repro.service.audit import AuditTrail, read_audit
+from repro.telemetry import AsyncTracer
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    telemetry.uninstall()
+    yield
+    telemetry.uninstall()
+
+
+@pytest.fixture(scope="module")
+def service_and_chips():
+    """One enrolled service + the golden responses it enrolled."""
+    service = FleetService(seed=0)
+    rng = np.random.default_rng(42)
+    golden = {
+        chip: rng.integers(0, 2, service.response_bits, dtype=np.uint8)
+        for chip in range(3)
+    }
+
+    async def setup():
+        for chip, bits in golden.items():
+            reply = await service.enroll(chip, [bits] * 3)
+            assert reply["outcome"] == "ok"
+
+    asyncio.run(setup())
+    return service, golden
+
+
+def _flip(bits, fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    flips = (rng.random(bits.size) < fraction).astype(np.uint8)
+    return bits ^ flips
+
+
+class TestMajorityVote:
+    def test_majority_suppresses_noise(self):
+        reads = [
+            np.array([1, 1, 0, 0]),
+            np.array([1, 0, 0, 0]),
+            np.array([1, 1, 0, 1]),
+        ]
+        assert majority_vote(reads).tolist() == [1, 1, 0, 0]
+
+    def test_tie_rounds_up(self):
+        reads = [np.array([1, 0]), np.array([0, 0])]
+        assert majority_vote(reads).tolist() == [1, 0]
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError, match="0/1"):
+            majority_vote([np.array([0, 2])])
+
+
+class TestEnroll:
+    def test_enroll_commits_record(self, service_and_chips):
+        service, _ = service_and_chips
+        assert len(service.store) == 3
+        record = service.store.get(0)
+        assert record.n_bits == service.response_bits
+
+    def test_wrong_width_is_bad_request(self):
+        service = FleetService(seed=0)
+        reply = asyncio.run(service.enroll(0, [np.zeros(8, dtype=np.uint8)]))
+        assert reply["outcome"] == "bad_request"
+        assert len(service.store) == 0
+
+
+class TestAuth:
+    def test_genuine_fresh_response_accepted(self, service_and_chips):
+        service, golden = service_and_chips
+        reply = asyncio.run(service.auth(0, _flip(golden[0], 0.01)))
+        assert reply["outcome"] == "ok"
+        assert reply["accepted"] is True
+        assert reply["distance"] < 0.05
+
+    def test_aged_response_within_threshold_accepted(self, service_and_chips):
+        """The ARO's ~7.7% 10-year flip rate clears the 0.25 threshold."""
+        service, golden = service_and_chips
+        reply = asyncio.run(service.auth(0, _flip(golden[0], 0.077)))
+        assert reply["outcome"] == "ok"
+
+    def test_impostor_rejected_not_errored(self, service_and_chips):
+        service, golden = service_and_chips
+        before = service.red.total_errors()
+        reply = asyncio.run(service.auth(0, golden[1]))
+        assert reply["outcome"] == "rejected"
+        assert reply["accepted"] is False
+        assert reply["distance"] > 0.4
+        assert service.red.total_errors() == before  # not an error
+
+    def test_unknown_chip(self, service_and_chips):
+        service, golden = service_and_chips
+        reply = asyncio.run(service.auth(77, golden[0]))
+        assert reply["outcome"] == "unknown_chip"
+
+    def test_wrong_shape_is_bad_request(self, service_and_chips):
+        service, _ = service_and_chips
+        reply = asyncio.run(service.auth(0, np.zeros(8, dtype=np.uint8)))
+        assert reply["outcome"] == "bad_request"
+
+
+class TestKey:
+    def test_regenerated_key_matches_enrollment_digest(self):
+        service = FleetService(seed=0)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, service.response_bits, dtype=np.uint8)
+
+        async def flow():
+            enrolled = await service.enroll(0, [bits] * 3)
+            regen = await service.key(0, _flip(bits, 0.05))
+            return enrolled, regen
+
+        enrolled, regen = asyncio.run(flow())
+        assert regen["outcome"] == "ok"
+        from repro.service.store import key_digest
+
+        assert (
+            key_digest(bytes.fromhex(regen["key"])).hex()
+            == enrolled["key_digest"]
+        )
+
+    def test_hopeless_response_is_key_recovery(self, service_and_chips):
+        service, golden = service_and_chips
+        reply = asyncio.run(service.key(0, _flip(golden[0], 0.45)))
+        assert reply["outcome"] == "key_recovery"
+        assert "key" not in reply
+
+    def test_unknown_chip(self, service_and_chips):
+        service, golden = service_and_chips
+        reply = asyncio.run(service.key(77, golden[0]))
+        assert reply["outcome"] == "unknown_chip"
+
+
+class TestDriver:
+    def test_red_meters_every_outcome(self):
+        service = FleetService(seed=0)
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, service.response_bits, dtype=np.uint8)
+
+        async def flow():
+            await service.enroll(0, [bits])
+            await service.auth(0, bits)
+            await service.auth(99, bits)
+
+        asyncio.run(flow())
+        state = service.red.to_dict()
+        assert state["endpoints"]["auth"]["outcomes"] == {
+            "ok": 1,
+            "unknown_chip": 1,
+        }
+        assert state["endpoints"]["enroll"]["requests"] == 1
+
+    def test_traced_request_carries_trace_id(self, tmp_path):
+        tracer = telemetry.install(AsyncTracer())
+        audit_path = tmp_path / "audit.jsonl"
+        service = FleetService(seed=0, audit=AuditTrail(audit_path))
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, service.response_bits, dtype=np.uint8)
+
+        async def flow():
+            await service.enroll(0, [bits])
+            return await service.auth(0, bits)
+
+        reply = asyncio.run(flow())
+        service.audit.close()
+        assert reply["trace_id"] == 2  # second request on this tracer
+        assert set(tracer.remote_lanes) == {"req-0"}
+        spans = tracer.remote_lanes["req-0"]
+        assert [s.name for s in spans] == ["request.enroll", "request.auth"]
+        assert spans[1].attrs["outcome"] == "ok"
+        records = list(read_audit(audit_path))
+        assert [r["trace_id"] for r in records] == [1, 2]
+        assert all(r["duration_ms"] >= 0 for r in records)
+
+    def test_untraced_request_has_no_trace_id(self):
+        service = FleetService(seed=0)
+        reply = asyncio.run(service.status())
+        assert "trace_id" not in reply
+
+    def test_inject_latency_lands_in_measured_window(self):
+        service = FleetService(seed=0, inject_latency_s=0.03)
+        asyncio.run(service.status())
+        hist = service.red.endpoint_histogram("status", "ok")
+        assert hist.quantile(0.5) >= 25.0  # ms
+
+    def test_status_reports_store_and_counters(self, service_and_chips):
+        service, _ = service_and_chips
+        reply = asyncio.run(service.status())
+        assert reply["outcome"] == "ok"
+        assert reply["enrolled"] == 3
+        assert reply["response_bits"] == service.response_bits
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            FleetService(threshold=0.5)
+
+
+class TestDispatch:
+    def test_unknown_op_is_bad_request(self):
+        service = FleetService(seed=0)
+        reply = asyncio.run(service.dispatch({"op": "explode"}))
+        assert reply["outcome"] == "bad_request"
+        assert service.red.requests == {"wire": 1}
+
+    def test_non_integer_chip_id_is_bad_request(self):
+        service = FleetService(seed=0)
+        reply = asyncio.run(
+            service.dispatch({"op": "auth", "chip_id": "three"})
+        )
+        assert reply["outcome"] == "bad_request"

@@ -143,6 +143,22 @@ class TestOrientation:
     def test_experiment_scalars_have_no_orientation(self, name):
         assert metric_orientation(name) is None
 
+    @pytest.mark.parametrize(
+        "name",
+        ["loadgen:auth_per_s", "service.auth.rate_per_s", "requests_per_s"],
+    )
+    def test_service_rates_are_higher_is_better(self, name):
+        """*_per_s must hit the rate rule before the *_s wall-time rule
+        misreads the suffix as a duration."""
+        assert metric_orientation(name) is True
+
+    @pytest.mark.parametrize(
+        "name",
+        ["service.auth.p99_ms", "service.auth.p999_ms", "loadgen:auth.p50_ms"],
+    )
+    def test_service_latency_is_lower_is_better(self, name):
+        assert metric_orientation(name) is False
+
 
 class TestClassify:
     def test_warmup_and_stable_pass_through(self):

@@ -113,6 +113,24 @@ class TestRemoteLanes:
         assert by_name["a"]["dur"] == pytest.approx(0.3)
 
 
+    def test_numeric_lane_tails_sort_naturally(self):
+        """req-2 must come before req-10: lexicographic order scrambles
+        Perfetto rows exactly when request concurrency passes ten."""
+        tr = Tracer()
+        t0 = tr.perf0_ns
+        for k in (10, 2, 0):
+            tr.add_remote_lane(
+                f"req-{k}", [self._lane_span(f"s{k}", t0 + 100, t0 + 200)]
+            )
+        events = chrome_trace_events(tr)
+        order = [
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert order == ["coordinator", "req-0", "req-2", "req-10"]
+
+
 class TestSamplerCounters:
     class _FakeSampler:
         def __init__(self, samples):

@@ -111,6 +111,72 @@ class TestEmit:
             ProgressEmitter(tmp_path / "e.jsonl", max_events=0)
 
 
+class TestRotation:
+    """--events-max-bytes: size-capped rotation for long-lived servers."""
+
+    def _emitter(self, tmp_path, clock, max_bytes=1024):
+        return ProgressEmitter(
+            tmp_path / "ev.jsonl",
+            min_interval_s=0.0,
+            max_events=10**6,
+            max_bytes=max_bytes,
+            clock=clock,
+        )
+
+    def test_rotates_to_single_backup(self, tmp_path, clock):
+        e = self._emitter(tmp_path, clock)
+        for i in range(40):  # ~100 bytes/line: several rotations
+            e.emit("s", i, 40, force=True)
+            clock.advance(1.0)
+        e.close()
+        assert e.n_rotations >= 2
+        live, backup = e.path, e.path.with_name("ev.jsonl.1")
+        assert live.exists() and backup.exists()
+        assert set(tmp_path.iterdir()) == {live, backup}  # one generation
+        # both sides stay line-parseable after the rename
+        for path in (live, backup):
+            assert read_events(path)
+
+    def test_disk_usage_stays_bounded(self, tmp_path, clock):
+        e = self._emitter(tmp_path, clock, max_bytes=1024)
+        for i in range(200):
+            e.emit("s", i, 200, force=True)
+            clock.advance(1.0)
+        e.close()
+        total = sum(p.stat().st_size for p in tmp_path.iterdir())
+        assert total <= 2 * 1024 + 256  # ~2x cap (+ one line of slack)
+
+    def test_never_rotates_without_cap(self, tmp_path, clock):
+        e = ProgressEmitter(
+            tmp_path / "ev.jsonl",
+            min_interval_s=0.0,
+            max_events=10**6,
+            clock=clock,
+        )
+        for i in range(100):
+            e.emit("s", i, 100, force=True)
+            clock.advance(1.0)
+        assert e.n_rotations == 0
+        assert not (tmp_path / "ev.jsonl.1").exists()
+
+    def test_append_mode_counts_existing_bytes(self, tmp_path, clock):
+        """A reopened heartbeat file rotates on the *file* size, not just
+        the bytes this emitter wrote."""
+        path = tmp_path / "ev.jsonl"
+        path.write_text("x" * 1000 + "\n")
+        e = ProgressEmitter(
+            path, min_interval_s=0.0, max_bytes=1024, clock=clock
+        )
+        e.emit("s", 1, 2, force=True)
+        clock.advance(1.0)
+        e.emit("s", 2, 2, force=True)
+        assert e.n_rotations >= 1
+
+    def test_rejects_tiny_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ProgressEmitter(tmp_path / "e.jsonl", max_bytes=100)
+
+
 class TestLifecycle:
     def test_bypasses_throttle_but_not_cap(self, tmp_path, clock):
         e = ProgressEmitter(

@@ -131,3 +131,25 @@ class TestRender:
             _lines({"event": "sample", "rss_bytes": 3 << 30})
         )
         assert "3.00 GiB" in render_monitor(state)
+
+    def test_loop_lag_series_folds_and_renders(self):
+        """A serving run's event-loop-lag probe echoes through sampler
+        events; the dashboard grows a lag sparkline next to rss."""
+        state = parse_events(
+            _lines(
+                {"event": "sample", "rss_bytes": 1 << 20, "loop_lag_ms": 0.4},
+                {"event": "sample", "rss_bytes": 1 << 20, "loop_lag_ms": 2.75},
+            )
+        )
+        assert state.last_loop_lag_ms == 2.75
+        assert state.lag_series == [0.4, 2.75]
+        text = render_monitor(state)
+        assert "lag :" in text
+        assert "now 2.75 ms" in text
+        assert "peak 2.75 ms" in text
+
+    def test_no_lag_events_no_lag_row(self):
+        state = parse_events(
+            _lines({"event": "sample", "rss_bytes": 1 << 20})
+        )
+        assert "lag :" not in render_monitor(state)

@@ -134,6 +134,30 @@ class TestBenchPayloadIngest:
         entry = entry_from_bench_payload("b", payload)
         assert entry.values["peak_rss_bytes"] == 7.0
 
+    def test_service_metrics_ingested_under_prefix(self):
+        """A loadgen artefact's flat RED scalars join the ledger series."""
+        payload = {
+            "values": {"auth_per_s": 12000.0},
+            "service": {
+                "metrics": {
+                    "auth.p99_ms": 1.5,
+                    "auth.availability": 1.0,
+                    "auth.note": "not-a-number",
+                },
+            },
+        }
+        entry = entry_from_bench_payload("loadgen", payload)
+        assert entry.values["auth_per_s"] == 12000.0
+        assert entry.values["service.auth.p99_ms"] == 1.5
+        assert entry.values["service.auth.availability"] == 1.0
+        assert "service.auth.note" not in entry.values
+
+    def test_malformed_service_section_ignored(self):
+        entry = entry_from_bench_payload(
+            "b", {"values": {"x": 1.0}, "service": "broken"}
+        )
+        assert entry.values == {"x": 1.0}
+
 
 class TestMetricsPayloadIngest:
     def test_wall_rss_and_recomputed_quantiles(self):

@@ -356,3 +356,73 @@ class TestGateFlag:
         code = bench_compare.main([str(old), str(new), "--threshold", "0.5"])
         assert code == 0
         assert "informational" in capsys.readouterr().out
+
+
+def _write_service_artefact(path, name, values, service_metrics):
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": name,
+        "values": values,
+        "service": {"format": 1, "metrics": service_metrics},
+    }
+    (path / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestServiceSection:
+    def test_load_service_metrics_flattens(self, tmp_path):
+        _write_service_artefact(
+            tmp_path, "loadgen", {"auth_per_s": 9000.0},
+            {"auth.p99_ms": 1.2, "auth.availability": 1.0, "note": "x"},
+        )
+        metrics = bench_compare.load_service_metrics(tmp_path)
+        assert metrics == {
+            "loadgen:auth.p99_ms": 1.2,
+            "loadgen:auth.availability": 1.0,
+        }
+
+    def test_artefact_without_section_contributes_nothing(self, tmp_path):
+        _write_results(tmp_path / "plain", "bench", {"time_s": 1.0})
+        assert bench_compare.load_service_metrics(tmp_path / "plain") == {}
+
+    def test_one_sided_service_renders_na(self, result_dirs, capsys):
+        old, new = result_dirs
+        _write_service_artefact(
+            new, "loadgen", {"auth_per_s": 9000.0}, {"auth.p99_ms": 1.2}
+        )
+        code = bench_compare.main([str(old), str(new)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service RED metrics" in out
+        line = next(l for l in out.splitlines() if "auth.p99_ms" in l)
+        assert "n/a" in line
+
+    def test_service_swing_never_gates(self, result_dirs, capsys):
+        """Even --gate must not flag service metrics: the map mixes
+        bigger-is-better rates with smaller-is-better latencies."""
+        old, new = result_dirs
+        _write_service_artefact(
+            old, "loadgen", {"auth_per_s": 9000.0}, {"auth.p99_ms": 1.0}
+        )
+        _write_service_artefact(
+            new, "loadgen", {"auth_per_s": 9000.0}, {"auth.p99_ms": 100.0}
+        )
+        code = bench_compare.main([str(old), str(new), "--gate"])
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "auth.p99_ms" in l)
+        assert "REGRESSION" not in line
+        assert code == 0
+
+    def test_json_service_section(self, result_dirs, tmp_path, capsys):
+        old, new = result_dirs
+        _write_service_artefact(
+            old, "loadgen", {"auth_per_s": 1.0}, {"auth.p99_ms": 1.0}
+        )
+        _write_service_artefact(
+            new, "loadgen", {"auth_per_s": 1.0}, {"auth.p99_ms": 2.0}
+        )
+        out_json = tmp_path / "diff.json"
+        bench_compare.main([str(old), str(new), "--json", str(out_json)])
+        payload = json.loads(out_json.read_text())
+        (row,) = payload["service"]
+        assert row["metric"] == "loadgen:auth.p99_ms"
+        assert row["change"] == pytest.approx(1.0)

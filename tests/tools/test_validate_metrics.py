@@ -485,3 +485,104 @@ class TestFlameMode:
         f = tmp_path / "f.txt"
         f.write_text("lane;run{e2} 7\n")
         assert validate_metrics.main(["--flame", str(f)]) == 0
+
+
+@pytest.fixture(scope="module")
+def service_file(tmp_path_factory):
+    """A real loadgen artefact, produced the way CI's smoke step does."""
+    path = tmp_path_factory.mktemp("service") / "loadgen.json"
+    code = cli_main(
+        [
+            "loadgen",
+            "--chips", "2",
+            "--requests", "40",
+            "--concurrency", "2",
+            "--out", str(path),
+            "--slo-gate", "off",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestServiceMode:
+    def test_real_artefact_is_clean(self, service_file):
+        payload = json.loads(service_file.read_text())
+        assert validate_metrics.validate_service_payload(payload) == []
+
+    def test_main_exit_zero_with_summary(self, service_file, capsys):
+        assert validate_metrics.main(["--service", str(service_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out
+        assert "endpoint(s)" in out
+        assert "slo worst status" in out
+
+    def test_missing_service_section_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        del payload["service"]
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("service" in p for p in problems)
+
+    def test_bad_red_endpoint_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        block = payload["service"]["red"]["endpoints"]["auth"]
+        block["availability"] = 1.5
+        block["requests"] = -3
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("availability" in p for p in problems)
+        assert any("requests" in p for p in problems)
+
+    def test_outcome_counts_must_sum_to_requests(self, service_file):
+        payload = json.loads(service_file.read_text())
+        payload["service"]["red"]["endpoints"]["auth"]["outcomes"]["ok"] += 1
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("outcome counts sum" in p for p in problems)
+
+    def test_broken_duration_histogram_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        durations = payload["service"]["red"]["durations_ms"]
+        site = next(iter(durations))
+        durations[site]["count"] = -1
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any(site in p for p in problems)
+
+    def test_bad_slo_verdict_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        verdict = payload["service"]["slo"][0]
+        verdict["status"] = "shrug"
+        verdict["bound"] = "diagonal"
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("status" in p for p in problems)
+        assert any("bound" in p for p in problems)
+
+    def test_bad_request_sample_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        sample = payload["service"]["requests"][0]
+        sample["duration_ms"] = float("nan")
+        sample["trace_id"] = "abc"
+        payload["service"]["requests"][0] = json.loads(
+            json.dumps(sample).replace("NaN", "null")
+        )
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("duration_ms" in p for p in problems)
+        assert any("trace_id" in p for p in problems)
+
+    def test_non_finite_metric_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        payload["service"]["metrics"]["auth.p99_ms"] = None
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("auth.p99_ms" in p for p in problems)
+
+    def test_wrong_format_flagged(self, service_file):
+        payload = json.loads(service_file.read_text())
+        payload["service"]["format"] = 99
+        problems = validate_metrics.validate_service_payload(payload)
+        assert any("service.format" in p for p in problems)
+
+    def test_invalid_file_exit_one(self, service_file, tmp_path, capsys):
+        payload = json.loads(service_file.read_text())
+        payload["service"]["slo"] = []
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert validate_metrics.main(["--service", str(bad)]) == 1
+        assert "invalid:" in capsys.readouterr().err

@@ -26,7 +26,13 @@ promotes the memory, roofline and histogram sections to gating: a move
 in the bad direction beyond the threshold on a metric present in *both*
 sets exits 1 like a values regression, while one-sided ``n/a`` rows
 still never gate (counters and ledger scalars stay informational even
-then).  Run-ledger ``*.jsonl``
+then).  ``service`` sections (the RED rate/availability/latency map a
+``repro loadgen --out`` artefact carries) are diffed with the same
+union-keyed ``n/a`` tolerance but stay informational even under
+``--gate``: the map mixes bigger-is-better rates with smaller-is-better
+latencies, so no single gate direction is honest — the SLO spec
+(``repro loadgen --slo-gate``) owns those verdicts.  Run-ledger
+``*.jsonl``
 files found in either directory are diffed the same informational way
 (experiment scalars have no universal "better" direction — the anchor
 registry judges those, see ``tools/check_anchors.py``).  Exit status is
@@ -161,6 +167,40 @@ def load_histograms(path: pathlib.Path) -> Dict[str, float]:
     return metrics
 
 
+def load_service_metrics(path: pathlib.Path) -> Dict[str, float]:
+    """Flatten ``service.metrics`` maps into ``{"file:metric": value}``.
+
+    Load-generation artefacts (``repro loadgen --out``) carry a nested
+    ``service`` section with the flat RED metrics the SLO spec judges;
+    ordinary benchmark artefacts have no such section and contribute
+    nothing — the diff renders ``n/a`` for their side, never a KeyError.
+    """
+    if path.is_dir():
+        files: Iterable[pathlib.Path] = sorted(path.glob("*.json"))
+    elif path.is_file():
+        files = [path]
+    else:
+        return {}
+
+    metrics: Dict[str, float] = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        service = payload.get("service") if isinstance(payload, dict) else None
+        if not isinstance(service, dict):
+            continue
+        section = service.get("metrics")
+        if not isinstance(section, dict):
+            continue
+        name = payload.get("name", file.stem)
+        for key, value in section.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"{name}:{key}"] = float(value)
+    return metrics
+
+
 def compare_memory(
     old: Dict[str, float], new: Dict[str, float]
 ) -> List[Tuple[str, object, object]]:
@@ -286,6 +326,8 @@ def main(argv=None) -> int:
         new_roofline = load_results(args.candidate, section="roofline")
         old_hist = load_histograms(args.baseline)
         new_hist = load_histograms(args.candidate)
+        old_service = load_service_metrics(args.baseline)
+        new_service = load_service_metrics(args.candidate)
         old_ledger = load_ledger_scalars(args.baseline)
         new_ledger = load_ledger_scalars(args.candidate)
     except FileNotFoundError as exc:
@@ -303,6 +345,7 @@ def main(argv=None) -> int:
     memory_rows = compare_memory(old_memory, new_memory)
     roofline_rows = compare_memory(old_roofline, new_roofline)
     histogram_rows = compare_memory(old_hist, new_hist)
+    service_rows = compare_memory(old_service, new_service)
     ledger_rows, _, _ = compare(old_ledger, new_ledger, args.threshold)
 
     width = max(len(key) for key, *_ in rows)
@@ -344,6 +387,13 @@ def main(argv=None) -> int:
     )
     regressions += (
         memory_regressions + roofline_regressions + histogram_regressions
+    )
+    # service RED metrics never gate, even under --gate: the map mixes
+    # directions (rates up-good, latencies down-good) — SLOs judge them
+    print_optional_section(
+        "service RED metrics (rate/availability/latency, informational)",
+        service_rows,
+        threshold=None,
     )
 
     if ledger_rows:
@@ -403,6 +453,15 @@ def main(argv=None) -> int:
                     "regression": key in histogram_regressions,
                 }
                 for key, a, b in histogram_rows
+            ],
+            "service": [
+                {
+                    "metric": key,
+                    "baseline": a,
+                    "candidate": b,
+                    "change": tolerant_change(a, b),
+                }
+                for key, a, b in service_rows
             ],
             "ledger": [
                 {"metric": key, "baseline": a, "candidate": b, "change": change}

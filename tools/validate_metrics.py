@@ -9,6 +9,7 @@ Usage::
     python tools/validate_metrics.py --explain explain.json
     python tools/validate_metrics.py --trace run.trace.json
     python tools/validate_metrics.py --flame flame.txt
+    python tools/validate_metrics.py --service loadgen.json
 
 Default mode checks a ``--metrics-out`` payload: valid JSON, the
 expected top-level sections (``format``, ``version``, ``spans``,
@@ -34,6 +35,13 @@ schema CI's explain smoke job relies on.
 line must be ``lane;frame;...;frame <weight>`` with non-empty frames
 and a positive integer sample weight — the grammar both
 ``flamegraph.pl`` and speedscope's importer parse.
+
+``--service`` checks a ``repro loadgen --out`` artefact's ``service``
+section: per-endpoint RED blocks (request counts, availability in
+[0, 1], error taxonomy), full duration-histogram states under
+``durations_ms``, a finite flat metrics map, SLO verdicts with a legal
+status and band, and well-formed request-log samples (finite
+non-negative ``duration_ms``, integer-or-null ``trace_id``).
 
 Exit status 0 on success, 1 on any violation — wired into CI so a
 regression in the observability pipeline fails the build, not a user's
@@ -337,6 +345,158 @@ def validate_collapsed_stacks(text) -> list:
     return problems
 
 
+#: legal SLO verdict statuses (see repro.service.slo.SloVerdict)
+_SLO_STATUSES = ("pass", "warn", "fail", "missing")
+
+
+def validate_service_payload(payload) -> list:
+    """All problems in a ``repro loadgen --out`` artefact (empty = ok).
+
+    Checks the ``service`` section a load-generation run appends to the
+    benchmark-shaped payload: the RED per-endpoint blocks, the full
+    duration-histogram states (reusing the metrics-payload histogram
+    checks — the states must stay mergeable), the flat SLO-gateable
+    metrics map, the verdict list, and the request-log tail CI's smoke
+    job asserts trace ids against.
+    """
+    from repro.service.loadgen import SERVICE_SECTION_FORMAT
+    from repro.telemetry.red import RED_FORMAT
+
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    service = payload.get("service")
+    if not isinstance(service, dict):
+        return ["missing 'service' section (not a loadgen artefact?)"]
+    if service.get("format") != SERVICE_SECTION_FORMAT:
+        problems.append(
+            f"service.format is {service.get('format')!r}, "
+            f"expected {SERVICE_SECTION_FORMAT}"
+        )
+
+    # ---- RED state ---------------------------------------------------
+    red = service.get("red")
+    if not isinstance(red, dict):
+        problems.append("missing 'service.red' section")
+        red = {}
+    elif red.get("format") != RED_FORMAT:
+        problems.append(
+            f"service.red.format is {red.get('format')!r}, expected {RED_FORMAT}"
+        )
+    endpoints = red.get("endpoints")
+    if not isinstance(endpoints, dict) or not endpoints:
+        problems.append("service.red.endpoints is missing or empty")
+        endpoints = {}
+    for endpoint, block in endpoints.items():
+        where = f"service.red.endpoints[{endpoint!r}]"
+        if not isinstance(block, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        requests = block.get("requests")
+        if not isinstance(requests, int) or isinstance(requests, bool) or requests < 1:
+            problems.append(f"{where}: 'requests' must be a positive integer")
+        availability = block.get("availability")
+        if not _finite_number(availability) or not 0.0 <= availability <= 1.0:
+            problems.append(f"{where}: 'availability' outside [0, 1]")
+        rate = block.get("rate_per_s")
+        if not _finite_number(rate) or rate < 0.0:
+            problems.append(f"{where}: 'rate_per_s' must be finite and >= 0")
+        errors = block.get("errors")
+        if not isinstance(errors, dict):
+            problems.append(f"{where}: missing 'errors' taxonomy object")
+            errors = {}
+        for cls, n in errors.items():
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                problems.append(
+                    f"{where}: errors[{cls!r}] must be a positive integer"
+                )
+        outcomes = block.get("outcomes")
+        if not isinstance(outcomes, dict) or not outcomes:
+            problems.append(f"{where}: missing or empty 'outcomes' object")
+        elif any(
+            not isinstance(n, int) or isinstance(n, bool) or n < 1
+            for n in outcomes.values()
+        ):
+            problems.append(
+                f"{where}: outcome counts must be positive integers"
+            )
+        elif isinstance(requests, int) and sum(outcomes.values()) != requests:
+            problems.append(
+                f"{where}: outcome counts sum to {sum(outcomes.values())}, "
+                f"but 'requests' is {requests}"
+            )
+    durations = red.get("durations_ms")
+    if not isinstance(durations, dict):
+        problems.append("service.red.durations_ms is missing")
+    else:
+        for site, hist in durations.items():
+            problems.extend(_check_histogram(f"service:{site}", hist))
+
+    # ---- flat metrics + SLO verdicts ----------------------------------
+    metrics = service.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("service.metrics is missing or empty")
+        metrics = {}
+    for key, value in metrics.items():
+        if not _finite_number(value):
+            problems.append(f"service.metrics[{key!r}] is not finite: {value!r}")
+    verdicts = service.get("slo")
+    if not isinstance(verdicts, list) or not verdicts:
+        problems.append("service.slo verdict list is missing or empty")
+        verdicts = []
+    for i, verdict in enumerate(verdicts):
+        where = f"service.slo[{i}]"
+        if not isinstance(verdict, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "metric"):
+            if not isinstance(verdict.get(field), str) or not verdict[field]:
+                problems.append(f"{where}: missing string field {field!r}")
+        if verdict.get("status") not in _SLO_STATUSES:
+            problems.append(
+                f"{where}: status {verdict.get('status')!r} is not one of "
+                f"{list(_SLO_STATUSES)}"
+            )
+        if verdict.get("bound") not in ("upper", "lower"):
+            problems.append(
+                f"{where}: bound {verdict.get('bound')!r} is not "
+                "'upper' or 'lower'"
+            )
+        for field in ("pass_at", "fail_at"):
+            if not _finite_number(verdict.get(field)):
+                problems.append(f"{where}: {field} is not finite")
+        measured = verdict.get("measured")
+        if measured is not None and not _finite_number(measured):
+            problems.append(f"{where}: measured is neither null nor finite")
+        if verdict.get("status") == "missing" and measured is not None:
+            problems.append(f"{where}: status 'missing' but measured is set")
+
+    # ---- request-log tail ---------------------------------------------
+    samples = service.get("requests")
+    if not isinstance(samples, list):
+        problems.append("service.requests sample list is missing")
+        samples = []
+    for i, sample in enumerate(samples):
+        where = f"service.requests[{i}]"
+        if not isinstance(sample, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("endpoint", "outcome"):
+            if not isinstance(sample.get(field), str) or not sample[field]:
+                problems.append(f"{where}: missing string field {field!r}")
+        duration = sample.get("duration_ms")
+        if not _finite_number(duration) or duration < 0:
+            problems.append(
+                f"{where}: 'duration_ms' must be finite and non-negative"
+            )
+        trace_id = sample.get("trace_id")
+        if trace_id is not None and (
+            not isinstance(trace_id, int) or isinstance(trace_id, bool)
+        ):
+            problems.append(f"{where}: 'trace_id' must be an integer or null")
+    return problems
+
+
 def validate_explain_payload(payload) -> list:
     """All problems in a ``repro explain --json`` payload (empty = ok)."""
     from repro.forensics.export import EXPLAIN_FORMAT
@@ -441,6 +601,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat PATH as a 'repro perf flame' collapsed-stack file",
     )
+    mode.add_argument(
+        "--service",
+        action="store_true",
+        help="treat PATH as a 'repro loadgen --out' service artefact",
+    )
     parser.add_argument("path", type=pathlib.Path, help="artefact to validate")
     args = parser.parse_args(argv)
 
@@ -481,6 +646,24 @@ def main(argv=None) -> int:
             summary = (
                 f"{len(payload['traceEvents'])} trace event(s) across "
                 f"{_trace_lanes(payload)} lane(s)"
+            )
+        else:
+            summary = ""
+    elif args.service:
+        problems = validate_service_payload(payload)
+        if not problems:
+            service = payload["service"]
+            endpoints = service["red"]["endpoints"]
+            total = sum(block["requests"] for block in endpoints.values())
+            statuses = [v["status"] for v in service["slo"]]
+            worst = next(
+                (s for s in ("fail", "missing", "warn") if s in statuses),
+                "pass",
+            )
+            summary = (
+                f"{len(endpoints)} endpoint(s), {total} request(s), "
+                f"slo worst status {worst}, "
+                f"{len(service['requests'])} request-log sample(s)"
             )
         else:
             summary = ""
